@@ -1,0 +1,43 @@
+// Extension study: core-density scaling. The paper's introduction motivates
+// RAMR with rising integration densities ("processors integrating tens of
+// cores have been commercialized and it is foreseeable that systems with
+// higher densities will appear"); this bench sweeps a Haswell-class machine
+// from 8 to 112 hardware threads and reports the RAMR-vs-Phoenix++ speedup
+// per density — contention on shared resources grows with density, and with
+// it the value of the decoupled, resource-aware schedule.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+int main() {
+  bench::banner("Core-density scaling study (Haswell-class machine, large "
+                "inputs, default containers)",
+                "extension of the paper's Sec. I motivation");
+
+  const std::size_t cores_options[] = {4, 8, 14, 20, 28};
+  std::vector<stats::Series> series;
+  for (AppId app : {AppId::kKMeans, AppId::kMatrixMultiply,
+                    AppId::kWordCount, AppId::kHistogram}) {
+    stats::Series s{app_name(app), {}, {}};
+    for (std::size_t cores : cores_options) {
+      const auto machine = sim::haswell_scaled(2, cores, 2);
+      const auto w = sim::suite_workload(app, ContainerFlavor::kDefault,
+                                         PlatformId::kHaswell,
+                                         SizeClass::kLarge);
+      sim::RamrConfig base;
+      base.batch = 1000;
+      const double speedup =
+          sim::ramr_speedup(machine, w, sim::tuned_config(machine, w, base));
+      s.add(static_cast<double>(4 * cores), speedup);
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_series("hw threads", series);
+  std::cout << "\n(speedup of RAMR over Phoenix++ as the same machine gains "
+               "cores; suitable apps should\n gain or hold their advantage "
+               "with density, unsuitable ones stay below 1)\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension study: pipeline dynamics. The steady-state model prices rates;
+// this bench plays the pipeline out in time (sim/pipeline_sim) and reports
+// what only dynamics can show — queue occupancy, producer blocking and the
+// end-of-stream drain tail — for every suite app, plus an occupancy
+// trajectory for the most queue-bound one.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/pipeline_sim.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+int main() {
+  bench::banner("Transient pipeline dynamics (Haswell model, default "
+                "containers, small inputs, tuned ratio)",
+                "Sec. III architecture, played out in time");
+
+  const auto& machine = bench::machine_of(PlatformId::kHaswell);
+  stats::Table table({"app", "makespan (ms)", "steady-state (ms)",
+                      "mean depth", "max depth", "mapper util",
+                      "combiner util", "drain tail (us)"});
+  for (AppId app : kAllApps) {
+    const auto w = sim::suite_workload(app, ContainerFlavor::kDefault,
+                                       PlatformId::kHaswell, SizeClass::kSmall);
+    sim::RamrConfig cfg = sim::tuned_config(machine, w, sim::RamrConfig{.batch = 1000});
+    const auto t = sim::simulate_ramr_transient(machine, w, cfg);
+    const double steady = sim::simulate_ramr(machine, w, cfg).phases.map_combine;
+    table.add_row({app_full_name(app), stats::Table::fmt(t.seconds * 1e3, 2),
+                   stats::Table::fmt(steady * 1e3, 2),
+                   stats::Table::fmt(t.mean_depth, 0),
+                   stats::Table::fmt(t.max_depth, 0),
+                   stats::Table::fmt(t.mapper_busy_fraction, 2),
+                   stats::Table::fmt(t.combiner_busy_fraction, 2),
+                   stats::Table::fmt(t.drain_tail_seconds * 1e6, 1)});
+  }
+  bench::print(table);
+
+  // Occupancy trajectory of ring 0 for Word Count (the combiner-limited
+  // app above): fills to capacity, rides backpressure, drains at the end.
+  const auto w = sim::suite_workload(AppId::kWordCount,
+                                     ContainerFlavor::kDefault,
+                                     PlatformId::kHaswell, SizeClass::kSmall);
+  sim::RamrConfig cfg = sim::tuned_config(machine, w, sim::RamrConfig{.batch = 1000});
+  const auto t = sim::simulate_ramr_transient(machine, w, cfg);
+  std::cout << "\nWord Count ring-0 occupancy over time (capacity "
+            << cfg.queue_capacity << "):\n";
+  const std::size_t cols = 64;
+  const std::size_t stride = std::max<std::size_t>(1, t.depth_series.size() / cols);
+  std::cout << "  ";
+  for (std::size_t i = 0; i < t.depth_series.size(); i += stride) {
+    const double frac =
+        t.depth_series[i] / static_cast<double>(cfg.queue_capacity);
+    const char* glyph = frac > 0.85 ? "#" : frac > 0.5 ? "+" : frac > 0.1 ? "-" : ".";
+    std::cout << glyph;
+  }
+  std::cout << "\n  (start " << 0 << "ms -> end "
+            << stats::Table::fmt(t.seconds * 1e3, 2)
+            << "ms; '#' near-full, '.' near-empty)\n";
+  return 0;
+}

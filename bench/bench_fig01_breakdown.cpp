@@ -1,0 +1,36 @@
+// Fig. 1: average run-time breakdown of the Phoenix++ suite — the
+// map-combine phase dominates (the paper reports 82.4% on average), which
+// is the motivation for optimising exactly that phase.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+int main() {
+  bench::banner("Run-time breakdown of the Phoenix++ baseline (large inputs, "
+                "Haswell model)",
+                "Fig. 1");
+
+  stats::Table table(
+      {"app", "split %", "map-combine %", "reduce %", "merge %"});
+  double sum_mc = 0.0;
+  for (AppId app : kAllApps) {
+    const auto w = sim::suite_workload(app, ContainerFlavor::kDefault,
+                                       PlatformId::kHaswell, SizeClass::kLarge);
+    const auto r = sim::simulate_phoenix(bench::machine_of(PlatformId::kHaswell), w);
+    const double total = r.phases.total();
+    table.add_row({app_full_name(app),
+                   stats::Table::fmt(100.0 * r.phases.split / total, 1),
+                   stats::Table::fmt(100.0 * r.phases.map_combine / total, 1),
+                   stats::Table::fmt(100.0 * r.phases.reduce / total, 1),
+                   stats::Table::fmt(100.0 * r.phases.merge / total, 1)});
+    sum_mc += r.phases.map_combine_fraction();
+  }
+  bench::print(table);
+  std::cout << "\naverage map-combine share: "
+            << stats::Table::fmt(100.0 * sum_mc / 6.0, 1)
+            << "%   (paper: 82.4%)\n";
+  return 0;
+}

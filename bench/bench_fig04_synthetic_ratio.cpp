@@ -1,0 +1,59 @@
+// Fig. 4: the workload-aware synthetic test-suite — CPU-intensive map of
+// fixed intensity, memory-intensive combine of variable intensity; run time
+// for mapper:combiner ratios 3:1, 2:1 and 1:1 plus the Phoenix++ baseline.
+// The paper's observation: light combine -> ratio 3 is best; moderate ->
+// ratio 2; heavy -> ratio 1; and RAMR beats Phoenix++ across the sweep.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "synth/synth_app.hpp"
+
+using namespace ramr;
+
+int main() {
+  bench::banner(
+      "Synthetic suite: combine-intensity sweep, CPU map x memory combine "
+      "(Haswell model; run time in ms, lower is better)",
+      "Fig. 4");
+
+  const auto& machine = bench::machine_of(apps::PlatformId::kHaswell);
+  stats::Series r1{"ratio 1:1", {}, {}};
+  stats::Series r2{"ratio 2:1", {}, {}};
+  stats::Series r3{"ratio 3:1", {}, {}};
+  stats::Series phoenix{"phoenix++", {}, {}};
+  stats::Series best{"best ratio", {}, {}};
+
+  for (std::uint64_t intensity : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    synth::SynthParams params;
+    params.map_kind = synth::WorkKind::kCpu;
+    params.map_intensity = 24;
+    params.combine_kind = synth::WorkKind::kMemory;
+    params.combine_intensity = intensity;
+    const auto w = sim::synth_workload(params);
+    const double x = static_cast<double>(intensity);
+
+    double best_t = 1e300;
+    double best_ratio = 0.0;
+    for (auto [series, ratio] :
+         {std::pair{&r1, std::size_t{1}}, {&r2, std::size_t{2}},
+          {&r3, std::size_t{3}}}) {
+      sim::RamrConfig cfg;
+      cfg.ratio = ratio;
+      cfg.batch = 1000;
+      const double t = sim::simulate_ramr(machine, w, cfg).phases.total();
+      series->add(x, t * 1e3);
+      if (t < best_t) {
+        best_t = t;
+        best_ratio = static_cast<double>(ratio);
+      }
+    }
+    phoenix.add(x, sim::simulate_phoenix(machine, w).phases.total() * 1e3);
+    best.add(x, best_ratio);
+  }
+
+  bench::print_series("combine intensity", {r1, r2, r3, phoenix});
+  std::cout << "\nbest ratio per intensity (paper: 3 -> 2 -> 1 as the "
+               "combine workload grows):\n";
+  bench::print_series("combine intensity", {best}, 0);
+  return 0;
+}

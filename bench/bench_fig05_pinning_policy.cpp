@@ -1,0 +1,73 @@
+// Fig. 5 (and Fig. 3): the contention-aware pinning policy — per-app
+// speedup of the RAMR policy over role-oblivious round-robin pinning and
+// over the (unpinned) OS scheduler on the Haswell model, plus the Xeon Phi
+// comparison where the ring-shared L2 collapses the gains to a few percent.
+// Also prints the Fig. 3 thridtocpu() remap for the worked 2x4x2 example.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "topology/pinning.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+namespace {
+
+void print_fig3_example() {
+  std::cout << "\nthridtocpu() remap of the Fig. 3 example machine (2 NUMA "
+               "nodes x 4 cores x 2-way HT):\n  position -> cpu: ";
+  const auto topo = topo::fig3_example();
+  const auto order = topo.proximity_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::cout << (i == 0 ? "" : ",") << order[i];
+  }
+  std::cout << "\n  (consecutive positions are SMT siblings: a ratio-1 "
+               "mapper/combiner pair shares L1/L2)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Thread-pinning policies: RAMR vs round-robin vs OS "
+                "scheduler (default containers, large inputs)",
+                "Fig. 5 (+ Fig. 3)");
+
+  for (PlatformId platform : {PlatformId::kHaswell, PlatformId::kXeonPhi}) {
+    const auto& machine = bench::machine_of(platform);
+    stats::Table table({"app", "speedup vs RR", "speedup vs Linux/OS"});
+    double sum_rr = 0.0;
+    double sum_os = 0.0;
+    for (AppId app : kAllApps) {
+      const auto w = sim::suite_workload(app, ContainerFlavor::kDefault,
+                                         platform, SizeClass::kLarge);
+      sim::RamrConfig cfg;
+      cfg.batch = bench::default_batch(platform);
+      cfg = sim::tuned_config(machine, w, cfg);
+      cfg.pin = PinPolicy::kRamrPaired;
+      const double t_ramr = sim::simulate_ramr(machine, w, cfg).phases.total();
+      cfg.pin = PinPolicy::kRoundRobin;
+      const double vs_rr =
+          sim::simulate_ramr(machine, w, cfg).phases.total() / t_ramr;
+      cfg.pin = PinPolicy::kOsDefault;
+      const double vs_os =
+          sim::simulate_ramr(machine, w, cfg).phases.total() / t_ramr;
+      table.add_row({app_full_name(app), stats::Table::fmt(vs_rr, 2),
+                     stats::Table::fmt(vs_os, 2)});
+      sum_rr += vs_rr;
+      sum_os += vs_os;
+    }
+    std::cout << "\n--- " << platform_name(platform) << " ---\n";
+    bench::print(table);
+    std::cout << "average: vs RR " << stats::Table::fmt(sum_rr / 6.0, 2)
+              << "x, vs OS " << stats::Table::fmt(sum_os / 6.0, 2) << "x";
+    if (platform == PlatformId::kHaswell) {
+      std::cout << "   (paper: 2.28x and 2.04x; HG and LR exceptionally "
+                   "faster)";
+    } else {
+      std::cout << "   (paper: gains limited to 1-3% on Xeon Phi)";
+    }
+    std::cout << '\n';
+  }
+  print_fig3_example();
+  return 0;
+}

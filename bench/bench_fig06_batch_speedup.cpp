@@ -1,0 +1,53 @@
+// Fig. 6: speedup of the batched consume method over element-wise
+// consumption (batch = 1), per application and platform. The paper reports
+// up to 3.1x on Haswell and up to 11.4x on Xeon Phi.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+int main() {
+  bench::banner("Batched consume vs element-wise consume (default "
+                "containers, large inputs)",
+                "Fig. 6");
+
+  stats::Table table({"app", "HWL speedup", "HWL best batch", "PHI speedup",
+                      "PHI best batch"});
+  double max_hwl = 0.0;
+  double max_phi = 0.0;
+  for (AppId app : kAllApps) {
+    std::vector<std::string> row{app_full_name(app)};
+    for (PlatformId platform : {PlatformId::kHaswell, PlatformId::kXeonPhi}) {
+      const auto& machine = bench::machine_of(platform);
+      const auto w = sim::suite_workload(app, ContainerFlavor::kDefault,
+                                         platform, SizeClass::kLarge);
+      sim::RamrConfig cfg = sim::tuned_config(machine, w, sim::RamrConfig{});
+      cfg.batch = 1;
+      const double t1 = sim::simulate_ramr(machine, w, cfg).phases.total();
+      double best_t = t1;
+      std::size_t best_b = 1;
+      for (std::size_t b : {5u,10u,20u,50u,100u,200u,500u,1000u,2000u}) {
+        cfg.batch = b;
+        const double t = sim::simulate_ramr(machine, w, cfg).phases.total();
+        if (t < best_t) {
+          best_t = t;
+          best_b = b;
+        }
+      }
+      const double gain = t1 / best_t;
+      row.push_back(stats::Table::fmt(gain, 2));
+      row.push_back(std::to_string(best_b));
+      (platform == PlatformId::kHaswell ? max_hwl : max_phi) =
+          std::max(platform == PlatformId::kHaswell ? max_hwl : max_phi, gain);
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print(table);
+  std::cout << "\nmax speedup: HWL " << stats::Table::fmt(max_hwl, 1)
+            << "x, PHI " << stats::Table::fmt(max_phi, 1)
+            << "x   (paper: up to 3.1x and 11.4x)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 7: batch-size sensitivity — execution time per app as a function of
+// the batch size, normalised to the first data point of each curve. The
+// paper: all Haswell apps profit up to ~1000 elements; Xeon Phi optima fall
+// between 20 and 500 because of the much smaller cache capacity per thread.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+int main() {
+  bench::banner("Batch-size sensitivity (execution time normalised to the "
+                "first point of each curve; lower is better)",
+                "Fig. 7");
+
+  const std::size_t batches[] = {5, 10, 20, 50, 100, 200, 500, 1000, 2000, 4000};
+  for (PlatformId platform : {PlatformId::kHaswell, PlatformId::kXeonPhi}) {
+    const auto& machine = bench::machine_of(platform);
+    std::vector<stats::Series> series;
+    std::vector<std::string> best_notes;
+    for (AppId app : kAllApps) {
+      const auto w = sim::suite_workload(app, ContainerFlavor::kDefault,
+                                         platform, SizeClass::kLarge);
+      sim::RamrConfig cfg = sim::tuned_config(machine, w, sim::RamrConfig{});
+      stats::Series s{app_name(app), {}, {}};
+      double first = 0.0;
+      double best_t = 1e300;
+      std::size_t best_b = 0;
+      for (std::size_t b : batches) {
+        cfg.batch = b;
+        const double t = sim::simulate_ramr(machine, w, cfg).phases.total();
+        if (first == 0.0) first = t;
+        if (t < best_t) {
+          best_t = t;
+          best_b = b;
+        }
+        s.add(static_cast<double>(b), t / first);
+      }
+      series.push_back(std::move(s));
+      best_notes.push_back(std::string(app_name(app)) + "=" +
+                           std::to_string(best_b));
+    }
+    std::cout << "\n--- " << platform_name(platform) << " ---\n";
+    bench::print_series("batch", series);
+    std::cout << "optimal batch per app: ";
+    for (std::size_t i = 0; i < best_notes.size(); ++i) {
+      std::cout << (i == 0 ? "" : ", ") << best_notes[i];
+    }
+    std::cout << (platform == PlatformId::kHaswell
+                      ? "   (paper: ~1000 across apps)"
+                      : "   (paper: 20-500)")
+              << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 8: RAMR execution-time speedup over Phoenix++ on the Haswell server
+// model for Small/Medium/Large inputs — (a) default containers, (b) the
+// memory-stressing hash containers.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+namespace {
+
+void run_flavor(PlatformId platform, ContainerFlavor flavor,
+                const char* figure, const char* paper_note) {
+  std::cout << "\n--- " << figure << ": " << to_string(flavor)
+            << " containers ---\n";
+  stats::Table table({"app", "small", "medium", "large", "mean"});
+  double grand = 0.0;
+  int faster = 0;
+  for (AppId app : kAllApps) {
+    std::vector<std::string> row{app_full_name(app)};
+    double sum = 0.0;
+    for (SizeClass size : kAllSizes) {
+      const double s = bench::tuned_speedup(
+          platform, sim::suite_workload(app, flavor, platform, size));
+      row.push_back(stats::Table::fmt(s, 2));
+      sum += s;
+    }
+    const double mean = sum / 3.0;
+    row.push_back(stats::Table::fmt(mean, 2));
+    table.add_row(std::move(row));
+    grand += mean;
+    faster += mean > 1.0;
+  }
+  bench::print(table);
+  std::cout << "suite average " << stats::Table::fmt(grand / 6.0, 2) << "x, "
+            << faster << "/6 apps faster   (paper: " << paper_note << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("RAMR vs Phoenix++ on the Haswell server model "
+                "(speedup > 1 means RAMR is faster)",
+                "Fig. 8a / Fig. 8b");
+  run_flavor(PlatformId::kHaswell, ContainerFlavor::kDefault, "Fig. 8a",
+             "KM 1.95x, MM 1.77x, PCA ~1x, WC 0.78x, HG ~1/3x, LR ~1/3.8x");
+  run_flavor(PlatformId::kHaswell, ContainerFlavor::kHash, "Fig. 8b",
+             "5/6 faster, 1.57x average, MM max 2.46x, PCA 0.80x");
+  return 0;
+}

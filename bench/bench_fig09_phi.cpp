@@ -1,0 +1,52 @@
+// Fig. 9: RAMR execution-time speedup over Phoenix++ on the Xeon Phi model
+// for Small/Medium/Large inputs — (a) default containers, (b) hash
+// containers.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+namespace {
+
+void run_flavor(ContainerFlavor flavor, const char* figure,
+                const char* paper_note) {
+  std::cout << "\n--- " << figure << ": " << to_string(flavor)
+            << " containers ---\n";
+  stats::Table table({"app", "small", "medium", "large", "mean"});
+  double grand = 0.0;
+  int faster = 0;
+  for (AppId app : kAllApps) {
+    std::vector<std::string> row{app_full_name(app)};
+    double sum = 0.0;
+    for (SizeClass size : kAllSizes) {
+      const double s = bench::tuned_speedup(
+          PlatformId::kXeonPhi,
+          sim::suite_workload(app, flavor, PlatformId::kXeonPhi, size));
+      row.push_back(stats::Table::fmt(s, 2));
+      sum += s;
+    }
+    const double mean = sum / 3.0;
+    row.push_back(stats::Table::fmt(mean, 2));
+    table.add_row(std::move(row));
+    grand += mean;
+    faster += mean > 1.0;
+  }
+  bench::print(table);
+  std::cout << "suite average " << stats::Table::fmt(grand / 6.0, 2) << "x, "
+            << faster << "/6 apps faster   (paper: " << paper_note << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("RAMR vs Phoenix++ on the Xeon Phi co-processor model "
+                "(speedup > 1 means RAMR is faster)",
+                "Fig. 9a / Fig. 9b");
+  run_flavor(ContainerFlavor::kDefault, "Fig. 9a",
+             "WC 1.59x, KM 2.8x, MM 1.52x, PCA ~1x, HG 1/2.84x, LR 1/2.87x");
+  run_flavor(ContainerFlavor::kHash, "Fig. 9b",
+             "5/6 faster, 2.6x average, 5.34x maximum");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Native measurement: real wall-clock of the functional RAMR runtime vs the
+// Phoenix++ baseline on THIS host, for all six suite apps. Inputs are the
+// Table I small sizes divided by RAMR_BENCH_SCALE (default 4096 so the
+// whole suite finishes in seconds on a laptop; set RAMR_BENCH_SCALE=1 on a
+// real server to run paper-sized inputs). Each cell is the mean of
+// RAMR_BENCH_REPS runs (default 3; the paper used 20).
+//
+// NOTE: parallel speedups are only meaningful on a multicore host; on a
+// single-core CI machine this bench validates functionality and overhead
+// accounting, while the figure benches (simulator-driven) reproduce the
+// paper's numbers.
+#include <iostream>
+
+#include "apps/suite.hpp"
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/timing.hpp"
+#include "core/runtime.hpp"
+#include "phoenix/runtime.hpp"
+#include "stats/runstats.hpp"
+#include "topology/topology.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+namespace {
+
+struct Measurement {
+  stats::RunStats phoenix;
+  stats::RunStats ramr;
+  stats::RunStats phoenix_mc_fraction;  // native Fig. 1 analog
+};
+
+template <typename App>
+Measurement measure(const App& app, const typename App::input_type& input,
+                    std::size_t reps) {
+  const auto topo = topo::host();
+  const std::size_t cpus = topo.num_logical();
+
+  phoenix::Options po;
+  po.num_workers = std::max<std::size_t>(2, cpus);
+  po.pin_policy = PinPolicy::kOsDefault;
+  phoenix::Runtime<App> baseline(topo, po);
+
+  RuntimeConfig rc;
+  rc.num_mappers = std::max<std::size_t>(1, cpus / 2);
+  rc.num_combiners = std::max<std::size_t>(1, cpus / 2);
+  rc.pin_policy = cpus >= 4 ? PinPolicy::kRamrPaired : PinPolicy::kOsDefault;
+  rc.batch_size = 256;
+  core::Runtime<App> ours(topo, rc);
+
+  Measurement m;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto base_result = baseline.run(app, input);
+    m.phoenix.add(base_result.timers.total());
+    m.phoenix_mc_fraction.add(
+        base_result.timers.fraction(Phase::kMapCombine));
+    m.ramr.add(ours.run(app, input).timers.total());
+  }
+  return m;
+}
+
+void report(stats::Table& table, const char* name, const Measurement& m) {
+  table.add_row({name, stats::Table::fmt(m.phoenix.mean() * 1e3, 2),
+                 stats::Table::fmt(m.ramr.mean() * 1e3, 2),
+                 stats::Table::fmt(m.phoenix.mean() / m.ramr.mean(), 2),
+                 stats::Table::fmt(100.0 * m.phoenix_mc_fraction.mean(), 1) +
+                     "%",
+                 stats::Table::fmt(100.0 * m.phoenix.cv(), 1) + "% / " +
+                     stats::Table::fmt(100.0 * m.ramr.cv(), 1) + "%"});
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t scale = env::get_uint("RAMR_BENCH_SCALE", 4096);
+  const std::size_t reps =
+      static_cast<std::size_t>(env::get_uint("RAMR_BENCH_REPS", 3));
+  bench::banner("Native wall-clock on this host: RAMR vs Phoenix++ "
+                "(Table I small inputs / " +
+                    std::to_string(scale) + ", " + std::to_string(reps) +
+                    " reps)",
+                "methodology of Figs. 8/9, run natively");
+  std::cout << "host: " << topo::host().summary() << "\n\n";
+
+  stats::Table table({"app", "phoenix++ (ms)", "ramr (ms)", "speedup",
+                      "map-combine share", "cv phoenix/ramr"});
+  const PlatformId p = PlatformId::kHaswell;
+
+  {
+    const auto in = make_wc_input(
+        table1_input(AppId::kWordCount, p, SizeClass::kSmall), scale);
+    report(table, "Word Count",
+           measure(WordCountApp<ContainerFlavor::kDefault>{}, in, reps));
+  }
+  {
+    auto in = make_km_input(table1_input(AppId::kKMeans, p, SizeClass::kSmall),
+                            scale);
+    KMeansApp<ContainerFlavor::kDefault> app;
+    app.num_clusters = in.centroids.size();
+    report(table, "KMeans", measure(app, in, reps));
+  }
+  {
+    const auto in = make_hg_input(
+        table1_input(AppId::kHistogram, p, SizeClass::kSmall), scale);
+    report(table, "Histogram",
+           measure(HistogramApp<ContainerFlavor::kDefault>{}, in, reps));
+  }
+  {
+    const auto in = make_pca_input(
+        table1_input(AppId::kPca, p, SizeClass::kSmall), scale);
+    PcaCovApp<ContainerFlavor::kDefault> app;
+    app.rows = in.matrix.rows;
+    report(table, "PCA", measure(app, in, reps));
+  }
+  {
+    const auto in = make_mm_input(
+        table1_input(AppId::kMatrixMultiply, p, SizeClass::kSmall), scale);
+    MatrixMultiplyApp<ContainerFlavor::kDefault> app;
+    app.rows_a = in.a.rows;
+    app.cols_b = in.b.cols;
+    report(table, "Matrix Multiply", measure(app, in, reps));
+  }
+  {
+    const auto in = make_lr_input(
+        table1_input(AppId::kLinearRegression, p, SizeClass::kSmall), scale);
+    report(table, "Linear Regression",
+           measure(LinearRegressionApp<ContainerFlavor::kDefault>{}, in,
+                   reps));
+  }
+  bench::print(table);
+  std::cout << "\n(speedup > 1: RAMR faster than the baseline on this host)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Native analog of Fig. 4: the synthetic suite on the REAL runtime — actual
+// trig/exp map kernels, actual pointer-chase combine kernels, actual SPSC
+// pipelines — sweeping the combine intensity for mapper:combiner ratios
+// 3:1 / 2:1 / 1:1 plus the Phoenix++ baseline. On a multicore host the
+// ratio crossover of Fig. 4 appears in wall-clock; on a single-core CI
+// machine the run still validates the full path end-to-end (the simulator
+// bench bench_fig04_synthetic_ratio carries the figure reproduction).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "core/runtime.hpp"
+#include "phoenix/runtime.hpp"
+#include "synth/synth_app.hpp"
+#include "topology/topology.hpp"
+
+using namespace ramr;
+
+int main() {
+  const std::uint64_t elements =
+      env::get_uint("RAMR_SYNTH_ELEMENTS", 20000);
+  bench::banner("Native synthetic sweep: CPU map x memory combine on this "
+                "host (" + std::to_string(elements) + " elements; ms)",
+                "Fig. 4's methodology, run natively");
+  std::cout << "host: " << topo::host().summary() << "\n\n";
+
+  synth::SynthApp app;
+  app.container_keys = 64;
+
+  stats::Table table({"combine intensity", "ratio 1:1", "ratio 2:1",
+                      "ratio 3:1", "phoenix++"});
+  for (std::uint64_t intensity : {1u, 4u, 16u, 64u}) {
+    synth::SynthParams params;
+    params.map_kind = synth::WorkKind::kCpu;
+    params.map_intensity = 24;
+    params.combine_kind = synth::WorkKind::kMemory;
+    params.combine_intensity = intensity;
+    params.elements = elements;
+    params.keys = 64;
+    params.split_elements = 1000;
+    params.arena_bytes = 1 << 20;
+
+    std::vector<std::string> row{std::to_string(intensity)};
+    for (std::size_t ratio : {1u, 2u, 3u}) {
+      RuntimeConfig cfg;
+      cfg.num_combiners = 1;
+      cfg.num_mappers = ratio;
+      cfg.pin_policy = PinPolicy::kOsDefault;
+      cfg.batch_size = 256;
+      core::Runtime<synth::SynthApp> rt(topo::host(), cfg);
+      row.push_back(
+          stats::Table::fmt(rt.run(app, params).timers.total() * 1e3, 2));
+    }
+    phoenix::Options po;
+    po.num_workers = 4;
+    po.pin_policy = PinPolicy::kOsDefault;
+    phoenix::Runtime<synth::SynthApp> baseline(topo::host(), po);
+    row.push_back(
+        stats::Table::fmt(baseline.run(app, params).timers.total() * 1e3, 2));
+    table.add_row(std::move(row));
+  }
+  bench::print(table);
+  std::cout << "\n(each RAMR column uses one combiner and `ratio` mappers; "
+               "per-thread efficiency is what\n the ratio trades — compare "
+               "columns per row on a machine with >= 4 cores)\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks of the SPSC ring (google-benchmark): single-threaded
+// push/pop cost, batched vs element-wise consumption, capacity effects, and
+// the fixed ring vs the mutex-based dynamic queue (the paper's Sec. III-A
+// rationale for static allocation).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "spsc/dynamic_queue.hpp"
+#include "spsc/lamport.hpp"
+#include "spsc/ring.hpp"
+
+namespace {
+
+using ramr::spsc::DynamicQueue;
+using ramr::spsc::LamportQueue;
+using ramr::spsc::Ring;
+
+void BM_RingPushPop(benchmark::State& state) {
+  Ring<std::uint64_t> ring(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t v = 0;
+  std::uint64_t out = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(v++));
+    benchmark::DoNotOptimize(ring.try_pop(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingPushPop)->Arg(64)->Arg(5000)->Arg(65536);
+
+void BM_RingBatchedConsume(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  Ring<std::uint64_t> ring(8192);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::uint64_t v = 0;
+    while (ring.try_push(v)) ++v;
+    state.ResumeTiming();
+    while (ring.consume_batch(
+               [&](std::span<std::uint64_t> block) {
+                 for (std::uint64_t x : block) sink += x;
+               },
+               batch) > 0) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8192);
+}
+BENCHMARK(BM_RingBatchedConsume)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RingElementwisePop(benchmark::State& state) {
+  Ring<std::uint64_t> ring(8192);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::uint64_t v = 0;
+    while (ring.try_push(v)) ++v;
+    state.ResumeTiming();
+    std::uint64_t out;
+    while (ring.try_pop(out)) sink += out;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8192);
+}
+BENCHMARK(BM_RingElementwisePop);
+
+// The plain Lamport queue (no cached indices): every operation reads the
+// opposite side's control variable — the baseline of the paper's "several
+// SPSC buffers" comparison.
+void BM_LamportPushPop(benchmark::State& state) {
+  LamportQueue<std::uint64_t> q(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t v = 0;
+  std::uint64_t out = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_push(std::uint64_t{v++}));
+    benchmark::DoNotOptimize(q.try_pop(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LamportPushPop)->Arg(5000);
+
+// Concurrent producer/consumer throughput: the measurement the paper used
+// to choose its SPSC implementation (Sec. III-A). One producer thread, the
+// benchmark thread consumes.
+template <typename Queue>
+void concurrent_transfer(benchmark::State& state, Queue& q,
+                         std::size_t elements) {
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    std::thread producer([&] {
+      for (std::uint64_t i = 0; i < elements; ++i) {
+        while (!q.try_push(std::uint64_t{i})) {
+          std::this_thread::yield();
+        }
+      }
+      done.store(true);
+    });
+    std::uint64_t sink = 0;
+    std::uint64_t out;
+    std::uint64_t received = 0;
+    while (received < elements) {
+      if (q.try_pop(out)) {
+        sink += out;
+        ++received;
+      } else if (!done.load()) {
+        std::this_thread::yield();
+      }
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elements));
+}
+
+void BM_RingConcurrent(benchmark::State& state) {
+  Ring<std::uint64_t> q(5000);
+  concurrent_transfer(state, q, 100000);
+}
+BENCHMARK(BM_RingConcurrent)->Unit(benchmark::kMillisecond);
+
+void BM_LamportConcurrent(benchmark::State& state) {
+  LamportQueue<std::uint64_t> q(5000);
+  concurrent_transfer(state, q, 100000);
+}
+BENCHMARK(BM_LamportConcurrent)->Unit(benchmark::kMillisecond);
+
+void BM_DynamicQueuePushPop(benchmark::State& state) {
+  DynamicQueue<std::uint64_t> q(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_push(v++));
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynamicQueuePushPop)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table I: input sizes used in the experimental evaluation — prints the
+// registry and validates that the generator bridges produce inputs of the
+// advertised (scaled) sizes.
+#include <iostream>
+
+#include "apps/suite.hpp"
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+int main() {
+  bench::banner("Input sizes per application, platform and size class",
+                "Table I");
+
+  stats::Table table({"test-case", "small HWL", "small PHI", "medium HWL",
+                      "medium PHI", "large HWL", "large PHI"});
+  for (AppId app : kAllApps) {
+    std::vector<std::string> row{app_full_name(app)};
+    for (SizeClass size : kAllSizes) {
+      for (PlatformId platform :
+           {PlatformId::kHaswell, PlatformId::kXeonPhi}) {
+        row.push_back(table1_input(app, platform, size).describe(app));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print(table);
+
+  // Validate the generator bridges on heavily scaled-down inputs (full
+  // Table I sizes are for the modelled machines, not a CI laptop).
+  const std::uint64_t divisor = 8192;
+  std::cout << "\nGenerator validation (sizes divided by " << divisor
+            << "):\n";
+  const auto wc = make_wc_input(
+      table1_input(AppId::kWordCount, PlatformId::kHaswell, SizeClass::kSmall),
+      divisor);
+  std::cout << "  wc:  " << wc.text.size() << " bytes of text\n";
+  const auto hg = make_hg_input(
+      table1_input(AppId::kHistogram, PlatformId::kHaswell, SizeClass::kSmall),
+      divisor);
+  std::cout << "  hg:  " << hg.bytes.size() << " pixel bytes\n";
+  const auto lr = make_lr_input(table1_input(AppId::kLinearRegression,
+                                             PlatformId::kHaswell,
+                                             SizeClass::kSmall),
+                                divisor);
+  std::cout << "  lr:  " << lr.points.size() << " points\n";
+  const auto km = make_km_input(
+      table1_input(AppId::kKMeans, PlatformId::kHaswell, SizeClass::kSmall),
+      divisor);
+  std::cout << "  km:  " << km.points.size() << " points, "
+            << km.centroids.size() << " clusters\n";
+  const auto pca = make_pca_input(
+      table1_input(AppId::kPca, PlatformId::kHaswell, SizeClass::kSmall),
+      divisor);
+  std::cout << "  pca: " << pca.matrix.rows << "x" << pca.matrix.cols
+            << " matrix\n";
+  const auto mm = make_mm_input(table1_input(AppId::kMatrixMultiply,
+                                             PlatformId::kHaswell,
+                                             SizeClass::kSmall),
+                                divisor);
+  std::cout << "  mm:  " << mm.a.rows << "x" << mm.a.cols << " * " << mm.b.rows
+            << "x" << mm.b.cols << " matrices\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the same rows/series the paper's table or figure
+// reports. Figure benches are driven by the platform simulator (the paper's
+// machines are modelled, not assumed — see DESIGN.md); bench_native_runtime
+// measures real wall-clock on the host.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/env.hpp"
+#include "sim/machine.hpp"
+#include "sim/model.hpp"
+#include "sim/workload.hpp"
+#include "stats/table.hpp"
+
+namespace ramr::bench {
+
+// RAMR_BENCH_CSV=1 switches every bench table to CSV (for plotting).
+inline bool csv_mode() {
+  static const bool on = env::get_bool("RAMR_BENCH_CSV", false);
+  return on;
+}
+
+inline void print(const stats::Table& table) {
+  if (csv_mode()) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void print_series(const std::string& x_label,
+                         const std::vector<stats::Series>& series,
+                         int precision = 3) {
+  if (csv_mode()) {
+    stats::Table t([&] {
+      std::vector<std::string> header{x_label};
+      for (const auto& s : series) header.push_back(s.name);
+      return header;
+    }());
+    if (!series.empty()) {
+      for (std::size_t i = 0; i < series.front().x.size(); ++i) {
+        std::vector<std::string> row{
+            stats::Table::fmt(series.front().x[i], precision)};
+        for (const auto& s : series) {
+          row.push_back(stats::Table::fmt(s.y[i], precision));
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    t.print_csv(std::cout);
+  } else {
+    stats::print_series(std::cout, x_label, series, precision);
+  }
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << ")\n"
+            << "================================================================\n";
+}
+
+// Default batch sizes the paper found best per platform (Sec. IV-C).
+inline std::size_t default_batch(apps::PlatformId platform) {
+  return platform == apps::PlatformId::kHaswell ? 1000 : 200;
+}
+
+inline const sim::SimMachine& machine_of(apps::PlatformId platform) {
+  static const sim::SimMachine hwl = sim::haswell();
+  static const sim::SimMachine phi = sim::xeon_phi();
+  return platform == apps::PlatformId::kHaswell ? hwl : phi;
+}
+
+// RAMR-vs-Phoenix++ speedup with the per-workload tuned ratio.
+inline double tuned_speedup(apps::PlatformId platform,
+                            const sim::SimWorkload& workload) {
+  const sim::SimMachine& m = machine_of(platform);
+  sim::RamrConfig base;
+  base.batch = default_batch(platform);
+  return sim::ramr_speedup(m, workload, sim::tuned_config(m, workload, base));
+}
+
+}  // namespace ramr::bench

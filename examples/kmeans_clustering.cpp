@@ -1,0 +1,60 @@
+// KMeans clustering end-to-end: one RAMR MapReduce job per Lloyd iteration,
+// reusing the same runtime (and its pinned thread pools) across iterations,
+// until the centroids stop moving.
+#include <cmath>
+#include <iostream>
+
+#include "apps/kmeans.hpp"
+#include "core/runtime.hpp"
+#include "stats/table.hpp"
+#include "topology/topology.hpp"
+
+using namespace ramr;
+using namespace ramr::apps;
+
+int main() {
+  constexpr std::size_t kClusters = 8;
+  KmInput input;
+  input.points = make_points(200000, kClusters, /*seed=*/7);
+  input.centroids = initial_centroids(input.points, kClusters);
+  input.split_points = 8192;
+
+  KMeansApp<ContainerFlavor::kDefault> app;
+  app.num_clusters = kClusters;
+
+  RuntimeConfig config;
+  config.mapper_combiner_ratio = 2;
+  config.pin_policy = PinPolicy::kOsDefault;
+  core::Runtime<KMeansApp<ContainerFlavor::kDefault>> runtime(topo::host(),
+                                                              config);
+
+  std::cout << "clustering " << input.points.size() << " points into "
+            << kClusters << " clusters\n";
+  double shift = 1e30;
+  int iteration = 0;
+  while (shift > 1e-3 && iteration < 50) {
+    const auto result = runtime.run(app, input);
+    const auto next = km_next_centroids(result.pairs, input.centroids);
+    shift = 0.0;
+    for (std::size_t k = 0; k < next.size(); ++k) {
+      for (std::size_t d = 0; d < kKmDim; ++d) {
+        shift += std::abs(next[k].coord[d] - input.centroids[k].coord[d]);
+      }
+    }
+    input.centroids = next;
+    ++iteration;
+    std::cout << "  iteration " << iteration << ": total centroid shift "
+              << stats::Table::fmt(shift, 4) << '\n';
+  }
+
+  std::cout << "\nconverged after " << iteration << " iterations:\n";
+  stats::Table table({"cluster", "x", "y", "z"});
+  for (std::size_t k = 0; k < kClusters; ++k) {
+    table.add_row({std::to_string(k),
+                   stats::Table::fmt(input.centroids[k].coord[0], 2),
+                   stats::Table::fmt(input.centroids[k].coord[1], 2),
+                   stats::Table::fmt(input.centroids[k].coord[2], 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Platform explorer: prints the host topology, the thridtocpu() proximity
+// remap, and the pinning plans the three policies would produce — then
+// contrasts the two modelled evaluation platforms (Haswell server and Xeon
+// Phi) on a reference workload.
+#include <iostream>
+
+#include "apps/suite.hpp"
+#include "sim/model.hpp"
+#include "stats/table.hpp"
+#include "topology/pinning.hpp"
+
+using namespace ramr;
+
+namespace {
+
+void show_plan(const topo::Topology& topology, PinPolicy policy,
+               std::size_t mappers, std::size_t combiners) {
+  try {
+    const auto plan = topo::make_plan(topology, policy, mappers, combiners);
+    std::cout << "  " << plan.summary(topology) << '\n';
+  } catch (const Error& e) {
+    std::cout << "  policy " << to_string(policy) << ": " << e.what() << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  // --- host ---------------------------------------------------------------
+  const topo::Topology host = topo::host();
+  std::cout << "host: " << host.summary() << '\n';
+  const auto order = host.proximity_order();
+  std::cout << "thridtocpu() proximity order:";
+  for (std::size_t i = 0; i < order.size() && i < 16; ++i) {
+    std::cout << ' ' << order[i];
+  }
+  if (order.size() > 16) std::cout << " ...";
+  std::cout << "\n\npinning plans on the host (ratio 2, machine-filling):\n";
+  const std::size_t groups = std::max<std::size_t>(1, host.num_logical() / 3);
+  for (PinPolicy p : {PinPolicy::kRamrPaired, PinPolicy::kRoundRobin,
+                      PinPolicy::kOsDefault}) {
+    show_plan(host, p, groups * 2, groups);
+  }
+
+  // --- the two modelled evaluation platforms -------------------------------
+  std::cout << "\nmodelled platforms (paper Sec. IV-A):\n";
+  for (const auto& machine : {sim::haswell(), sim::xeon_phi()}) {
+    std::cout << "  " << machine.topology.summary() << '\n';
+  }
+
+  std::cout << "\nKMeans (large) on both platforms, RAMR vs Phoenix++:\n";
+  stats::Table table({"platform", "phoenix (ms)", "ramr (ms)", "speedup",
+                      "tuned ratio"});
+  for (auto [machine, platform] :
+       {std::pair{sim::haswell(), apps::PlatformId::kHaswell},
+        {sim::xeon_phi(), apps::PlatformId::kXeonPhi}}) {
+    const auto w =
+        sim::suite_workload(apps::AppId::kKMeans, apps::ContainerFlavor::kDefault,
+                            platform, apps::SizeClass::kLarge);
+    const auto cfg = sim::tuned_config(machine, w, sim::RamrConfig{});
+    const double base = sim::simulate_phoenix(machine, w).phases.total();
+    const double ours = sim::simulate_ramr(machine, w, cfg).phases.total();
+    table.add_row({machine.name, stats::Table::fmt(base * 1e3, 1),
+                   stats::Table::fmt(ours * 1e3, 1),
+                   stats::Table::fmt(base / ours, 2),
+                   std::to_string(cfg.ratio)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Container flavor selection for the suite apps.
+//
+// The paper evaluates each application twice: once with its *default*
+// container (thread-local fixed array — the key range is known a priori —
+// except Word Count, which defaults to a hash table) and once with a
+// memory-stressing *hash* flavor (fixed-size hash tables for HG, KM, LR,
+// WC; regular, resizable hash tables for MM and PCA) — Figs. 8-10.
+#pragma once
+
+namespace ramr::apps {
+
+enum class ContainerFlavor {
+  kDefault,  // fixed array (WC: regular hash)
+  kHash,     // fixed-size hash (MM/PCA: regular hash)
+};
+
+inline const char* to_string(ContainerFlavor f) {
+  return f == ContainerFlavor::kDefault ? "default" : "hash";
+}
+
+}  // namespace ramr::apps

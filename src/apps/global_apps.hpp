@@ -1,0 +1,54 @@
+// Global-container variants of the suite apps that fit the MRPhi design
+// (atomic fetch-ops over an a-priori key range): Histogram and Linear
+// Regression. They delegate their map bodies to the canonical apps, so the
+// three runtimes (Phoenix++, RAMR, MRPhi-style) run byte-identical map
+// code over byte-identical inputs.
+#pragma once
+
+#include "apps/histogram.hpp"
+#include "apps/linear_regression.hpp"
+#include "containers/atomic_array_container.hpp"
+
+namespace ramr::apps {
+
+struct HistogramGlobalApp {
+  using input_type = PixelInput;
+  using container_type =
+      containers::AtomicArrayContainer<std::uint64_t,
+                                       containers::AtomicOp::kAdd>;
+
+  HistogramApp<ContainerFlavor::kDefault> base;
+
+  std::size_t num_splits(const input_type& in) const {
+    return base.num_splits(in);
+  }
+  container_type make_global_container() const {
+    return container_type(kHistogramBins);
+  }
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    base.map(in, split, emit);
+  }
+};
+
+struct LinearRegressionGlobalApp {
+  using input_type = LrInput;
+  using container_type =
+      containers::AtomicArrayContainer<std::int64_t,
+                                       containers::AtomicOp::kAdd>;
+
+  LinearRegressionApp<ContainerFlavor::kDefault> base;
+
+  std::size_t num_splits(const input_type& in) const {
+    return base.num_splits(in);
+  }
+  container_type make_global_container() const {
+    return container_type(kLrKeys);
+  }
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    base.map(in, split, emit);
+  }
+};
+
+}  // namespace ramr::apps

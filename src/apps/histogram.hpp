@@ -1,0 +1,70 @@
+// Histogram (HG) — image-processing suite app.
+//
+// Builds the 3x256-bin per-channel histogram of an interleaved RGB pixel
+// byte stream. Keys are channel*256 + intensity, i.e. the range [0, 768) is
+// known a priori, so the default container is the thread-local fixed array;
+// the hash flavor is a fixed-size hash table over the same 768 keys.
+//
+// HG is one of the paper's two "light workload" apps: one trivial emission
+// per input byte, so the SPSC-queue cost dominates under RAMR (Figs. 8/9
+// show a ~3x slowdown) — it is the negative control of the evaluation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <type_traits>
+#include <vector>
+
+#include "apps/flavor.hpp"
+#include "containers/combiners.hpp"
+#include "containers/fixed_array_container.hpp"
+#include "containers/hash_container.hpp"
+
+namespace ramr::apps {
+
+inline constexpr std::size_t kHistogramBins = 3 * 256;
+
+struct PixelInput {
+  std::vector<std::uint8_t> bytes;  // interleaved R,G,B
+  std::size_t split_bytes = 64 * 1024;
+};
+
+template <ContainerFlavor F>
+struct HistogramApp {
+  static constexpr const char* kName = "hg";
+
+  using input_type = PixelInput;
+  using container_type = std::conditional_t<
+      F == ContainerFlavor::kDefault,
+      containers::FixedArrayContainer<std::uint64_t,
+                                      containers::CountCombiner>,
+      containers::FixedHashContainer<std::uint64_t, std::uint64_t,
+                                     containers::CountCombiner>>;
+
+  std::size_t num_splits(const input_type& in) const {
+    if (in.bytes.empty()) return 0;
+    return (in.bytes.size() + in.split_bytes - 1) / in.split_bytes;
+  }
+
+  container_type make_container() const {
+    return container_type(kHistogramBins);
+  }
+
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    const std::size_t begin = split * in.split_bytes;
+    const std::size_t end =
+        std::min(begin + in.split_bytes, in.bytes.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t channel = i % 3;
+      emit(channel * 256 + in.bytes[i], std::uint64_t{1});
+    }
+  }
+};
+
+// Serial reference: bin -> count for all non-empty bins.
+std::map<std::uint64_t, std::uint64_t> histogram_reference(
+    const PixelInput& in);
+
+}  // namespace ramr::apps

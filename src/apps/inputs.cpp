@@ -1,0 +1,144 @@
+#include "apps/inputs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ramr::apps {
+
+namespace {
+
+// Zipf(1.0) sampler over ranks [0, n): inverse-CDF over the harmonic sums,
+// precomputed once per generator call.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(std::size_t n) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += 1.0 / static_cast<double>(r + 1);
+      cdf_[r] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  std::size_t sample(double u) const {
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Deterministic pseudo-word for a vocabulary rank: 3-9 lowercase letters.
+std::string word_for_rank(std::size_t rank) {
+  SplitMix64 sm(0x5eedull * (rank + 1));
+  const std::size_t len = 3 + sm.next() % 7;
+  std::string w(len, 'a');
+  for (char& c : w) c = static_cast<char>('a' + sm.next() % 26);
+  return w;
+}
+
+}  // namespace
+
+std::string make_text(std::size_t approx_bytes, std::size_t vocabulary,
+                      std::uint64_t seed) {
+  if (vocabulary == 0) throw Error("make_text: vocabulary must be >= 1");
+  std::vector<std::string> words(vocabulary);
+  for (std::size_t r = 0; r < vocabulary; ++r) words[r] = word_for_rank(r);
+  const ZipfSampler zipf(vocabulary);
+  Xoshiro256 rng(seed);
+  std::string text;
+  text.reserve(approx_bytes + 16);
+  while (text.size() < approx_bytes) {
+    const std::string& w = words[zipf.sample(rng.uniform())];
+    text += w;
+    text += ' ';
+  }
+  if (!text.empty()) text.pop_back();  // drop the trailing space
+  return text;
+}
+
+std::vector<std::uint8_t> make_pixels(std::size_t bytes, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> px(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    // 70% from three humps (sums of uniforms approximate gaussians),
+    // 30% uniform floor.
+    if (rng.uniform() < 0.7) {
+      const std::uint64_t centre = 48 + 80 * rng.below(3);
+      const std::int64_t jitter = static_cast<std::int64_t>(rng.below(33)) +
+                                  static_cast<std::int64_t>(rng.below(33)) -
+                                  32;
+      const std::int64_t v =
+          static_cast<std::int64_t>(centre) + jitter;
+      px[i] = static_cast<std::uint8_t>(std::clamp<std::int64_t>(v, 0, 255));
+    } else {
+      px[i] = static_cast<std::uint8_t>(rng.below(256));
+    }
+  }
+  return px;
+}
+
+std::vector<KmPoint> make_points(std::size_t num_points,
+                                 std::size_t num_clusters,
+                                 std::uint64_t seed) {
+  if (num_clusters == 0) throw Error("make_points: need >= 1 cluster");
+  Xoshiro256 rng(seed);
+  // Well-separated cluster centres in [0, 100)^3.
+  std::vector<KmPoint> centres(num_clusters);
+  for (auto& c : centres) {
+    for (auto& x : c.coord) x = static_cast<float>(rng.uniform(0.0, 100.0));
+  }
+  std::vector<KmPoint> points(num_points);
+  for (auto& p : points) {
+    const KmPoint& c = centres[rng.below(num_clusters)];
+    for (std::size_t d = 0; d < kKmDim; ++d) {
+      p.coord[d] = c.coord[d] + static_cast<float>(rng.uniform(-3.0, 3.0));
+    }
+  }
+  return points;
+}
+
+std::vector<KmPoint> initial_centroids(const std::vector<KmPoint>& points,
+                                       std::size_t num_clusters) {
+  if (points.size() < num_clusters) {
+    throw Error("initial_centroids: fewer points than clusters");
+  }
+  std::vector<KmPoint> centroids(num_clusters);
+  // Evenly strided sample, nudged so duplicated points stay distinct.
+  const std::size_t stride = points.size() / num_clusters;
+  for (std::size_t k = 0; k < num_clusters; ++k) {
+    centroids[k] = points[k * stride];
+    centroids[k].coord[0] += 1e-3f * static_cast<float>(k);
+  }
+  return centroids;
+}
+
+std::vector<LrPoint> make_lr_points(std::size_t num_points,
+                                    std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<LrPoint> points(num_points);
+  // y ~ 0.8 x + 12 + noise, x in [-1000, 1000).
+  for (auto& p : points) {
+    const double x = rng.uniform(-1000.0, 1000.0);
+    const double y = 0.8 * x + 12.0 + rng.uniform(-40.0, 40.0);
+    p.x = static_cast<std::int16_t>(x);
+    p.y = static_cast<std::int16_t>(y);
+  }
+  return points;
+}
+
+Matrix make_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.data.resize(rows * cols);
+  Xoshiro256 rng(seed);
+  for (double& v : m.data) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+}  // namespace ramr::apps

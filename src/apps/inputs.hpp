@@ -1,0 +1,76 @@
+// Deterministic input generators for the six suite applications.
+//
+// The paper's inputs are synthetic/benchmark files of the sizes in Table I;
+// we generate equivalents: zipf-distributed text for Word Count, uniform
+// pixel bytes for Histogram, clustered points for KMeans, uniform points
+// for Linear Regression, and dense matrices for PCA / Matrix Multiply. All
+// generators are pure functions of (size, seed).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ramr::apps {
+
+// ---- Word Count ------------------------------------------------------------
+
+// Space-separated words drawn from a `vocabulary`-word list with a Zipf-like
+// (1/rank) frequency distribution — natural text is Zipfian, and a skewed
+// key histogram is what makes WC's combiners earn their keep.
+std::string make_text(std::size_t approx_bytes, std::size_t vocabulary,
+                      std::uint64_t seed);
+
+// ---- Histogram ---------------------------------------------------------------
+
+// Interleaved RGB pixel bytes (3 channels). Values are drawn from a mixture
+// of a uniform floor and a few gaussian-ish humps so the 768-bin histogram
+// is non-trivial.
+std::vector<std::uint8_t> make_pixels(std::size_t bytes, std::uint64_t seed);
+
+// ---- KMeans -------------------------------------------------------------------
+
+inline constexpr std::size_t kKmDim = 3;
+
+struct KmPoint {
+  std::array<float, kKmDim> coord;
+};
+
+// `num_points` points grouped around `num_clusters` well-separated centres.
+std::vector<KmPoint> make_points(std::size_t num_points,
+                                 std::size_t num_clusters, std::uint64_t seed);
+
+// Initial centroids: the first `num_clusters` distinct generated points
+// perturbed — deterministic, reasonable seeding for the iterative solver.
+std::vector<KmPoint> initial_centroids(const std::vector<KmPoint>& points,
+                                       std::size_t num_clusters);
+
+// ---- Linear Regression ----------------------------------------------------------
+
+struct LrPoint {
+  std::int16_t x;
+  std::int16_t y;
+};
+
+// Points around the line y = a*x + b with noise; 4 bytes per point, so the
+// paper's "N MB" inputs map to N*1024*1024/4 points.
+std::vector<LrPoint> make_lr_points(std::size_t num_points,
+                                    std::uint64_t seed);
+
+// ---- matrices (PCA, Matrix Multiply) -----------------------------------------------
+
+// Row-major dense matrix of doubles in [-1, 1).
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;
+
+  double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+  double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+};
+
+Matrix make_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+}  // namespace ramr::apps

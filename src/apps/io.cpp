@@ -1,0 +1,48 @@
+#include "apps/io.hpp"
+
+#include <iterator>
+
+#include "common/error.hpp"
+
+namespace ramr::apps {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw Error("read of '" + path + "' failed");
+  return data;
+}
+
+}  // namespace
+
+TextInput load_text_file(const std::string& path, std::size_t split_bytes,
+                         bool fold_words) {
+  TextInput input;
+  input.text = read_file(path);
+  input.split_bytes = split_bytes;
+  if (fold_words) {
+    normalize_words(input.text);
+  } else {
+    for (char& c : input.text) {
+      if (c == '\n' || c == '\r' || c == '\t' || c == '\v' || c == '\f') {
+        c = ' ';
+      }
+    }
+  }
+  return input;
+}
+
+PixelInput load_binary_file(const std::string& path,
+                            std::size_t split_bytes) {
+  const std::string data = read_file(path);
+  PixelInput input;
+  input.bytes.assign(data.begin(), data.end());
+  input.split_bytes = split_bytes;
+  return input;
+}
+
+}  // namespace ramr::apps

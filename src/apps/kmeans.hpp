@@ -1,0 +1,109 @@
+// KMeans (KM) — AI-domain suite app.
+//
+// One MR job per Lloyd iteration: the map phase assigns each point to its
+// nearest centroid and emits (cluster id, partial centroid accumulator);
+// the combiner sums accumulators; dividing sums by counts yields the next
+// centroids. The cluster-id key range is known a priori, so the default
+// container is a fixed array of `k` accumulators; the hash flavor is a
+// fixed-size hash table.
+//
+// KM is one of the paper's best RAMR candidates (Fig. 10: high IPB plus
+// frequent stalls): distance computation is CPU-intensive while combining
+// wide accumulators is memory-intensive — complementary phases.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <type_traits>
+#include <vector>
+
+#include "apps/flavor.hpp"
+#include "apps/inputs.hpp"
+#include "containers/combiners.hpp"
+#include "containers/fixed_array_container.hpp"
+#include "containers/hash_container.hpp"
+
+namespace ramr::apps {
+
+// Partial centroid: coordinate sums plus a point count.
+struct KmAccum {
+  std::array<double, kKmDim> sum{};
+  std::uint64_t n = 0;
+
+  void merge(const KmAccum& o) {
+    for (std::size_t d = 0; d < kKmDim; ++d) sum[d] += o.sum[d];
+    n += o.n;
+  }
+  bool operator==(const KmAccum&) const = default;
+};
+
+struct KmInput {
+  std::vector<KmPoint> points;
+  std::vector<KmPoint> centroids;
+  std::size_t split_points = 4 * 1024;
+};
+
+template <ContainerFlavor F>
+struct KMeansApp {
+  static constexpr const char* kName = "km";
+
+  using input_type = KmInput;
+  using container_type = std::conditional_t<
+      F == ContainerFlavor::kDefault,
+      containers::FixedArrayContainer<KmAccum,
+                                      containers::MergeCombiner<KmAccum>>,
+      containers::FixedHashContainer<std::uint64_t, KmAccum,
+                                     containers::MergeCombiner<KmAccum>>>;
+
+  std::size_t num_clusters = 16;
+
+  std::size_t num_splits(const input_type& in) const {
+    if (in.points.empty()) return 0;
+    return (in.points.size() + in.split_points - 1) / in.split_points;
+  }
+
+  container_type make_container() const {
+    return container_type(num_clusters);
+  }
+
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    const std::size_t begin = split * in.split_points;
+    const std::size_t end =
+        std::min(begin + in.split_points, in.points.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const KmPoint& p = in.points[i];
+      std::size_t best = 0;
+      float best_d2 = std::numeric_limits<float>::max();
+      for (std::size_t k = 0; k < in.centroids.size(); ++k) {
+        float d2 = 0.0f;
+        for (std::size_t d = 0; d < kKmDim; ++d) {
+          const float diff = p.coord[d] - in.centroids[k].coord[d];
+          d2 += diff * diff;
+        }
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = k;
+        }
+      }
+      KmAccum acc;
+      for (std::size_t d = 0; d < kKmDim; ++d) acc.sum[d] = p.coord[d];
+      acc.n = 1;
+      emit(static_cast<std::uint64_t>(best), acc);
+    }
+  }
+};
+
+// Centroid update from the merged accumulators; clusters that captured no
+// points keep their previous centroid.
+std::vector<KmPoint> km_next_centroids(
+    const std::vector<std::pair<std::uint64_t, KmAccum>>& merged,
+    const std::vector<KmPoint>& previous);
+
+// Serial reference for one iteration.
+std::map<std::uint64_t, KmAccum> km_reference(const KmInput& in);
+
+}  // namespace ramr::apps

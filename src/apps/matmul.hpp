@@ -1,0 +1,83 @@
+// Matrix Multiply (MM) — scientific suite app, "adapted to utilize the
+// Map/Reduce semantics" (paper Table I footnote).
+//
+// C = A x B. Each map task owns a chunk of A's rows and emits one (i*N+j,
+// dot product) pair per produced C element. The key range [0, rows_a *
+// cols_b) is known a priori, so the default container is a fixed array the
+// size of the whole output matrix — matching the paper's Sec. IV-E
+// observation that with the array container "each worker thread allocates
+// an array of sufficient capacity to store every element of the output
+// array. However, only a small part of it is used" (each mapper computes a
+// limited key range), which is exactly why MM's stalls *drop* when
+// switching to the right-sized hash container. The hash flavor is a
+// *regular* hash table.
+//
+// MM is the paper's strongest RAMR case with hash containers (2.46x on
+// Haswell): the dot products are CPU-intensive while storing rows of C is
+// memory-intensive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <type_traits>
+#include <vector>
+
+#include "apps/flavor.hpp"
+#include "apps/inputs.hpp"
+#include "containers/combiners.hpp"
+#include "containers/fixed_array_container.hpp"
+#include "containers/hash_container.hpp"
+
+namespace ramr::apps {
+
+struct MmInput {
+  Matrix a;  // rows_a x inner
+  Matrix b;  // inner x cols_b
+  std::size_t split_rows = 8;
+};
+
+template <ContainerFlavor F>
+struct MatrixMultiplyApp {
+  static constexpr const char* kName = "mm";
+
+  using input_type = MmInput;
+  using container_type = std::conditional_t<
+      F == ContainerFlavor::kDefault,
+      containers::FixedArrayContainer<double, containers::SumCombiner<double>>,
+      containers::HashContainer<std::uint64_t, double,
+                                containers::SumCombiner<double>>>;
+
+  std::size_t rows_a = 0;  // must match input shapes (container sizing)
+  std::size_t cols_b = 0;
+
+  std::size_t num_splits(const input_type& in) const {
+    if (in.a.rows == 0) return 0;
+    return (in.a.rows + in.split_rows - 1) / in.split_rows;
+  }
+
+  container_type make_container() const {
+    const std::size_t keys = rows_a * cols_b;
+    return container_type(keys == 0 ? 1 : keys);
+  }
+
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    const std::size_t r0 = split * in.split_rows;
+    const std::size_t r1 = std::min(r0 + in.split_rows, in.a.rows);
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = 0; j < in.b.cols; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < in.a.cols; ++k) {
+          sum += in.a.at(i, k) * in.b.at(k, j);
+        }
+        emit(static_cast<std::uint64_t>(i) * in.b.cols + j, sum);
+      }
+    }
+  }
+};
+
+// Serial reference: the product as a Matrix.
+Matrix mm_reference(const MmInput& in);
+
+}  // namespace ramr::apps

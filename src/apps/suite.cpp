@@ -1,0 +1,202 @@
+#include "apps/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace ramr::apps {
+
+namespace {
+
+constexpr std::uint64_t kMB = 1024ull * 1024ull;
+constexpr std::uint64_t kK = 1000ull;
+
+std::string human_bytes(std::uint64_t bytes) {
+  if (bytes >= 1024 * kMB && bytes % (1024 * kMB) == 0) {
+    return std::to_string(bytes / (1024 * kMB)) + "GB";
+  }
+  if (bytes % kMB == 0) return std::to_string(bytes / kMB) + "MB";
+  return std::to_string(bytes) + "B";
+}
+
+std::string human_count(std::uint64_t n) {
+  if (n >= 1000 * kK && n % (1000 * kK) == 0) {
+    return std::to_string(n / (1000 * kK)) + "M";
+  }
+  if (n % kK == 0) return std::to_string(n / kK) + "K";
+  return std::to_string(n);
+}
+
+}  // namespace
+
+const char* app_name(AppId app) {
+  switch (app) {
+    case AppId::kWordCount: return "wc";
+    case AppId::kKMeans: return "km";
+    case AppId::kHistogram: return "hg";
+    case AppId::kPca: return "pca";
+    case AppId::kMatrixMultiply: return "mm";
+    case AppId::kLinearRegression: return "lr";
+  }
+  return "?";
+}
+
+const char* app_full_name(AppId app) {
+  switch (app) {
+    case AppId::kWordCount: return "Word Count";
+    case AppId::kKMeans: return "KMeans";
+    case AppId::kHistogram: return "Histogram";
+    case AppId::kPca: return "PCA";
+    case AppId::kMatrixMultiply: return "Matrix Multiply";
+    case AppId::kLinearRegression: return "Linear Regression";
+  }
+  return "?";
+}
+
+const char* size_name(SizeClass size) {
+  switch (size) {
+    case SizeClass::kSmall: return "small";
+    case SizeClass::kMedium: return "medium";
+    case SizeClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+const char* platform_name(PlatformId platform) {
+  return platform == PlatformId::kHaswell ? "HWL" : "PHI";
+}
+
+std::string InputSize::describe(AppId app) const {
+  switch (app) {
+    case AppId::kWordCount:
+    case AppId::kHistogram:
+    case AppId::kLinearRegression:
+      return human_bytes(primary);
+    case AppId::kKMeans:
+      return human_count(primary);
+    case AppId::kPca:
+      return std::to_string(primary);
+    case AppId::kMatrixMultiply:
+      return human_count(primary) + "x" + human_count(secondary);
+  }
+  return "?";
+}
+
+InputSize table1_input(AppId app, PlatformId platform, SizeClass size) {
+  const bool hwl = platform == PlatformId::kHaswell;
+  const int s = static_cast<int>(size);  // 0 small, 1 medium, 2 large
+  switch (app) {
+    case AppId::kWordCount:
+    case AppId::kHistogram: {
+      // HWL: 400MB / 800MB / 1.6GB; PHI: 200MB / 400MB / 800MB.
+      static constexpr std::uint64_t hwl_mb[] = {400, 800, 1638};
+      static constexpr std::uint64_t phi_mb[] = {200, 400, 800};
+      const std::uint64_t mb = hwl ? hwl_mb[s] : phi_mb[s];
+      // 1.6GB is stored exactly (1638.4MB rounds to 1.6 * 1024 MB).
+      const std::uint64_t bytes =
+          (hwl && s == 2) ? (16 * 1024 * kMB) / 10 : mb * kMB;
+      return {bytes, 0};
+    }
+    case AppId::kKMeans: {
+      // HWL: 400K / 800K / 2M points; PHI: 200K / 400K / 800K.
+      static constexpr std::uint64_t hwl_pts[] = {400 * kK, 800 * kK,
+                                                  2000 * kK};
+      static constexpr std::uint64_t phi_pts[] = {200 * kK, 400 * kK,
+                                                  800 * kK};
+      return {hwl ? hwl_pts[s] : phi_pts[s], 0};
+    }
+    case AppId::kPca: {
+      // Square matrices: HWL 500 / 800 / 1000; PHI 300 / 500 / 800.
+      static constexpr std::uint64_t hwl_dim[] = {500, 800, 1000};
+      static constexpr std::uint64_t phi_dim[] = {300, 500, 800};
+      const std::uint64_t d = hwl ? hwl_dim[s] : phi_dim[s];
+      return {d, d};
+    }
+    case AppId::kMatrixMultiply: {
+      // Same on both platforms: 2Kx2K / 3Kx2K / 4Kx4K.
+      static constexpr std::uint64_t r[] = {2000, 3000, 4000};
+      static constexpr std::uint64_t c[] = {2000, 2000, 4000};
+      return {r[s], c[s]};
+    }
+    case AppId::kLinearRegression: {
+      // HWL: 200MB / 400MB / 1GB; PHI: 200MB / 400MB / 600MB.
+      static constexpr std::uint64_t hwl_mb[] = {200, 400, 1024};
+      static constexpr std::uint64_t phi_mb[] = {200, 400, 600};
+      return {(hwl ? hwl_mb[s] : phi_mb[s]) * kMB, 0};
+    }
+  }
+  throw Error("table1_input: unknown app");
+}
+
+std::uint64_t bench_scale_from_env() {
+  const std::uint64_t scale = env::get_uint("RAMR_BENCH_SCALE", 1);
+  return scale == 0 ? 1 : scale;
+}
+
+namespace {
+std::uint64_t scaled(std::uint64_t v, std::uint64_t divisor,
+                     std::uint64_t floor) {
+  return std::max<std::uint64_t>(floor, v / (divisor == 0 ? 1 : divisor));
+}
+}  // namespace
+
+TextInput make_wc_input(const InputSize& size, std::uint64_t divisor) {
+  TextInput in;
+  in.text = make_text(scaled(size.primary, divisor, 1024), /*vocabulary=*/2000,
+                      /*seed=*/0x5c0de);
+  return in;
+}
+
+PixelInput make_hg_input(const InputSize& size, std::uint64_t divisor) {
+  PixelInput in;
+  in.bytes = make_pixels(scaled(size.primary, divisor, 3072), 0x819);
+  return in;
+}
+
+LrInput make_lr_input(const InputSize& size, std::uint64_t divisor) {
+  LrInput in;
+  // 4 bytes per LrPoint: the paper's "N MB" inputs are N*MB/4 points.
+  in.points = make_lr_points(scaled(size.primary / 4, divisor, 1024), 0x17);
+  return in;
+}
+
+KmInput make_km_input(const InputSize& size, std::uint64_t divisor,
+                      std::size_t num_clusters) {
+  KmInput in;
+  in.points =
+      make_points(scaled(size.primary, divisor, 256), num_clusters, 0x314);
+  in.centroids = initial_centroids(in.points, num_clusters);
+  return in;
+}
+
+PcaInput make_pca_input(const InputSize& size, std::uint64_t divisor) {
+  // Matrix dimensions scale with the square root of the divisor so the
+  // total work scales roughly linearly with it.
+  const auto shrink = [&](std::uint64_t v) {
+    const double f = std::sqrt(static_cast<double>(divisor == 0 ? 1 : divisor));
+    return std::max<std::uint64_t>(8, static_cast<std::uint64_t>(
+                                          static_cast<double>(v) / f));
+  };
+  PcaInput in;
+  in.matrix = make_matrix(shrink(size.primary), shrink(size.secondary), 0x9ca);
+  in.row_means = pca_row_means(in.matrix);
+  return in;
+}
+
+MmInput make_mm_input(const InputSize& size, std::uint64_t divisor) {
+  const auto shrink = [&](std::uint64_t v) {
+    const double f = std::cbrt(static_cast<double>(divisor == 0 ? 1 : divisor));
+    return std::max<std::uint64_t>(8, static_cast<std::uint64_t>(
+                                          static_cast<double>(v) / f));
+  };
+  MmInput in;
+  const std::size_t rows = shrink(size.primary);
+  const std::size_t cols = shrink(size.secondary);
+  in.a = make_matrix(rows, cols, 0x3a);
+  in.b = make_matrix(cols, rows, 0x3b);
+  return in;
+}
+
+}  // namespace ramr::apps

@@ -1,0 +1,78 @@
+// The benchmark suite registry: the six applications and the Table I input
+// sizes (Small/Medium/Large x Haswell/Xeon Phi).
+//
+// Benches regenerate the paper's tables from this registry; native runs can
+// divide the paper sizes by a scale factor (RAMR_BENCH_SCALE) so the same
+// harness finishes quickly on small machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/histogram.hpp"
+#include "apps/inputs.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/linear_regression.hpp"
+#include "apps/matmul.hpp"
+#include "apps/pca.hpp"
+#include "apps/wordcount.hpp"
+
+namespace ramr::apps {
+
+enum class AppId {
+  kWordCount,
+  kKMeans,
+  kHistogram,
+  kPca,
+  kMatrixMultiply,
+  kLinearRegression,
+};
+
+inline constexpr AppId kAllApps[] = {
+    AppId::kWordCount, AppId::kKMeans,         AppId::kHistogram,
+    AppId::kPca,       AppId::kMatrixMultiply, AppId::kLinearRegression,
+};
+
+enum class SizeClass { kSmall, kMedium, kLarge };
+inline constexpr SizeClass kAllSizes[] = {SizeClass::kSmall,
+                                          SizeClass::kMedium,
+                                          SizeClass::kLarge};
+
+enum class PlatformId { kHaswell, kXeonPhi };
+inline constexpr PlatformId kAllPlatforms[] = {PlatformId::kHaswell,
+                                               PlatformId::kXeonPhi};
+
+const char* app_name(AppId app);        // "wc", "km", ...
+const char* app_full_name(AppId app);   // "Word Count", ...
+const char* size_name(SizeClass size);  // "small", ...
+const char* platform_name(PlatformId platform);  // "HWL" / "PHI"
+
+// One Table I cell. `primary` is bytes (WC/HG/LR), points (KM) or matrix
+// rows (PCA, MM); `secondary` is the second matrix dimension (MM) or zero.
+struct InputSize {
+  std::uint64_t primary = 0;
+  std::uint64_t secondary = 0;
+
+  std::string describe(AppId app) const;  // e.g. "400MB", "400K", "2Kx2K"
+};
+
+// Table I lookup.
+InputSize table1_input(AppId app, PlatformId platform, SizeClass size);
+
+// Default environment knob for scaling native runs (RAMR_BENCH_SCALE,
+// default 1 = paper-size inputs). Returns a divisor >= 1.
+std::uint64_t bench_scale_from_env();
+
+// Generator bridges: build an input of `size` scaled down by `divisor`
+// (>= 1), deterministically seeded per app.
+TextInput make_wc_input(const InputSize& size, std::uint64_t divisor = 1);
+PixelInput make_hg_input(const InputSize& size, std::uint64_t divisor = 1);
+LrInput make_lr_input(const InputSize& size, std::uint64_t divisor = 1);
+KmInput make_km_input(const InputSize& size, std::uint64_t divisor = 1,
+                      std::size_t num_clusters = 16);
+PcaInput make_pca_input(const InputSize& size, std::uint64_t divisor = 1);
+MmInput make_mm_input(const InputSize& size, std::uint64_t divisor = 1);
+
+}  // namespace ramr::apps

@@ -1,0 +1,67 @@
+#include "common/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace ramr::affinity {
+
+bool supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool pin_current_thread(std::size_t cpu) {
+  return pin_current_thread(std::vector<std::size_t>{cpu});
+}
+
+bool pin_current_thread(const std::vector<std::size_t>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (std::size_t cpu : cpus) {
+    if (cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
+std::optional<std::size_t> current_cpu() {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu < 0) return std::nullopt;
+  return static_cast<std::size_t>(cpu);
+#else
+  return std::nullopt;
+#endif
+}
+
+std::size_t usable_cpu_count() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace ramr::affinity

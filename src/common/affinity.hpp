@@ -1,0 +1,32 @@
+// Thread-to-CPU affinity wrapper.
+//
+// The paper pins threads with sched_setaffinity(); this wraps the Linux call
+// and degrades to a no-op on platforms without affinity support so that the
+// functional runtime stays portable.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ramr::affinity {
+
+// True when the platform supports pinning (Linux with sched_setaffinity).
+bool supported();
+
+// Pin the calling thread to the single logical CPU `cpu`. Returns false when
+// pinning is unsupported or the CPU id is not usable on this machine (e.g.
+// the simulator asked for cpu 97 of a modelled Xeon Phi on a small host);
+// the runtime treats that as "run unpinned", never as an error.
+bool pin_current_thread(std::size_t cpu);
+
+// Restrict the calling thread to a CPU set; same failure semantics.
+bool pin_current_thread(const std::vector<std::size_t>& cpus);
+
+// The CPU the calling thread last ran on, if the platform can tell.
+std::optional<std::size_t> current_cpu();
+
+// Number of logical CPUs usable by this process.
+std::size_t usable_cpu_count();
+
+}  // namespace ramr::affinity

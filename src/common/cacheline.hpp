@@ -1,0 +1,44 @@
+// Cache-line geometry and padding helpers.
+//
+// The SPSC ring and the runtime's shared control blocks depend on keeping
+// producer-side and consumer-side state on distinct cache lines; this header
+// centralises the line-size constant and a generic padded wrapper.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ramr {
+
+// Size, in bytes, of the destructive-interference granule. A fixed 64 is
+// correct for every x86 part the paper targets (Haswell, KNC) and, unlike
+// std::hardware_destructive_interference_size, is stable across translation
+// units compiled with different tuning flags (GCC warns about exactly that).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A value of T alone on its own cache line(s). Used for atomics that are
+// written by one thread and read by another, so that unrelated writers never
+// invalidate the line.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(!std::is_reference_v<T>);
+
+  constexpr CacheAligned() = default;
+
+  template <typename... Args>
+  explicit constexpr CacheAligned(Args&&... args)
+      : value(std::forward<Args>(args)...) {}
+
+  T value{};
+
+  // Trailing pad so that placing CacheAligned objects contiguously (e.g. in
+  // an array of per-thread slots) still yields one line per slot even when
+  // sizeof(T) < kCacheLineSize and the compiler would otherwise pack tails.
+  char pad_[kCacheLineSize > sizeof(T)
+                ? kCacheLineSize - (sizeof(T) % kCacheLineSize)
+                : kCacheLineSize]{};
+};
+
+}  // namespace ramr

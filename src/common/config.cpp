@@ -1,0 +1,114 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace ramr {
+
+PinPolicy parse_pin_policy(const std::string& name) {
+  if (name == "ramr" || name == "paired") return PinPolicy::kRamrPaired;
+  if (name == "rr" || name == "round_robin") return PinPolicy::kRoundRobin;
+  if (name == "os" || name == "default" || name == "none") {
+    return PinPolicy::kOsDefault;
+  }
+  throw ConfigError("unknown pin policy '" + name +
+                    "' (expected ramr|rr|os)");
+}
+
+std::string to_string(PinPolicy policy) {
+  switch (policy) {
+    case PinPolicy::kRamrPaired:
+      return "ramr";
+    case PinPolicy::kRoundRobin:
+      return "rr";
+    case PinPolicy::kOsDefault:
+      return "os";
+  }
+  return "?";
+}
+
+SplitDistribution parse_split_distribution(const std::string& name) {
+  if (name == "rr" || name == "round_robin") {
+    return SplitDistribution::kRoundRobin;
+  }
+  if (name == "block" || name == "blocked") return SplitDistribution::kBlocked;
+  throw ConfigError("unknown split distribution '" + name +
+                    "' (expected rr|block)");
+}
+
+std::string to_string(SplitDistribution distribution) {
+  return distribution == SplitDistribution::kRoundRobin ? "rr" : "block";
+}
+
+RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
+  base.num_mappers = env::get_uint(kEnvMappers, base.num_mappers);
+  base.num_combiners = env::get_uint(kEnvCombiners, base.num_combiners);
+  base.task_size = env::get_uint(kEnvTaskSize, base.task_size);
+  base.queue_capacity = env::get_uint(kEnvQueueCapacity, base.queue_capacity);
+  base.batch_size = env::get_uint(kEnvBatchSize, base.batch_size);
+  base.sleep_on_full = env::get_bool(kEnvSleepOnFull, base.sleep_on_full);
+  base.sleep_micros = env::get_uint(kEnvSleepMicros, base.sleep_micros);
+  base.precombine_slots = env::get_uint(kEnvPrecombine, base.precombine_slots);
+  if (auto policy = env::get(kEnvPinPolicy)) {
+    base.pin_policy = parse_pin_policy(*policy);
+  }
+  if (auto dist = env::get(kEnvSplitDistribution)) {
+    base.split_distribution = parse_split_distribution(*dist);
+  }
+  return base;
+}
+
+RuntimeConfig RuntimeConfig::resolved(std::size_t hardware_threads) const {
+  RuntimeConfig r = *this;
+  if (hardware_threads == 0) {
+    throw ConfigError("cannot resolve config against 0 hardware threads");
+  }
+  if (r.mapper_combiner_ratio == 0) {
+    throw ConfigError("mapper:combiner ratio must be >= 1");
+  }
+  if (r.num_mappers == 0 && r.num_combiners == 0) {
+    // Fill the machine with mapper/combiner groups of (ratio + 1) threads.
+    const std::size_t group = r.mapper_combiner_ratio + 1;
+    const std::size_t groups = std::max<std::size_t>(1, hardware_threads / group);
+    r.num_mappers = groups * r.mapper_combiner_ratio;
+    r.num_combiners = groups;
+  } else if (r.num_combiners == 0) {
+    r.num_combiners =
+        std::max<std::size_t>(1, r.num_mappers / r.mapper_combiner_ratio);
+  } else if (r.num_mappers == 0) {
+    r.num_mappers = r.num_combiners * r.mapper_combiner_ratio;
+  }
+  if (r.num_combiners > r.num_mappers) {
+    // Paper Sec. III: the combiner pool "contains a less or equal number of
+    // workers compared to the general-purpose pool".
+    throw ConfigError("combiner pool larger than mapper pool (" +
+                      std::to_string(r.num_combiners) + " > " +
+                      std::to_string(r.num_mappers) + ")");
+  }
+  if (r.task_size == 0) throw ConfigError("task size must be >= 1");
+  if (r.queue_capacity < 2) throw ConfigError("queue capacity must be >= 2");
+  if (r.batch_size == 0) throw ConfigError("batch size must be >= 1");
+  if (r.batch_size > r.queue_capacity) {
+    throw ConfigError("batch size " + std::to_string(r.batch_size) +
+                      " exceeds queue capacity " +
+                      std::to_string(r.queue_capacity));
+  }
+  return r;
+}
+
+std::string RuntimeConfig::summary() const {
+  std::ostringstream os;
+  os << "mappers=" << num_mappers << " combiners=" << num_combiners
+     << " ratio=" << mapper_combiner_ratio << " task_size=" << task_size
+     << " queue_capacity=" << queue_capacity << " batch=" << batch_size
+     << " pin=" << to_string(pin_policy)
+     << " split=" << to_string(split_distribution)
+     << " sleep_on_full=" << (sleep_on_full ? "yes" : "no") << " sleep_us="
+     << sleep_micros << " precombine=" << precombine_slots;
+  return os.str();
+}
+
+}  // namespace ramr

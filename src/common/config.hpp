@@ -1,0 +1,102 @@
+// Runtime configuration: every tuning knob the paper exposes, with the
+// defaults reported in the paper and env-variable overrides.
+//
+// Paper Sec. III-A: queue capacity of five thousand elements is within 2% of
+// optimal across all test-cases; Sec. IV-C: a batch size of ~1000 elements is
+// best on Haswell (20-500 on Xeon Phi); Sec. III: task size is tunable via
+// environment variables; Sec. III-B: the mapper:combiner ratio is application
+// dependent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ramr {
+
+// Thread-to-CPU placement policies evaluated in the paper (Sec. IV-B).
+enum class PinPolicy {
+  kRamrPaired,  // communication-aware: combiner adjacent to its mappers
+  kRoundRobin,  // pin thread i to logical cpu i (role-oblivious)
+  kOsDefault,   // no pinning; the OS scheduler may migrate threads
+};
+
+// Parse/print helpers; parse throws ConfigError on unknown names.
+PinPolicy parse_pin_policy(const std::string& name);
+std::string to_string(PinPolicy policy);
+
+// How map tasks are dealt across the per-locality-group queues.
+enum class SplitDistribution {
+  kRoundRobin,  // interleave tasks across groups (best load balance)
+  kBlocked,     // one contiguous block per group (best NUMA locality)
+};
+
+SplitDistribution parse_split_distribution(const std::string& name);
+std::string to_string(SplitDistribution distribution);
+
+// Env-knob names (all optional; see RuntimeConfig::from_env).
+inline constexpr const char* kEnvMappers = "RAMR_MAPPERS";
+inline constexpr const char* kEnvCombiners = "RAMR_COMBINERS";
+inline constexpr const char* kEnvTaskSize = "RAMR_TASK_SIZE";
+inline constexpr const char* kEnvQueueCapacity = "RAMR_QUEUE_CAPACITY";
+inline constexpr const char* kEnvBatchSize = "RAMR_BATCH_SIZE";
+inline constexpr const char* kEnvPinPolicy = "RAMR_PIN_POLICY";
+inline constexpr const char* kEnvSleepOnFull = "RAMR_SLEEP_ON_FULL";
+inline constexpr const char* kEnvSleepMicros = "RAMR_SLEEP_US";
+inline constexpr const char* kEnvSplitDistribution =
+    "RAMR_SPLIT_DISTRIBUTION";
+inline constexpr const char* kEnvPrecombine = "RAMR_PRECOMBINE";
+
+struct RuntimeConfig {
+  // Worker counts. 0 means "derive from the machine": mappers default to the
+  // number of hardware threads divided by (1 + 1/ratio) rounded so that
+  // mappers + combiners fills the machine; combiners = mappers / ratio.
+  std::size_t num_mappers = 0;
+  std::size_t num_combiners = 0;
+
+  // Mapper:combiner ratio used when worker counts are derived (Sec. III-B:
+  // "driven by the throughput of the map and combine functions").
+  std::size_t mapper_combiner_ratio = 2;
+
+  // Number of input splits per scheduled task (Sec. III: large task sizes
+  // hurt load balancing, small ones add library overhead).
+  std::size_t task_size = 4;
+
+  // SPSC queue capacity in elements (Sec. III-A: 5000 is within 2% of
+  // optimal across all test-cases).
+  std::size_t queue_capacity = 5000;
+
+  // Elements consumed contiguously per combiner pop (Sec. IV-C).
+  std::size_t batch_size = 256;
+
+  PinPolicy pin_policy = PinPolicy::kRamrPaired;
+
+  // Task dealing across locality groups (Sec. III: "map tasks are added in
+  // the task queues — one for each locality group").
+  SplitDistribution split_distribution = SplitDistribution::kRoundRobin;
+
+  // Sleep-on-failed-push (Sec. III-A). When false, mappers busy-wait on a
+  // full queue.
+  bool sleep_on_full = true;
+  std::size_t sleep_micros = 50;
+
+  // Mapper-side pre-combining buffer, in slots (0 = off, the paper's
+  // published behaviour). Coalesces same-key emissions before they enter
+  // the SPSC ring — an extension targeting the queue-traffic-bound apps.
+  std::size_t precombine_slots = 0;
+
+  // Build a config taking every RAMR_* env knob into account, starting from
+  // the given base (defaults if omitted). Throws ConfigError on bad values.
+  static RuntimeConfig from_env(RuntimeConfig base);
+  static RuntimeConfig from_env() { return from_env(RuntimeConfig{}); }
+
+  // Resolve derived fields against a machine with `hardware_threads` logical
+  // CPUs: fills num_mappers/num_combiners if zero, clamps the ratio, and
+  // validates invariants (at least one mapper and one combiner, batch not
+  // larger than queue capacity). Throws ConfigError on impossible requests.
+  RuntimeConfig resolved(std::size_t hardware_threads) const;
+
+  // Human-readable one-line summary (for bench logs).
+  std::string summary() const;
+};
+
+}  // namespace ramr

@@ -1,0 +1,100 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ramr::env {
+
+namespace {
+
+// Lower-cases ASCII in place; knob values like "TRUE"/"True" are accepted.
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> get(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::int64_t get_int(const std::string& name, std::int64_t fallback) {
+  auto raw = get(name);
+  if (!raw) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw->c_str(), &end, 10);
+  if (errno == ERANGE || end == raw->c_str() || *end != '\0') {
+    throw ConfigError("env knob " + name + "='" + *raw +
+                      "' is not a valid integer");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+std::uint64_t get_uint(const std::string& name, std::uint64_t fallback) {
+  auto raw = get(name);
+  if (!raw) return fallback;
+  if (!raw->empty() && (*raw)[0] == '-') {
+    throw ConfigError("env knob " + name + "='" + *raw +
+                      "' must be non-negative");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
+  if (errno == ERANGE || end == raw->c_str() || *end != '\0') {
+    throw ConfigError("env knob " + name + "='" + *raw +
+                      "' is not a valid unsigned integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+double get_double(const std::string& name, double fallback) {
+  auto raw = get(name);
+  if (!raw) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (errno == ERANGE || end == raw->c_str() || *end != '\0') {
+    throw ConfigError("env knob " + name + "='" + *raw +
+                      "' is not a valid number");
+  }
+  return value;
+}
+
+bool get_bool(const std::string& name, bool fallback) {
+  auto raw = get(name);
+  if (!raw) return fallback;
+  const std::string v = to_lower(*raw);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw ConfigError("env knob " + name + "='" + *raw +
+                    "' is not a valid boolean");
+}
+
+std::string get_string(const std::string& name, const std::string& fallback) {
+  return get(name).value_or(fallback);
+}
+
+ScopedOverride::ScopedOverride(const std::string& name,
+                               const std::string& value)
+    : name_(name), previous_(get(name)) {
+  ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+}
+
+ScopedOverride::~ScopedOverride() {
+  if (previous_) {
+    ::setenv(name_.c_str(), previous_->c_str(), 1);
+  } else {
+    ::unsetenv(name_.c_str());
+  }
+}
+
+}  // namespace ramr::env

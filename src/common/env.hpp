@@ -1,0 +1,41 @@
+// Typed access to environment-variable tuning knobs.
+//
+// The paper (Sec. III): "In RAMR, the task size can be finely tuned via a set
+// of environmental variables." This header provides the typed parsing layer;
+// the knob names themselves live in common/config.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ramr::env {
+
+// Raw lookup; std::nullopt when the variable is unset or empty.
+std::optional<std::string> get(const std::string& name);
+
+// Parsed lookups. Throw ramr::ConfigError when the variable is set but does
+// not parse or is out of the representable range; return `fallback` when the
+// variable is unset.
+std::int64_t get_int(const std::string& name, std::int64_t fallback);
+std::uint64_t get_uint(const std::string& name, std::uint64_t fallback);
+double get_double(const std::string& name, double fallback);
+bool get_bool(const std::string& name, bool fallback);
+std::string get_string(const std::string& name, const std::string& fallback);
+
+// Scoped override for tests: sets `name=value` on construction and restores
+// the previous state on destruction. Not thread-safe (setenv never is).
+class ScopedOverride {
+ public:
+  ScopedOverride(const std::string& name, const std::string& value);
+  ~ScopedOverride();
+
+  ScopedOverride(const ScopedOverride&) = delete;
+  ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> previous_;
+};
+
+}  // namespace ramr::env

@@ -1,0 +1,31 @@
+// Error type used across the library.
+//
+// RAMR uses exceptions only for configuration/usage errors (bad env knob,
+// impossible pinning request, container over-capacity). Hot paths never
+// throw; queue and container fast paths report via return values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ramr {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when an environment knob holds an unparsable or out-of-range value.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+// Thrown when a fixed-capacity structure is asked to exceed its capacity
+// (e.g. a FixedHashContainer that ran out of slots).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ramr

@@ -1,0 +1,32 @@
+#include "common/timing.hpp"
+
+#include <sstream>
+
+namespace ramr {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSplit:
+      return "split";
+    case Phase::kMapCombine:
+      return "map-combine";
+    case Phase::kReduce:
+      return "reduce";
+    case Phase::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+std::string PhaseTimers::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    if (i != 0) os << ' ';
+    os << phase_name(phase) << '=' << seconds(phase) << 's';
+  }
+  return os.str();
+}
+
+}  // namespace ramr

@@ -1,0 +1,98 @@
+// Wall-clock timing helpers and the per-phase timer used to produce the
+// paper's Fig. 1 run-time breakdown (split / map-combine / reduce / merge).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace ramr {
+
+using Clock = std::chrono::steady_clock;
+using Duration = std::chrono::duration<double>;  // seconds
+
+inline Clock::time_point now() { return Clock::now(); }
+
+inline double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<Duration>(b - a).count();
+}
+
+// A stopwatch that accumulates across start/stop cycles.
+class Stopwatch {
+ public:
+  void start() { start_ = now(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += seconds_between(start_, now());
+      running_ = false;
+    }
+  }
+  void reset() { total_ = 0.0; running_ = false; }
+  double seconds() const {
+    return running_ ? total_ + seconds_between(start_, now()) : total_;
+  }
+
+ private:
+  Clock::time_point start_{};
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+// The MapReduce phases both runtimes instrument. RAMR fuses map and combine
+// into one overlapped phase, so both runtimes account the pair as a single
+// kMapCombine entry (matching the paper's Fig. 1 categories).
+enum class Phase : std::size_t {
+  kSplit = 0,
+  kMapCombine = 1,
+  kReduce = 2,
+  kMerge = 3,
+};
+inline constexpr std::size_t kPhaseCount = 4;
+
+const char* phase_name(Phase phase);
+
+// Accumulated seconds per phase for one runtime invocation.
+class PhaseTimers {
+ public:
+  void add(Phase phase, double seconds) {
+    seconds_[static_cast<std::size_t>(phase)] += seconds;
+  }
+  double seconds(Phase phase) const {
+    return seconds_[static_cast<std::size_t>(phase)];
+  }
+  double total() const {
+    double t = 0.0;
+    for (double s : seconds_) t += s;
+    return t;
+  }
+  // Phase share in [0,1]; 0 when no time was recorded at all.
+  double fraction(Phase phase) const {
+    const double t = total();
+    return t > 0.0 ? seconds(phase) / t : 0.0;
+  }
+  void reset() { seconds_.fill(0.0); }
+
+  std::string summary() const;
+
+ private:
+  std::array<double, kPhaseCount> seconds_{};
+};
+
+// RAII helper: times a scope into a PhaseTimers entry.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, Phase phase)
+      : timers_(timers), phase_(phase), start_(now()) {}
+  ~ScopedPhase() { timers_.add(phase_, seconds_between(start_, now())); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  Phase phase_;
+  Clock::time_point start_;
+};
+
+}  // namespace ramr

@@ -1,0 +1,24 @@
+// Anchor translation unit: instantiates each container template once so the
+// headers are known to compile stand-alone.
+#include <string>
+
+#include "containers/container_traits.hpp"
+#include "containers/fixed_array_container.hpp"
+#include "containers/hash_container.hpp"
+
+namespace ramr::containers {
+
+template class FixedArrayContainer<std::uint64_t, CountCombiner>;
+template class OpenAddressingContainer<std::string, std::uint64_t,
+                                       CountCombiner, false>;
+template class OpenAddressingContainer<std::string, std::uint64_t,
+                                       CountCombiner, true>;
+
+static_assert(
+    IntermediateContainer<FixedArrayContainer<std::uint64_t, CountCombiner>>);
+static_assert(IntermediateContainer<
+              FixedHashContainer<std::string, std::uint64_t, CountCombiner>>);
+static_assert(IntermediateContainer<
+              HashContainer<std::string, std::uint64_t, CountCombiner>>);
+
+}  // namespace ramr::containers

@@ -1,0 +1,69 @@
+// Combining functors — the associative/commutative "partial reduce" applied
+// when a key/value pair lands in an intermediate container.
+//
+// Phoenix Rebirth introduced combiners; Phoenix++ applies the combine
+// function after every map emission. RAMR keeps the same combiner concept
+// but runs it on dedicated combiner threads (paper Sec. III).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace ramr::containers {
+
+// A Combiner provides the monoid (identity, combine) for its value type.
+// combine must be associative and commutative: the reduce phase merges
+// per-thread containers in nondeterministic order.
+template <typename C>
+concept Combiner = requires(typename C::value_type& acc,
+                            const typename C::value_type& v) {
+  { C::identity() } -> std::convertible_to<typename C::value_type>;
+  { C::combine(acc, v) };
+};
+
+template <typename T>
+struct SumCombiner {
+  using value_type = T;
+  static constexpr T identity() { return T{}; }
+  static constexpr void combine(T& acc, const T& v) { acc += v; }
+};
+
+// Counting occurrences: Word Count / Histogram emit value 1 per element.
+using CountCombiner = SumCombiner<std::uint64_t>;
+
+template <typename T>
+struct MinCombiner {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  static constexpr void combine(T& acc, const T& v) {
+    if (v < acc) acc = v;
+  }
+};
+
+template <typename T>
+struct MaxCombiner {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  static constexpr void combine(T& acc, const T& v) {
+    if (acc < v) acc = v;
+  }
+};
+
+// For struct-valued accumulators (KMeans centroid sums, Linear Regression
+// moment sums, PCA covariance sums): T must be default-constructible to its
+// identity and expose merge(const T&).
+template <typename T>
+  requires requires(T& a, const T& b) { a.merge(b); }
+struct MergeCombiner {
+  using value_type = T;
+  static constexpr T identity() { return T{}; }
+  static constexpr void combine(T& acc, const T& v) { acc.merge(v); }
+};
+
+static_assert(Combiner<SumCombiner<int>>);
+static_assert(Combiner<CountCombiner>);
+static_assert(Combiner<MinCombiner<double>>);
+static_assert(Combiner<MaxCombiner<double>>);
+
+}  // namespace ramr::containers

@@ -1,0 +1,69 @@
+// The intermediate-container concept both runtimes program against, and the
+// key/value record type that flows through the RAMR pipeline.
+//
+// "Containers interface the map phase output with the reduce phase input and
+// are responsible for grouping by key the emitted key-value pairs" (paper
+// Sec. II). Any type satisfying IntermediateContainer can be plugged into
+// either runtime — the suite apps switch between the fixed array, fixed
+// hash, and regular hash variants exactly as the paper's Figs. 8-10 do.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ramr::containers {
+
+template <typename Ct>
+concept IntermediateContainer = requires(
+    Ct& c, const Ct& cc, const typename Ct::key_type& k,
+    const typename Ct::value_type& v) {
+  typename Ct::key_type;
+  typename Ct::value_type;
+  typename Ct::combiner;
+  { c.emit(k, v) };
+  { cc.size() } -> std::convertible_to<std::size_t>;
+  { cc.for_each([](const typename Ct::key_type&,
+                   const typename Ct::value_type&) {}) };
+  { c.merge_from(cc) };
+  { c.clear() };
+};
+
+// The record type pipelined from mappers to combiners through the SPSC
+// rings. Kept as an aggregate so that trivially copyable key/value types
+// make the whole record trivially copyable (the ring then moves raw bytes).
+template <typename K, typename V>
+struct KeyValue {
+  K key;
+  V value;
+
+  bool operator==(const KeyValue&) const = default;
+};
+
+// Flattens a container into (key, value) pairs in container order (the
+// runtimes sort afterwards on their worker pool).
+template <IntermediateContainer Ct>
+std::vector<std::pair<typename Ct::key_type, typename Ct::value_type>>
+to_pairs(const Ct& container) {
+  std::vector<std::pair<typename Ct::key_type, typename Ct::value_type>> out;
+  out.reserve(container.size());
+  container.for_each([&](const auto& k, const auto& v) {
+    out.emplace_back(k, v);
+  });
+  return out;
+}
+
+// Flattens and key-sorts — the merge phase's output representation shared
+// by both runtimes (serial; the runtimes use to_pairs + parallel_sort).
+template <IntermediateContainer Ct>
+std::vector<std::pair<typename Ct::key_type, typename Ct::value_type>>
+to_sorted_pairs(const Ct& container) {
+  auto out = to_pairs(container);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace ramr::containers

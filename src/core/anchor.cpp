@@ -1,0 +1,31 @@
+// Anchor translation unit: instantiates the RAMR runtime against a minimal
+// app so the templated headers are compiled with the library.
+#include "core/runtime.hpp"
+
+#include "containers/hash_container.hpp"
+
+namespace ramr::core {
+namespace {
+
+struct AnchorApp {
+  using input_type = std::vector<std::uint64_t>;
+  using container_type =
+      containers::HashContainer<std::uint64_t, std::uint64_t,
+                                containers::CountCombiner>;
+
+  std::size_t num_splits(const input_type& in) const { return in.size(); }
+  container_type make_container() const { return container_type(64); }
+
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    emit(in[split] & 63u, std::uint64_t{1});
+  }
+};
+
+static_assert(mr::AppSpec<AnchorApp>);
+
+}  // namespace
+
+template class Runtime<AnchorApp>;
+
+}  // namespace ramr::core

@@ -1,0 +1,28 @@
+// Anchor translation unit: instantiates the MRPhi-style runtime once.
+#include "mrphi/runtime.hpp"
+
+namespace ramr::mrphi {
+namespace {
+
+struct AnchorApp {
+  using input_type = std::vector<std::size_t>;
+  using container_type =
+      containers::AtomicArrayContainer<std::uint64_t,
+                                       containers::AtomicOp::kAdd>;
+
+  std::size_t num_splits(const input_type& in) const { return in.size(); }
+  container_type make_global_container() const { return container_type(16); }
+
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    emit(in[split] % 16, std::uint64_t{1});
+  }
+};
+
+static_assert(GlobalAppSpec<AnchorApp>);
+
+}  // namespace
+
+template class Runtime<AnchorApp>;
+
+}  // namespace ramr::mrphi

@@ -1,0 +1,77 @@
+#include "perf/cache_model.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace ramr::perf {
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
+  if (config_.line_bytes == 0 || !std::has_single_bit(config_.line_bytes)) {
+    throw Error("CacheSim: line size must be a power of two");
+  }
+  if (config_.ways == 0) throw Error("CacheSim: needs >= 1 way");
+  const std::size_t sets = config_.num_sets();
+  if (sets == 0 || !std::has_single_bit(sets)) {
+    throw Error("CacheSim: size/(line*ways) must be a power of two, got " +
+                std::to_string(sets) + " sets");
+  }
+  set_mask_ = sets - 1;
+  line_shift_ = static_cast<unsigned>(std::countr_zero(config_.line_bytes));
+  ways_.resize(sets * config_.ways);
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  ++clock_;
+  const std::uint64_t line = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & set_mask_;
+  Way* base = &ways_[set * config_.ways];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.lru = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: victim is the first invalid way, else the least recently used.
+  Way* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = clock_;
+  ++misses_;
+  return false;
+}
+
+void CacheSim::flush() {
+  for (Way& w : ways_) w.valid = false;
+  hits_ = misses_ = 0;
+  clock_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels) {
+  if (levels.empty()) throw Error("CacheHierarchy: needs >= 1 level");
+  caches_.reserve(levels.size());
+  for (const CacheConfig& c : levels) caches_.emplace_back(c);
+}
+
+std::size_t CacheHierarchy::access(std::uint64_t address) {
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    if (caches_[i].access(address)) return i;
+  }
+  return caches_.size();
+}
+
+void CacheHierarchy::flush() {
+  for (CacheSim& c : caches_) c.flush();
+}
+
+}  // namespace ramr::perf

@@ -1,0 +1,77 @@
+// Set-associative LRU cache simulator.
+//
+// Used two ways: (1) as the validation reference for the analytic miss-rate
+// model the platform simulator runs on (tests drive both against the same
+// access patterns), and (2) directly by microbenches that want per-access
+// hit/miss traces for small kernels. Multi-level hierarchies compose
+// single caches with inclusive lookup (miss in L1 -> access L2, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ramr::perf {
+
+struct CacheConfig {
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t ways = 8;
+
+  std::size_t num_sets() const {
+    return size_bytes / (line_bytes * ways);
+  }
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(CacheConfig config);
+
+  // Returns true on hit; installs/refreshes the line on miss (LRU).
+  bool access(std::uint64_t address);
+
+  void flush();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+  double miss_rate() const {
+    return accesses() > 0 ? static_cast<double>(misses_) /
+                                static_cast<double>(accesses())
+                          : 0.0;
+  }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-use stamp
+    bool valid = false;
+  };
+
+  CacheConfig config_;
+  std::size_t set_mask_;
+  unsigned line_shift_;
+  std::vector<Way> ways_;  // num_sets x ways, row-major
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// A small inclusive hierarchy: access() walks levels until it hits and
+// returns the level index (0 = L1) or levels() on a full miss to memory.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(std::vector<CacheConfig> levels);
+
+  std::size_t access(std::uint64_t address);
+  std::size_t levels() const { return caches_.size(); }
+  const CacheSim& level(std::size_t i) const { return caches_.at(i); }
+  void flush();
+
+ private:
+  std::vector<CacheSim> caches_;
+};
+
+}  // namespace ramr::perf

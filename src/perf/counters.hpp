@@ -1,0 +1,47 @@
+// Software performance counters and the paper's three suitability metrics.
+//
+// Paper Sec. IV-E:
+//   ipb  = instructions / input bytes          (workload intensity)
+//   mspi = memory stall cycles / instructions  (L1/L2-miss stalls)
+//   rspi = resource stall cycles / instructions(full ROB / RS / LSB)
+// "All three metrics are only meaningful when used comparatively."
+//
+// The paper reads hardware PMUs; this reproduction lacks them (and lacks
+// the two machines), so Counters are produced by the analytic stall model
+// in perf/stall_model.hpp, fed by the per-app workload profiles — the
+// substitution preserves the comparative orderings Fig. 10 argues from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ramr::perf {
+
+struct Counters {
+  double instructions = 0.0;
+  double mem_stall_cycles = 0.0;       // stalls due to L1/L2 misses
+  double resource_stall_cycles = 0.0;  // full ROB, no RS entry, LSB full
+  double input_bytes = 0.0;
+
+  double ipb() const {
+    return input_bytes > 0.0 ? instructions / input_bytes : 0.0;
+  }
+  double mspi() const {
+    return instructions > 0.0 ? mem_stall_cycles / instructions : 0.0;
+  }
+  double rspi() const {
+    return instructions > 0.0 ? resource_stall_cycles / instructions : 0.0;
+  }
+
+  Counters& operator+=(const Counters& o) {
+    instructions += o.instructions;
+    mem_stall_cycles += o.mem_stall_cycles;
+    resource_stall_cycles += o.resource_stall_cycles;
+    input_bytes += o.input_bytes;
+    return *this;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace ramr::perf

@@ -1,0 +1,205 @@
+// Calibration table. Sources per number:
+//  * instr_per_byte — counted from the inner loops of src/apps/*.hpp
+//    (e.g. LR does ~20 ops per 4-byte point; PCA/MM do ~2*inner flops per
+//    emitted element), cross-checked against the paper's Fig. 10 ordering
+//    (PCA >> MM > KM > WC > LR > HG with default containers);
+//  * footprints — container/table sizes of the implementations (HG: 768*8B
+//    array; WC: ~200KB hash table; MM default: the full output array per
+//    worker, the paper's Sec. IV-E observation; MM hash: right-sized table,
+//    which is why its stalls *drop* with the hash flavor);
+//  * regularity / resource_pressure — qualitative, from the paper's
+//    Sec. IV-E discussion (HG/LR light and streaming; KM/MM frequent memory
+//    and resource stalls; PCA compute-dense and stall-free);
+//  * kv_per_byte / kv_bytes — exact, from each app's emission pattern
+//    (HG emits one record per input byte; LR five per 4-byte point; WC one
+//    per ~5.5-byte word; KM one 48-byte accum per 12-byte point; MM/PCA one
+//    partial per produced element).
+#include "perf/profiles.hpp"
+
+#include "common/error.hpp"
+
+namespace ramr::perf {
+
+using apps::AppId;
+using apps::ContainerFlavor;
+
+AppProfile app_profile(AppId app, ContainerFlavor flavor) {
+  const bool hash = flavor == ContainerFlavor::kHash;
+  AppProfile p;
+  switch (app) {
+    case AppId::kHistogram:
+      p.name = "hg";
+      // One byte -> one bin increment: the suite's lightest workload.
+      p.map = {.instr_per_byte = 4.0,
+               .bytes_per_byte = 1.0,
+               .footprint_bytes = 64e3,
+               .regularity = 0.95,
+               .resource_pressure = 0.08};
+      // Hash flavor: one probe per input byte; every probe pulls 1-2
+      // random cache lines of the table -> line-granular traffic.
+      p.combine = hash ? PhaseProfile{.instr_per_byte = 14.0,
+                                      .bytes_per_byte = 96.0,
+                                      .footprint_bytes = 150e3,
+                                      .regularity = 0.08,
+                                      .resource_pressure = 0.60}
+                       : PhaseProfile{.instr_per_byte = 2.0,
+                                      .bytes_per_byte = 1.0,
+                                      .footprint_bytes = 6.1e3,
+                                      .regularity = 0.45,
+                                      .resource_pressure = 0.10};
+      p.kv_per_byte = 1.0;
+      p.kv_bytes = 16.0;
+      p.container_bytes = hash ? 18e3 : 6.1e3;  // 768 bins (hash: wider slots)
+      break;
+
+    case AppId::kLinearRegression:
+      p.name = "lr";
+      // ~20 integer ops per 4-byte point, five emissions per point.
+      p.map = {.instr_per_byte = 5.0,
+               .bytes_per_byte = 1.0,
+               .footprint_bytes = 64e3,
+               .regularity = 0.97,
+               .resource_pressure = 0.10};
+      // Hash flavor: 1.25 probes per input byte, line-granular.
+      p.combine = hash ? PhaseProfile{.instr_per_byte = 12.0,
+                                      .bytes_per_byte = 80.0,
+                                      .footprint_bytes = 60e3,
+                                      .regularity = 0.10,
+                                      .resource_pressure = 0.55}
+                       : PhaseProfile{.instr_per_byte = 2.5,
+                                      .bytes_per_byte = 1.2,
+                                      .footprint_bytes = 4e2,
+                                      .regularity = 0.60,
+                                      .resource_pressure = 0.10};
+      p.kv_per_byte = 1.25;
+      p.kv_bytes = 16.0;
+      p.container_bytes = hash ? 200.0 : 40.0;  // five moment sums
+      break;
+
+    case AppId::kWordCount:
+      p.name = "wc";
+      // Tokenisation streams; counting hashes into a ~200KB table. The
+      // default container is already a hash table (the paper's Fig. 10b
+      // note: "the hash table overhead has been already counted").
+      p.map = {.instr_per_byte = 8.0,
+               .bytes_per_byte = 1.1,
+               .footprint_bytes = 64e3,
+               .regularity = 0.90,
+               .resource_pressure = 0.20};
+      // ~0.18 probes per byte x 1.5 lines per probe.
+      p.combine = hash ? PhaseProfile{.instr_per_byte = 8.0,
+                                      .bytes_per_byte = 15.0,
+                                      .footprint_bytes = 200e3,
+                                      .regularity = 0.12,
+                                      .resource_pressure = 0.42}
+                       : PhaseProfile{.instr_per_byte = 7.0,
+                                      .bytes_per_byte = 13.0,
+                                      .footprint_bytes = 200e3,
+                                      .regularity = 0.15,
+                                      .resource_pressure = 0.40};
+      p.kv_per_byte = 0.18;
+      p.kv_bytes = 24.0;
+      // Record line plus the dereferenced word text in the producer's cache.
+      p.comm_lines_per_kv = 2.0;
+      p.container_bytes = 150e3;  // ~4K distinct words x slot
+      break;
+
+    case AppId::kKMeans:
+      p.name = "km";
+      // 16 centroids x 3 dims of dependent FP per 12-byte point: compute-
+      // dense with long dependency chains (high RSPI) and accumulator
+      // traffic (high MSPI) — the paper's best default-container candidate.
+      p.map = {.instr_per_byte = 13.0,
+               .bytes_per_byte = 1.6,
+               .footprint_bytes = 2.5e6,
+               .regularity = 0.45,
+               .resource_pressure = 0.55};
+      // 48-byte accumulator read-modify-write per point (~2 lines).
+      p.combine = hash ? PhaseProfile{.instr_per_byte = 4.0,
+                                      .bytes_per_byte = 9.0,
+                                      .footprint_bytes = 7e5,
+                                      .regularity = 0.25,
+                                      .resource_pressure = 0.50}
+                       : PhaseProfile{.instr_per_byte = 1.5,
+                                      .bytes_per_byte = 10.0,
+                                      .footprint_bytes = 1e6,
+                                      .regularity = 0.30,
+                                      .resource_pressure = 0.55};
+      p.kv_per_byte = 1.0 / 12.0;
+      p.kv_bytes = 48.0;
+      p.container_bytes = hash ? 1.3e3 : 0.7e3;  // 16 centroid accumulators
+      break;
+
+    case AppId::kPca:
+      p.name = "pca";
+      // O(rows) flops per byte of column chunk: by far the highest IPB of
+      // the suite, fully streaming and ILP-friendly — almost no stalls.
+      p.map = {.instr_per_byte = 240.0,
+               .bytes_per_byte = 1.2,
+               .footprint_bytes = 5e5,
+               .regularity = 0.96,
+               .resource_pressure = 0.04};
+      // 0.9 emissions per byte; the packed triangle index makes the
+      // default array walk nearly sequential, the hash flavor random.
+      // Even the hash flavor stays stall-light (Fig. 10b: "the number of
+      // resource and memory stalls is very low"); RAMR's 20% loss here is
+      // queue traffic (0.9 records/byte) plus idle combiners.
+      p.combine = hash ? PhaseProfile{.instr_per_byte = 5.0,
+                                      .bytes_per_byte = 6.0,
+                                      .footprint_bytes = 6e6,
+                                      .regularity = 0.50,
+                                      .resource_pressure = 0.10}
+                       : PhaseProfile{.instr_per_byte = 1.0,
+                                      .bytes_per_byte = 15.0,
+                                      .footprint_bytes = 4e6,
+                                      .regularity = 0.85,
+                                      .resource_pressure = 0.06};
+      p.kv_per_byte = 0.9;
+      p.kv_bytes = 16.0;
+      p.container_bytes = hash ? 6e6 : 4e6;  // rows(rows+1)/2 partial sums
+      break;
+
+    case AppId::kMatrixMultiply:
+      p.name = "mm";
+      // Dot products: heavy compute, but B is walked column-wise across a
+      // tens-of-MB matrix (poor locality -> high MSPI, misses fill the ROB
+      // -> high RSPI). Default container is the whole output array per
+      // worker ("only a small part of it is used"); the right-sized hash
+      // table *reduces* the stalls (paper Sec. IV-E).
+      p.map = {.instr_per_byte = 150.0,
+               .bytes_per_byte = 6.0,
+               .footprint_bytes = 32e6,
+               .regularity = 0.35,
+               .resource_pressure = 0.60};
+      // Default: sequential stores into the oversized array (cold lines);
+      // hash: random probes of the right-sized table.
+      p.combine = hash ? PhaseProfile{.instr_per_byte = 5.0,
+                                      .bytes_per_byte = 6.5,
+                                      .footprint_bytes = 8e6,
+                                      .regularity = 0.25,
+                                      .resource_pressure = 0.65}
+                       : PhaseProfile{.instr_per_byte = 1.0,
+                                      .bytes_per_byte = 4.0,
+                                      .footprint_bytes = 32e6,
+                                      .regularity = 0.60,
+                                      .resource_pressure = 0.45};
+      p.kv_per_byte = 0.065;
+      p.kv_bytes = 16.0;
+      // Default: the full output array per worker (paper Sec. IV-E);
+      // hash: right-sized to the keys each worker actually produced.
+      p.container_bytes = hash ? 8e6 : 32e6;
+      break;
+
+    default:
+      throw Error("app_profile: unknown app");
+  }
+  if (hash && app != AppId::kWordCount) {
+    // Hash calculation + probing raises the instruction intensity of the
+    // *map-combine phase as measured* (Fig. 10b: "an increase in the IPB
+    // ... is expected"); WC is the documented exception.
+    p.map.instr_per_byte *= 1.15;
+  }
+  return p;
+}
+
+}  // namespace ramr::perf

@@ -1,0 +1,46 @@
+// Per-application workload profiles — the calibration data that drives the
+// platform simulator and the Fig. 10 suitability metrics.
+//
+// Each app is described by a map-phase and a combine-phase profile plus its
+// key/value pipeline traffic. The numbers are derived from the structure of
+// our implementations (instructions and bytes counted per input byte) and
+// cross-checked against the paper's Fig. 10 characterisation; every value
+// carries a comment tying it to its source. They are *comparative*
+// quantities, exactly as the paper uses them.
+#pragma once
+
+#include "apps/flavor.hpp"
+#include "apps/suite.hpp"
+
+namespace ramr::perf {
+
+// One side (map or combine) of an application.
+struct PhaseProfile {
+  double instr_per_byte = 1.0;   // instructions per input byte
+  double bytes_per_byte = 1.0;   // memory bytes touched per input byte
+  double footprint_bytes = 1e4;  // per-thread working set
+  double regularity = 1.0;       // 1 = streaming, 0 = random access
+  double resource_pressure = 0.0;  // 0..1 ROB/RS/LSB pressure tendency
+};
+
+struct AppProfile {
+  const char* name = "?";
+  PhaseProfile map;
+  PhaseProfile combine;
+  double kv_per_byte = 0.1;  // records pipelined per input byte
+  double kv_bytes = 16.0;    // size of one pipelined record
+  // Producer-to-consumer cache lines moved per record; 0 = derive from
+  // kv_bytes. Word Count overrides this: its string_view keys make the
+  // combiner dereference the producer-resident text (an extra line).
+  double comm_lines_per_kv = 0.0;
+  // Bytes of one thread-local intermediate container (sizes the reduce
+  // phase's merging and the merge phase's sort; distinct from the combine
+  // working set, which also includes the value traffic).
+  double container_bytes = 1e4;
+};
+
+// Profile for a suite app under a container flavor (paper Figs. 8-10 use
+// exactly these twelve combinations).
+AppProfile app_profile(apps::AppId app, apps::ContainerFlavor flavor);
+
+}  // namespace ramr::perf

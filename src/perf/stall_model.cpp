@@ -1,0 +1,71 @@
+#include "perf/stall_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ramr::perf {
+
+std::string Counters::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "ipb=" << ipb() << " mspi=" << mspi() << " rspi=" << rspi();
+  return os.str();
+}
+
+namespace {
+
+// Fraction of line accesses that miss a level of capacity `cap` given a
+// working set `footprint` and access regularity. Streaming sets are
+// prefetched nearly perfectly; random sets miss in proportion to how much
+// of the footprint exceeds the capacity.
+double miss_fraction(double footprint, double cap, double regularity) {
+  if (cap <= 0.0) return 1.0;  // level absent: everything falls through
+  if (footprint <= cap) return 0.0;
+  const double over = 1.0 - cap / footprint;
+  const double prefetch_cover = 0.97 * regularity;
+  return over * (1.0 - prefetch_cover);
+}
+
+// Fraction of miss latency an out-of-order core hides via MLP/prefetch.
+double oo_hide(double regularity) { return 0.35 + 0.55 * regularity; }
+
+}  // namespace
+
+double expected_stall_per_line(const PhaseProfile& profile,
+                               const MemSystemView& mem) {
+  const double f = profile.footprint_bytes;
+  const double r = profile.regularity;
+  const double m1 = miss_fraction(f, mem.l1_bytes, r);
+  const double m2 = m1 * miss_fraction(f, mem.l2_bytes, r);
+  const double has_l3 = mem.l3_bytes > 0.0 ? 1.0 : 0.0;
+  const double m3 = has_l3 > 0.0 ? m2 * miss_fraction(f, mem.l3_bytes, r)
+                                 : m2;
+  double stall = (m1 - m2) * mem.l2_latency;
+  if (has_l3 > 0.0) {
+    stall += (m2 - m3) * mem.l3_latency + m3 * mem.mem_latency;
+  } else {
+    stall += m2 * mem.mem_latency;
+  }
+  if (mem.out_of_order) stall *= 1.0 - oo_hide(r);
+  return stall;
+}
+
+Counters estimate_phase(const PhaseProfile& profile, double input_bytes,
+                        const MemSystemView& mem) {
+  Counters c;
+  c.input_bytes = input_bytes;
+  c.instructions = profile.instr_per_byte * input_bytes;
+  const double lines = profile.bytes_per_byte * input_bytes / 64.0;
+  c.mem_stall_cycles = lines * expected_stall_per_line(profile, mem);
+  // Resource stalls: pressure says how often the back-end saturates; the
+  // effect worsens when memory stalls pile up (a full ROB is usually a
+  // miss waiting at its head) and relaxes for very regular code.
+  const double base = profile.resource_pressure * 0.35 * c.instructions;
+  const double mem_coupling = 0.5 * c.mem_stall_cycles;
+  c.resource_stall_cycles =
+      base * (1.0 - 0.5 * profile.regularity) + mem_coupling * 0.3;
+  return c;
+}
+
+}  // namespace ramr::perf

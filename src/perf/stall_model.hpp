@@ -1,0 +1,48 @@
+// Analytic stall model: workload profile + effective cache shares ->
+// Counters (instructions, memory-stall cycles, resource-stall cycles).
+//
+// This is the reproduction's stand-in for the paper's hardware PMU reads
+// (see perf/counters.hpp). The model is deliberately simple and monotone:
+//   * the working-set fraction that does not fit a cache level misses it,
+//     attenuated by access regularity (hardware prefetchers hide streaming
+//     misses almost entirely);
+//   * each miss costs the next level's latency; out-of-order cores overlap
+//     part of that latency (memory-level parallelism), in-order cores eat
+//     all of it;
+//   * resource stalls scale with the profile's resource_pressure knob —
+//     the paper's "full ROB, no eligible RS entries or no space in the
+//     load/store buffer" — and shrink with regularity.
+// Property tests assert the monotonicities; the platform simulator builds
+// its per-thread cycle costs on top of these counters.
+#pragma once
+
+#include "perf/counters.hpp"
+#include "perf/profiles.hpp"
+
+namespace ramr::perf {
+
+// Effective memory system seen by ONE thread: capacity *shares* (the level
+// capacity divided among the threads that compete for it) and latencies in
+// cycles to reach each level on a miss in the previous one.
+struct MemSystemView {
+  double l1_bytes = 32.0 * 1024;
+  double l2_bytes = 256.0 * 1024;
+  double l3_bytes = 35.0 * 1024 * 1024;  // 0 = no L3 (Xeon Phi)
+  double l2_latency = 12.0;              // L1 miss, L2 hit
+  double l3_latency = 40.0;              // L2 miss, L3 hit
+  double mem_latency = 200.0;            // last-level miss
+  bool out_of_order = true;              // overlaps part of the stalls
+};
+
+// Counters for a phase processing `input_bytes` through `profile` on a
+// thread with the given memory-system view.
+Counters estimate_phase(const PhaseProfile& profile, double input_bytes,
+                        const MemSystemView& mem);
+
+// Per-line miss cost in cycles (used by the simulator's communication model
+// as well): expected stall cycles for one cache-line-sized access with the
+// given footprint/regularity.
+double expected_stall_per_line(const PhaseProfile& profile,
+                               const MemSystemView& mem);
+
+}  // namespace ramr::perf

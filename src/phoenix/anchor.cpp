@@ -1,0 +1,30 @@
+// Anchor translation unit: instantiates the baseline runtime against a
+// minimal app so the templated headers are compiled with the library.
+#include "phoenix/runtime.hpp"
+
+#include "containers/fixed_array_container.hpp"
+
+namespace ramr::phoenix {
+namespace {
+
+struct AnchorApp {
+  using input_type = std::vector<std::size_t>;
+  using container_type =
+      containers::FixedArrayContainer<std::uint64_t, containers::CountCombiner>;
+
+  std::size_t num_splits(const input_type& in) const { return in.size(); }
+  container_type make_container() const { return container_type(16); }
+
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    emit(in[split] % 16, std::uint64_t{1});
+  }
+};
+
+static_assert(mr::AppSpec<AnchorApp>);
+
+}  // namespace
+
+template class Runtime<AnchorApp>;
+
+}  // namespace ramr::phoenix

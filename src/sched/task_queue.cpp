@@ -1,0 +1,91 @@
+#include "sched/task_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ramr::sched {
+
+TaskQueues::TaskQueues(std::size_t num_groups) : queues_(num_groups) {
+  if (num_groups == 0) {
+    throw ConfigError("TaskQueues needs at least one locality group");
+  }
+}
+
+void TaskQueues::push(std::size_t group, TaskRange task) {
+  Queue& q = queues_.at(group);
+  std::lock_guard lock(q.mutex);
+  q.tasks.push_back(task);
+}
+
+void TaskQueues::distribute(std::size_t num_splits, std::size_t task_size) {
+  if (task_size == 0) throw ConfigError("task size must be >= 1");
+  std::size_t group = 0;
+  for (std::size_t begin = 0; begin < num_splits; begin += task_size) {
+    const std::size_t end = std::min(begin + task_size, num_splits);
+    push(group, TaskRange{begin, end});
+    group = (group + 1) % queues_.size();
+  }
+}
+
+void TaskQueues::distribute_blocked(std::size_t num_splits,
+                                    std::size_t task_size) {
+  if (task_size == 0) throw ConfigError("task size must be >= 1");
+  const std::size_t groups = queues_.size();
+  // Contiguous block of splits per group, sizes differing by at most one.
+  const std::size_t base = num_splits / groups;
+  const std::size_t extra = num_splits % groups;
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t block = base + (g < extra ? 1 : 0);
+    const std::size_t end = begin + block;
+    for (std::size_t b = begin; b < end; b += task_size) {
+      push(g, TaskRange{b, std::min(b + task_size, end)});
+    }
+    begin = end;
+  }
+}
+
+std::optional<TaskRange> TaskQueues::pop_local(Queue& q) {
+  std::lock_guard lock(q.mutex);
+  if (q.head >= q.tasks.size()) return std::nullopt;
+  return q.tasks[q.head++];
+}
+
+std::optional<TaskRange> TaskQueues::pop_steal(Queue& q) {
+  std::lock_guard lock(q.mutex);
+  if (q.head >= q.tasks.size()) return std::nullopt;
+  TaskRange task = q.tasks.back();
+  q.tasks.pop_back();
+  return task;
+}
+
+std::optional<TaskRange> TaskQueues::pop(std::size_t group) {
+  if (group >= queues_.size()) {
+    throw Error("TaskQueues::pop: group " + std::to_string(group) +
+                " out of range");
+  }
+  if (auto task = pop_local(queues_[group])) {
+    local_pops_.fetch_add(1, std::memory_order_relaxed);
+    return task;
+  }
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    const std::size_t victim = (group + offset) % queues_.size();
+    if (auto task = pop_steal(queues_[victim])) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t TaskQueues::pending() const {
+  std::size_t n = 0;
+  for (const Queue& q : queues_) {
+    std::lock_guard lock(q.mutex);
+    n += q.tasks.size() - std::min(q.head, q.tasks.size());
+  }
+  return n;
+}
+
+}  // namespace ramr::sched

@@ -1,0 +1,76 @@
+// Per-locality-group task queues with work stealing.
+//
+// Paper Sec. III: "The map tasks are added in the task queues — one for each
+// locality group. Map workers dequeue tasks from their local queue". A task
+// is a contiguous range of input splits (task size = splits per task, a
+// tuning knob). Workers prefer their own group's queue and steal from other
+// groups only when local work runs out, preserving NUMA locality while
+// keeping load balanced.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ramr::sched {
+
+// A task: the half-open split-index range [begin, end).
+struct TaskRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool operator==(const TaskRange&) const = default;
+};
+
+class TaskQueues {
+ public:
+  explicit TaskQueues(std::size_t num_groups);
+
+  std::size_t num_groups() const { return queues_.size(); }
+
+  // Enqueue a task into a group's queue (normally done once, before the map
+  // phase starts). Thread-safe.
+  void push(std::size_t group, TaskRange task);
+
+  // Splits [0, num_splits) into tasks of `task_size` splits (last task may
+  // be short) and deals them round-robin across groups.
+  void distribute(std::size_t num_splits, std::size_t task_size);
+
+  // Same, but gives each group one contiguous block of the split range —
+  // the NUMA-faithful policy when the input was first-touched node by node
+  // (a group's workers then stream their own node's memory; stealing still
+  // rebalances the tail).
+  void distribute_blocked(std::size_t num_splits, std::size_t task_size);
+
+  // Dequeue for a worker of `group`: local queue first (FIFO), then steal
+  // from the other groups (from the tail, classic stealing order). Returns
+  // std::nullopt when every queue is empty.
+  std::optional<TaskRange> pop(std::size_t group);
+
+  // Total tasks currently enqueued (diagnostics).
+  std::size_t pending() const;
+
+  // How many pops were satisfied locally vs. by stealing (diagnostics for
+  // the locality tests).
+  std::size_t local_pops() const { return local_pops_.load(); }
+  std::size_t steals() const { return steals_.load(); }
+
+ private:
+  struct Queue {
+    mutable std::mutex mutex;
+    std::vector<TaskRange> tasks;  // FIFO from the front, steal from back
+    std::size_t head = 0;          // index of next local pop
+  };
+
+  std::optional<TaskRange> pop_local(Queue& q);
+  std::optional<TaskRange> pop_steal(Queue& q);
+
+  std::vector<Queue> queues_;
+  std::atomic<std::size_t> local_pops_{0};
+  std::atomic<std::size_t> steals_{0};
+};
+
+}  // namespace ramr::sched

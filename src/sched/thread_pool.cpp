@@ -1,0 +1,88 @@
+#include "sched/thread_pool.hpp"
+
+#include "common/affinity.hpp"
+#include "common/error.hpp"
+
+namespace ramr::sched {
+
+ThreadPool::ThreadPool(std::size_t num_workers,
+                       std::vector<std::optional<std::size_t>> pin_cpu) {
+  if (num_workers == 0) {
+    throw ConfigError("ThreadPool needs at least one worker");
+  }
+  threads_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    std::optional<std::size_t> cpu;
+    if (i < pin_cpu.size()) cpu = pin_cpu[i];
+    threads_.emplace_back([this, i, cpu] { worker_main(i, cpu); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_on_all(std::function<void(std::size_t)> fn) {
+  start(std::move(fn));
+  wait();
+}
+
+void ThreadPool::start(std::function<void(std::size_t)> fn) {
+  if (!fn) throw Error("ThreadPool::start: empty function");
+  std::lock_guard lock(mutex_);
+  if (remaining_ != 0) {
+    throw Error("ThreadPool::start: a region is already in flight");
+  }
+  job_ = std::move(fn);
+  remaining_ = threads_.size();
+  first_error_ = nullptr;
+  ++generation_;
+  work_ready_.notify_all();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [&] { return remaining_ == 0; });
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_main(std::size_t index,
+                             std::optional<std::size_t> cpu) {
+  if (cpu) {
+    if (affinity::pin_current_thread(*cpu)) {
+      std::lock_guard lock(mutex_);
+      ++pinned_count_;
+    }
+  }
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_ && generation_ == seen_generation) return;
+      seen_generation = generation_;
+    }
+    // job_ is stable while remaining_ > 0: start() cannot replace it until
+    // every worker has decremented remaining_ for this generation.
+    std::exception_ptr error;
+    try {
+      job_(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ramr::sched

@@ -1,0 +1,68 @@
+// Persistent worker pool with optional per-worker CPU pinning.
+//
+// Both runtimes keep their pools alive across phases ("two separate thread
+// pools are instantiated", paper Sec. III): worker threads are created once,
+// pinned once (setaffinity is called at worker start-up and the pin holds
+// "throughout the MR invocation"), and then execute one parallel region per
+// phase via run_on_all().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace ramr::sched {
+
+class ThreadPool {
+ public:
+  // One optional CPU per worker; std::nullopt (or a short vector) leaves
+  // that worker unpinned. Pins that fail (CPU id not usable on this host)
+  // degrade silently to unpinned — the plan may describe a larger modelled
+  // machine than the host running the tests.
+  explicit ThreadPool(
+      std::size_t num_workers,
+      std::vector<std::optional<std::size_t>> pin_cpu = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  // Executes fn(worker_index) on every worker concurrently and blocks until
+  // all workers finished. Exceptions thrown by fn propagate to the caller
+  // (the first one wins; the region still completes on all workers).
+  void run_on_all(std::function<void(std::size_t)> fn);
+
+  // Asynchronous variant: start() launches the region on all workers and
+  // returns immediately; wait() blocks until it completes (and rethrows the
+  // first worker exception). The RAMR runtime uses this to run the mapper
+  // and combiner pools concurrently. The pool keeps its own copy of `fn`.
+  // At most one region may be in flight per pool.
+  void start(std::function<void(std::size_t)> fn);
+  void wait();
+
+  // How many workers ended up actually pinned (for tests/logging).
+  std::size_t pinned_count() const { return pinned_count_; }
+
+ private:
+  void worker_main(std::size_t index, std::optional<std::size_t> cpu);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::function<void(std::size_t)> job_;
+  std::size_t generation_ = 0;      // bumped per run_on_all call
+  std::size_t remaining_ = 0;       // workers yet to finish current job
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+  std::size_t pinned_count_ = 0;
+};
+
+}  // namespace ramr::sched

@@ -1,0 +1,109 @@
+#include "sim/machine.hpp"
+
+namespace ramr::sim {
+
+SimMachine haswell() {
+  SimMachine m{.name = "haswell", .topology = topo::haswell_server()};
+  m.freq_ghz = 2.6;
+  m.thread_ipc = 2.2;
+  m.core_issue = 3.0;
+  m.out_of_order = true;
+  m.l1_bytes = 32e3;
+  m.l2_bytes = 256e3;
+  m.l3_bytes = 35e6;
+  m.l2_latency = 12.0;
+  m.l3_latency = 40.0;
+  m.mem_latency = 200.0;
+  m.l2_shared_ring = false;
+  m.socket_mem_bw_gbps = 60.0;
+  m.comm_line_same_core = 14.0;
+  m.comm_line_same_socket = 60.0;
+  m.comm_line_cross_socket = 220.0;
+  // Out-of-order core: the control-variable handshake and the push stores
+  // overlap surrounding work almost entirely.
+  m.queue_push_cycles = 6.0;
+  m.queue_pop_batch_cycles = 20.0;
+  m.queue_pop_elem_cycles = 3.0;
+  return m;
+}
+
+SimMachine haswell_scaled(std::size_t sockets, std::size_t cores_per_socket,
+                          std::size_t smt) {
+  SimMachine m = haswell();
+  m.name = "haswell-" + std::to_string(sockets) + "x" +
+           std::to_string(cores_per_socket) + "x" + std::to_string(smt);
+  m.topology = topo::make_server(m.name, sockets, cores_per_socket, smt);
+  // 2.5MB of L3 slice per core, as on real Haswell-EP parts.
+  m.l3_bytes = 2.5e6 * static_cast<double>(cores_per_socket);
+  return m;
+}
+
+SimMachine xeon_phi() {
+  SimMachine m{.name = "xeon-phi", .topology = topo::xeon_phi()};
+  m.freq_ghz = 1.1;
+  // In-order KNC core: one thread alone issues on alternate cycles only;
+  // it takes 2+ hardware threads to approach the core's issue width.
+  m.thread_ipc = 0.6;
+  m.core_issue = 1.7;
+  m.out_of_order = false;
+  m.l1_bytes = 32e3;
+  // 28.5MB of ring-connected L2 slices, universally shared.
+  m.l2_bytes = 512e3;
+  m.l2_shared_ring = true;
+  m.l3_bytes = 0.0;
+  m.l2_latency = 24.0;  // ring hop average
+  m.l3_latency = 0.0;
+  m.mem_latency = 300.0;
+  m.socket_mem_bw_gbps = 140.0;  // GDDR5 aggregate
+  // Ring-shared L2 makes every inter-core transfer cost about the same —
+  // this is what collapses the pinning-policy gains to 1-3% (Sec. IV-B).
+  m.comm_line_same_core = 24.0;
+  m.comm_line_same_socket = 34.0;
+  m.comm_line_cross_socket = 34.0;  // single package: tier unused
+  // In-order core: the per-batch control handshake is a full unoverlapped
+  // round-trip through the ring (loads of the producer-owned tail, store to
+  // head) — this is why batched reads pay off up to ~11x on Phi (Fig. 6).
+  m.queue_push_cycles = 14.0;
+  m.queue_pop_batch_cycles = 200.0;
+  m.queue_pop_elem_cycles = 6.0;
+  return m;
+}
+
+SimMachine knights_landing() {
+  // 64 cores x 4 SMT = 256 hardware threads; OS ids contiguous per core
+  // like the KNC preset.
+  std::vector<topo::LogicalCpu> cpus;
+  cpus.reserve(64 * 4);
+  for (std::size_t core = 0; core < 64; ++core) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      cpus.push_back(topo::LogicalCpu{
+          .os_id = core * 4 + t, .socket = 0, .core = core, .smt = t});
+    }
+  }
+  SimMachine m{.name = "knights-landing",
+               .topology = topo::Topology("knights-landing", std::move(cpus),
+                                          /*uniform_l2=*/true)};
+  m.freq_ghz = 1.3;
+  // Silvermont-derived 2-wide out-of-order core: far better single-thread
+  // issue than KNC's in-order pipeline, still SMT-hungry.
+  m.thread_ipc = 1.3;
+  m.core_issue = 2.0;
+  m.out_of_order = true;
+  m.l1_bytes = 32e3;
+  m.l2_bytes = 512e3;  // 1MB per 2-core tile -> 512KB per core share
+  m.l2_shared_ring = true;  // mesh: near-uniform inter-core distance
+  m.l3_bytes = 0.0;
+  m.l2_latency = 17.0;
+  m.l3_latency = 0.0;
+  m.mem_latency = 230.0;          // MCDRAM in cache/flat mode
+  m.socket_mem_bw_gbps = 400.0;   // MCDRAM-class bandwidth
+  m.comm_line_same_core = 20.0;
+  m.comm_line_same_socket = 30.0;
+  m.comm_line_cross_socket = 30.0;
+  m.queue_push_cycles = 8.0;
+  m.queue_pop_batch_cycles = 60.0;  // OoO hides part of the handshake
+  m.queue_pop_elem_cycles = 4.0;
+  return m;
+}
+
+}  // namespace ramr::sim

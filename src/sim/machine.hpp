@@ -1,0 +1,91 @@
+// Machine models for the two evaluation platforms.
+//
+// The simulator reproduces the paper's *measured effects* from first-class
+// architectural quantities: SMT issue sharing, cache capacities and their
+// sharing domains, NUMA communication tiers, memory bandwidth, and the
+// costs of the SPSC queue operations. The two presets encode the paper's
+// Sec. IV-A systems:
+//   * haswell(): dual-socket, 14 cores/socket, 2-way HT, 35MB L3/socket,
+//     out-of-order, ~2.6GHz;
+//   * xeon_phi(): 57 in-order cores @1.1GHz, 4-way SMT, 512KB L2 slices
+//     forming one ring-shared L2, no L3 — uniform inter-core distance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "perf/stall_model.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::sim {
+
+struct SimMachine {
+  std::string name;
+  topo::Topology topology;
+
+  // Core model.
+  double freq_ghz = 2.6;
+  double thread_ipc = 2.2;   // peak IPC of one thread alone on a core
+  double core_issue = 3.0;   // total issue the core sustains across SMT
+  bool out_of_order = true;
+
+  // Full (unshared) cache capacities + latencies; per-thread views are
+  // derived by the execution model according to who shares what.
+  double l1_bytes = 32e3;
+  double l2_bytes = 256e3;
+  double l3_bytes = 35e6;  // per socket; 0 = absent
+  double l2_latency = 12.0;
+  double l3_latency = 40.0;
+  double mem_latency = 200.0;
+
+  // Whether L2 is private per core (Haswell) or one shared ring (Phi).
+  bool l2_shared_ring = false;
+
+  double socket_mem_bw_gbps = 60.0;
+
+  // Inter-thread communication: cycles to move one cache line, by distance
+  // tier (consumer-side cost of pulling the producer's line).
+  double comm_line_same_core = 14.0;
+  double comm_line_same_socket = 60.0;
+  double comm_line_cross_socket = 220.0;
+
+  // SPSC queue operation costs (cycles).
+  double queue_push_cycles = 14.0;       // per record, producer side
+  double queue_pop_batch_cycles = 70.0;  // per batch: control-var handshake
+  double queue_pop_elem_cycles = 4.0;    // per record within a batch
+
+  double comm_line(topo::Distance d) const {
+    switch (d) {
+      case topo::Distance::kSameCpu:
+      case topo::Distance::kSameCore:
+        return comm_line_same_core;
+      case topo::Distance::kSameSocket:
+        return comm_line_same_socket;
+      case topo::Distance::kCrossSocket:
+        return comm_line_cross_socket;
+    }
+    return comm_line_cross_socket;
+  }
+};
+
+// The paper's dual-socket Haswell server.
+SimMachine haswell();
+
+// The paper's Xeon Phi (KNC) co-processor.
+SimMachine xeon_phi();
+
+// A Haswell-class machine with a different shape — per-core resources and
+// latencies stay Haswell-like while core count scales (the paper's Sec. I
+// motivation: "it is foreseeable that systems with higher densities will
+// appear"). L3 capacity scales with the core count.
+SimMachine haswell_scaled(std::size_t sockets, std::size_t cores_per_socket,
+                          std::size_t smt);
+
+// What-if platform: Knights Landing (Xeon Phi x200), the successor of the
+// paper's KNC co-processor — 64 out-of-order-lite cores @1.3GHz, 4-way SMT,
+// 1MB L2 per core-pair tile, MCDRAM-class bandwidth. Not evaluated in the
+// paper; included to ask how its conclusions carry to the next generation
+// (bench_ablation_knl).
+SimMachine knights_landing();
+
+}  // namespace ramr::sim

@@ -1,0 +1,146 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ramr::sim {
+
+TransientResult simulate_ramr_transient(const SimMachine& machine,
+                                        const SimWorkload& workload,
+                                        const RamrConfig& config,
+                                        std::size_t max_steps) {
+  // Per-side rates from the steady-state cost model (cycles per byte of the
+  // respective stream).
+  const RamrResult rates = simulate_ramr(machine, workload, config);
+  const double hz = machine.freq_ghz * 1e9;
+  const double kv_per_byte = workload.profile.kv_per_byte;
+  if (kv_per_byte <= 0.0) {
+    throw Error("simulate_ramr_transient: workload emits no records");
+  }
+
+  // One group processes groups'th of the input; mappers split it evenly.
+  const std::size_t groups =
+      std::max<std::size_t>(1, rates.num_combiners);
+  const double group_bytes = workload.input_bytes / static_cast<double>(groups);
+  const double bytes_per_mapper =
+      group_bytes / static_cast<double>(config.ratio);
+  const double records_per_mapper = bytes_per_mapper * kv_per_byte;
+
+  // Producer: records/second while unblocked. Consumer: records/second of
+  // group-stream service capacity.
+  const double produce_rate =
+      hz / rates.mapper_cycles_per_byte * kv_per_byte;
+  const double consume_rate =
+      hz / rates.combiner_cycles_per_byte * kv_per_byte *
+      static_cast<double>(config.ratio);
+
+  // Time step: fine enough that one step moves ~1/8 of a batch.
+  const double batch = static_cast<double>(config.batch);
+  const double dt = std::max(1e-9, batch / std::max(produce_rate, consume_rate) / 8.0);
+  const double capacity = static_cast<double>(config.queue_capacity);
+
+  struct Mapper {
+    double remaining = 0.0;  // records still to produce
+    double depth = 0.0;      // ring occupancy (records)
+    bool closed = false;
+  };
+  std::vector<Mapper> mappers(config.ratio);
+  for (auto& m : mappers) m.remaining = records_per_mapper;
+
+  TransientResult r;
+  const std::size_t kSamples = 512;
+  const double est_time =
+      records_per_mapper / std::min(produce_rate, consume_rate /
+                                    static_cast<double>(config.ratio)) * 1.5;
+  r.sample_period_seconds = std::max(dt, est_time / kSamples);
+  double next_sample = 0.0;
+
+  double t = 0.0;
+  double busy_map_time = 0.0;
+  double busy_comb_time = 0.0;
+  double depth_integral = 0.0;
+  double mapping_time = 0.0;
+  double close_time = -1.0;
+  std::size_t rr_cursor = 0;
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    // ---- producers -------------------------------------------------------
+    // Busy = utilisation: records pushed relative to the unblocked rate.
+    double pushed_total = 0.0;
+    const double push_capacity =
+        produce_rate * dt * static_cast<double>(mappers.size());
+    for (auto& m : mappers) {
+      if (m.closed) continue;
+      if (m.remaining <= 0.0) {
+        m.closed = true;
+        continue;
+      }
+      const double want = std::min(produce_rate * dt, m.remaining);
+      const double space = capacity - m.depth;
+      const double pushed = std::min(want, space);
+      if (pushed > 0.0) {
+        m.depth += pushed;
+        m.remaining -= pushed;
+        r.records_produced += pushed;
+        pushed_total += pushed;
+      }
+      // pushed < want and space exhausted -> blocked (not busy).
+    }
+    busy_map_time += push_capacity > 0.0 ? dt * pushed_total / push_capacity
+                                         : 0.0;
+
+    // ---- consumer (round-robin, batch-quantised) ---------------------------
+    double budget = consume_rate * dt;
+    double consumed_total = 0.0;
+    const bool all_closed =
+        std::all_of(mappers.begin(), mappers.end(),
+                    [](const Mapper& m) { return m.closed; });
+    for (std::size_t i = 0; i < mappers.size() && budget > 0.0; ++i) {
+      Mapper& m = mappers[(rr_cursor + i) % mappers.size()];
+      // Batched consume: a sweep takes up to `batch` contiguous records —
+      // partial batches happen at the stream tail either way.
+      const double available = m.depth;
+      if (available <= 0.0) continue;
+      const double take = std::min({available, batch, budget});
+      m.depth -= take;
+      budget -= take;
+      consumed_total += take;
+    }
+    rr_cursor = (rr_cursor + 1) % mappers.size();
+    r.records_consumed += consumed_total;
+    busy_comb_time += dt * consumed_total / (consume_rate * dt);
+
+    // ---- bookkeeping --------------------------------------------------------
+    double total_depth = 0.0;
+    double max_depth = 0.0;
+    for (const auto& m : mappers) {
+      total_depth += m.depth;
+      max_depth = std::max(max_depth, m.depth);
+    }
+    r.max_depth = std::max(r.max_depth, max_depth);
+    if (!all_closed) {
+      depth_integral += dt * total_depth / static_cast<double>(mappers.size());
+      mapping_time += dt;
+    } else if (close_time < 0.0) {
+      close_time = t;
+    }
+    if (t >= next_sample) {
+      r.depth_series.push_back(mappers[0].depth);
+      next_sample += r.sample_period_seconds;
+    }
+
+    t += dt;
+    if (all_closed && total_depth <= 1e-9) break;  // drained: phase over
+  }
+
+  r.seconds = t;
+  r.mean_depth = mapping_time > 0.0 ? depth_integral / mapping_time : 0.0;
+  r.mapper_busy_fraction = t > 0.0 ? busy_map_time / t : 0.0;
+  r.combiner_busy_fraction = t > 0.0 ? busy_comb_time / t : 0.0;
+  r.drain_tail_seconds = close_time >= 0.0 ? t - close_time : 0.0;
+  return r;
+}
+
+}  // namespace ramr::sim

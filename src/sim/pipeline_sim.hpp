@@ -1,0 +1,49 @@
+// Transient (discrete-time) simulation of the RAMR pipeline.
+//
+// The steady-state model in sim/model.hpp prices the pipeline's *rates*;
+// this simulator plays out its *dynamics* for one representative group:
+// queue fill at start-up, producer blocking against the capacity bound,
+// batch-quantised consumption, and the end-of-stream drain ("Before
+// exiting, combine workers consume any remaining data and empty their
+// assigned queues"). It validates the steady-state makespan (tests assert
+// agreement) and yields the quantities only dynamics can show — occupancy
+// trajectories, blocked-time fractions, drain-tail length — mirroring the
+// diagnostics the real runtime reports (queue_max_occupancy et al.).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/model.hpp"
+#include "sim/workload.hpp"
+
+namespace ramr::sim {
+
+struct TransientResult {
+  double seconds = 0.0;  // map-combine phase makespan
+  // Queue dynamics (elements, per mapper ring).
+  double max_depth = 0.0;
+  double mean_depth = 0.0;                // time-averaged, while mapping
+  std::vector<double> depth_series;       // sampled depth of ring 0
+  double sample_period_seconds = 0.0;
+  // Utilisation over the makespan: work done relative to the unblocked
+  // service rate of each side.
+  double mapper_busy_fraction = 0.0;
+  double combiner_busy_fraction = 0.0;
+  double drain_tail_seconds = 0.0;        // after the last mapper closed
+  // Mass conservation check: records produced == records consumed.
+  double records_produced = 0.0;
+  double records_consumed = 0.0;
+};
+
+// Simulates one group (ratio mappers + 1 combiner) processing its share of
+// the workload, using the per-side costs of the steady-state model. `steps`
+// bounds the simulation (guards pathological configs); the default is ample
+// for every suite workload.
+TransientResult simulate_ramr_transient(const SimMachine& machine,
+                                        const SimWorkload& workload,
+                                        const RamrConfig& config,
+                                        std::size_t max_steps = 2000000);
+
+}  // namespace ramr::sim

@@ -1,0 +1,84 @@
+#include "sim/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace ramr::sim {
+
+using apps::AppId;
+
+double input_bytes_of(AppId app, const apps::InputSize& size) {
+  switch (app) {
+    case AppId::kWordCount:
+    case AppId::kHistogram:
+    case AppId::kLinearRegression:
+      return static_cast<double>(size.primary);  // already bytes
+    case AppId::kKMeans:
+      // 3 floats per point.
+      return static_cast<double>(size.primary) * sizeof(apps::KmPoint);
+    case AppId::kPca:
+      return static_cast<double>(size.primary) *
+             static_cast<double>(size.secondary) * sizeof(double);
+    case AppId::kMatrixMultiply:
+      // A (r x c) and B (c x r).
+      return 2.0 * static_cast<double>(size.primary) *
+             static_cast<double>(size.secondary) * sizeof(double);
+  }
+  throw Error("input_bytes_of: unknown app");
+}
+
+SimWorkload suite_workload(AppId app, apps::ContainerFlavor flavor,
+                           apps::PlatformId platform, apps::SizeClass size) {
+  SimWorkload w;
+  w.profile = perf::app_profile(app, flavor);
+  const apps::InputSize in = apps::table1_input(app, platform, size);
+  w.input_bytes = input_bytes_of(app, in);
+  w.name = std::string(apps::app_name(app)) + "/" +
+           apps::to_string(flavor) + "/" + in.describe(app);
+  return w;
+}
+
+SimWorkload synth_workload(const synth::SynthParams& params) {
+  using synth::WorkKind;
+  SimWorkload w;
+  w.name = std::string("synth(map=") + synth::to_string(params.map_kind) +
+           ":" + std::to_string(params.map_intensity) +
+           ",combine=" + synth::to_string(params.combine_kind) + ":" +
+           std::to_string(params.combine_intensity) + ")";
+  // One synthetic element is one 8-byte unit of input.
+  constexpr double kElementBytes = 8.0;
+  w.input_bytes = static_cast<double>(params.elements) * kElementBytes;
+
+  auto phase = [&](WorkKind kind, std::uint64_t intensity,
+                   std::size_t arena_bytes) {
+    perf::PhaseProfile p;
+    if (kind == WorkKind::kCpu) {
+      // cpu_kernel: sin+exp+sqrt+fixups ~ 25 instructions per iteration on
+      // a tiny contiguous buffer.
+      p.instr_per_byte = 25.0 * static_cast<double>(intensity) / kElementBytes;
+      p.bytes_per_byte = 0.5;
+      p.footprint_bytes = 4e3;
+      p.regularity = 0.98;
+      p.resource_pressure = 0.45;  // long dependent FP chains
+    } else {
+      // memory_kernel: ~4 instructions but one dependent 64-byte line per
+      // hop over a wide arena.
+      p.instr_per_byte = 4.0 * static_cast<double>(intensity) / kElementBytes;
+      p.bytes_per_byte =
+          64.0 * static_cast<double>(intensity) / kElementBytes;
+      p.footprint_bytes = static_cast<double>(arena_bytes);
+      p.regularity = 0.02;
+      p.resource_pressure = 0.35;  // LSB fills behind the chase
+    }
+    return p;
+  };
+  w.profile.name = "synth";
+  w.profile.map = phase(params.map_kind, params.map_intensity,
+                        params.arena_bytes);
+  w.profile.combine = phase(params.combine_kind, params.combine_intensity,
+                            params.arena_bytes);
+  w.profile.kv_per_byte = 1.0 / kElementBytes;
+  w.profile.kv_bytes = static_cast<double>(sizeof(synth::SynthValue));
+  return w;
+}
+
+}  // namespace ramr::sim

@@ -1,0 +1,32 @@
+// Simulator workload descriptions: a workload = an app profile + the input
+// volume it processes.
+#pragma once
+
+#include <string>
+
+#include "apps/flavor.hpp"
+#include "apps/suite.hpp"
+#include "perf/profiles.hpp"
+#include "synth/synth_app.hpp"
+
+namespace ramr::sim {
+
+struct SimWorkload {
+  std::string name;
+  perf::AppProfile profile;
+  double input_bytes = 0.0;
+};
+
+// A suite app at a Table I input size.
+SimWorkload suite_workload(apps::AppId app, apps::ContainerFlavor flavor,
+                           apps::PlatformId platform, apps::SizeClass size);
+
+// Actual processed bytes behind a Table I cell (points/matrices converted
+// to their in-memory sizes).
+double input_bytes_of(apps::AppId app, const apps::InputSize& size);
+
+// The synthetic test-suite workload (Sec. III-C / Fig. 4): derives a
+// profile from the kernel kinds/intensities.
+SimWorkload synth_workload(const synth::SynthParams& params);
+
+}  // namespace ramr::sim

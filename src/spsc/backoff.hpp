@@ -1,0 +1,76 @@
+// Backoff policies for full-queue (producer) and empty-queue (consumer)
+// conditions.
+//
+// Paper Sec. III-A, "Sleep on failed push": pushes must always eventually
+// succeed (dropping or overwriting elements violates correctness), so a
+// mapper facing a full queue must wait. The paper found that sleeping after
+// a failed trial beats busy-waiting — the sleeping mapper frees the
+// (SMT-shared) core for the combiner that must drain the queue.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+namespace ramr::spsc {
+
+// Architectural pause; keeps the spinning hyper-thread from starving its
+// sibling and saves power. Falls back to a compiler barrier elsewhere.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Busy-wait: pure spinning with a periodic yield so that oversubscribed
+// hosts (more threads than cores — always true for the modelled platforms
+// run on a laptop) still make progress within a scheduling quantum.
+class BusyWaitBackoff {
+ public:
+  void wait() {
+    if ((++spins_ & 0x3ffU) == 0) {
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  unsigned spins_ = 0;
+};
+
+// Sleep-on-failed-push: spin briefly (the queue usually frees space within
+// a few hundred cycles), then sleep for a fixed period. This is the RAMR
+// default.
+class SleepBackoff {
+ public:
+  explicit SleepBackoff(std::chrono::microseconds sleep_period,
+                        unsigned spin_limit = 64)
+      : sleep_period_(sleep_period), spin_limit_(spin_limit) {}
+
+  void wait() {
+    if (spins_ < spin_limit_) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      ++sleeps_;
+      std::this_thread::sleep_for(sleep_period_);
+    }
+  }
+  void reset() { spins_ = 0; }
+
+  // Number of actual sleeps performed since construction (instrumentation
+  // for the backoff ablation bench).
+  std::size_t sleep_count() const { return sleeps_; }
+
+ private:
+  std::chrono::microseconds sleep_period_;
+  unsigned spin_limit_;
+  unsigned spins_ = 0;
+  std::size_t sleeps_ = 0;
+};
+
+}  // namespace ramr::spsc

@@ -1,0 +1,95 @@
+// Mutex-protected, dynamically allocated queue — the ablation baseline.
+//
+// Paper Sec. III-A: "A fixed-size queue has been favored instead of a
+// dynamically resizable queue because of the limited scalability and
+// performance penalty imposed by dynamic memory allocators". This class is
+// what RAMR deliberately does NOT use; it exists so the ablation bench
+// (bench_ablation_queue) can quantify that claim on real hardware.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ramr::spsc {
+
+template <typename T>
+class DynamicQueue {
+ public:
+  // `soft_capacity` bounds occupancy for fairness with the fixed ring
+  // (0 = unbounded, the classic resizable-deque behaviour).
+  explicit DynamicQueue(std::size_t soft_capacity = 0)
+      : soft_capacity_(soft_capacity) {}
+
+  void push(T value) {
+    std::unique_lock lock(mutex_);
+    if (soft_capacity_ != 0) {
+      not_full_.wait(lock, [&] { return items_.size() < soft_capacity_; });
+    }
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (soft_capacity_ != 0 && items_.size() >= soft_capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard lock(mutex_);
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  // Blocking pop; returns nullopt only after close() with the queue empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t soft_capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ramr::spsc

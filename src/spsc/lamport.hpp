@@ -1,0 +1,89 @@
+// Plain Lamport SPSC queue — the textbook variant WITHOUT the cached-index
+// optimisation.
+//
+// The paper (Sec. III-A) settled on the Boost SPSC queue "after
+// benchmarking several SPSC buffers in terms of concurrent read-write
+// throughput"; this class reproduces the baseline of that comparison. Every
+// try_push reads the consumer-owned head and every try_pop reads the
+// producer-owned tail, so under load the control variables ping-pong
+// between the two cores on every operation — exactly the coherence traffic
+// Ring<T>'s cached indices avoid. bench_spsc_queue quantifies the gap.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+
+namespace ramr::spsc {
+
+template <typename T>
+class LamportQueue {
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  explicit LamportQueue(std::size_t capacity) {
+    if (capacity < 2) throw ConfigError("LamportQueue capacity must be >= 2");
+    std::size_t pow2 = 2;
+    while (pow2 < capacity) pow2 <<= 1;
+    capacity_ = pow2;
+    mask_ = pow2 - 1;
+    slots_ = static_cast<T*>(::operator new[](
+        capacity_ * sizeof(T), std::align_val_t(alignof(T))));
+  }
+
+  ~LamportQueue() {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    for (std::size_t i = head; i != tail; ++i) slots_[i & mask_].~T();
+    ::operator delete[](static_cast<void*>(slots_),
+                        std::align_val_t(alignof(T)));
+  }
+
+  LamportQueue(const LamportQueue&) = delete;
+  LamportQueue& operator=(const LamportQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    // No producer-side cache: this acquire hits the consumer's line every
+    // single call — the cost the optimised ring removes.
+    const std::size_t head = head_.value.load(std::memory_order_acquire);
+    if (tail - head >= capacity_) return false;
+    ::new (static_cast<void*>(&slots_[tail & mask_])) T(std::move(value));
+    tail_.value.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  bool try_push(const T& value) { return try_push(T(value)); }
+
+  bool try_pop(T& out) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.value.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    T& slot = slots_[head & mask_];
+    out = std::move(slot);
+    slot.~T();
+    head_.value.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size() const {
+    return tail_.value.load(std::memory_order_acquire) -
+           head_.value.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  T* slots_ = nullptr;
+  CacheAligned<std::atomic<std::size_t>> head_{std::size_t{0}};
+  CacheAligned<std::atomic<std::size_t>> tail_{std::size_t{0}};
+};
+
+}  // namespace ramr::spsc

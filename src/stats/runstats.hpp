@@ -1,0 +1,41 @@
+// Streaming statistics over repeated measurements.
+//
+// The paper reports every plotted value as "the average of 20 runs, with a
+// standard deviation of ~1%"; RunStats is the accumulator benches use for
+// that (Welford's online algorithm: numerically stable, single pass).
+#pragma once
+
+#include <cstddef>
+
+namespace ramr::stats {
+
+class RunStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  // Sample variance/stddev (n-1 denominator); 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+  // Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const;
+
+  void reset() { *this = RunStats{}; }
+
+  // Merge another accumulator (parallel reduction of per-thread stats).
+  void merge(const RunStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ramr::stats

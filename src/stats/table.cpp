@@ -1,0 +1,101 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ramr::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  std::size_t total = 1;
+  for (std::size_t w : width) total += w + 3;
+  const std::string rule(total, '-');
+  os << rule << '\n';
+  print_row(header_);
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os << rule << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_series(std::ostream& os, const std::string& x_label,
+                  const std::vector<Series>& series, int precision) {
+  if (series.empty()) return;
+  const auto& x0 = series.front().x;
+  for (const auto& s : series) {
+    if (s.x != x0) {
+      throw Error("print_series: series '" + s.name +
+                  "' has a different x vector than '" + series.front().name +
+                  "'");
+    }
+    if (s.y.size() != s.x.size()) {
+      throw Error("print_series: series '" + s.name + "' has " +
+                  std::to_string(s.y.size()) + " y values for " +
+                  std::to_string(s.x.size()) + " x values");
+    }
+  }
+  std::vector<std::string> header{x_label};
+  for (const auto& s : series) header.push_back(s.name);
+  Table table(std::move(header));
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    std::vector<std::string> row{Table::fmt(x0[i], precision)};
+    for (const auto& s : series) row.push_back(Table::fmt(s.y[i], precision));
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+}  // namespace ramr::stats

@@ -1,0 +1,54 @@
+// Plain-text table writer used by the bench harness to print the same
+// rows/series the paper's tables and figures report. Columns auto-size;
+// optional CSV output for plotting.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ramr::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  // Aligned, boxed-with-dashes rendering.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A named (x, y) series, the unit of "one curve in a figure".
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+// Prints a set of series as one table: first column x, one column per series.
+// All series must share the same x vector (checked; throws ramr::Error).
+void print_series(std::ostream& os, const std::string& x_label,
+                  const std::vector<Series>& series, int precision = 3);
+
+}  // namespace ramr::stats

@@ -1,0 +1,64 @@
+#include "synth/kernels.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ramr::synth {
+
+const char* to_string(WorkKind kind) {
+  return kind == WorkKind::kCpu ? "cpu" : "memory";
+}
+
+double cpu_kernel(std::uint64_t iterations, double seed_value) {
+  // Spread seeds across (0.25, 1.25) and accumulate the trajectory so the
+  // result is seed-dependent even if the iteration converges.
+  double x = 0.25 + std::fmod(std::abs(seed_value), 997.0) / 997.0;
+  double acc = x;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    x = std::sin(x) + std::exp(-x) + std::sqrt(x + 1.5);
+    x = x - std::floor(x) + 0.25;  // keep in a stable range
+    acc += x * 1e-3;
+  }
+  return acc;
+}
+
+std::vector<std::uint64_t> make_chase_arena(std::size_t bytes,
+                                            std::uint64_t seed) {
+  const std::size_t slots = bytes / sizeof(std::uint64_t);
+  if (slots < 2) throw Error("make_chase_arena: arena too small");
+  // Sattolo's algorithm: a uniform random single-cycle permutation.
+  std::vector<std::uint64_t> next(slots);
+  for (std::size_t i = 0; i < slots; ++i) next[i] = i;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = slots - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i);  // j in [0, i)
+    std::swap(next[i], next[j]);
+  }
+  return next;
+}
+
+std::uint64_t memory_kernel(const std::vector<std::uint64_t>& arena,
+                            std::uint64_t steps, std::uint64_t start) {
+  std::uint64_t idx = start % arena.size();
+  for (std::uint64_t i = 0; i < steps; ++i) idx = arena[idx];
+  return idx;
+}
+
+double run_kernel(WorkKind kind, std::uint64_t intensity,
+                  std::uint64_t seed_value, std::size_t arena_bytes) {
+  if (kind == WorkKind::kCpu) {
+    return cpu_kernel(intensity, static_cast<double>(seed_value & 0xffff));
+  }
+  // One arena per (thread, size): combiner threads chase through their own
+  // wide dataset, as the paper's synthetic memory workload prescribes.
+  thread_local std::unordered_map<std::size_t, std::vector<std::uint64_t>>
+      arenas;
+  auto& arena = arenas[arena_bytes];
+  if (arena.empty()) arena = make_chase_arena(arena_bytes, 0xa2e4a);
+  return static_cast<double>(memory_kernel(arena, intensity, seed_value));
+}
+
+}  // namespace ramr::synth

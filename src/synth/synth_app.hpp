@@ -1,0 +1,110 @@
+// The workload-aware synthetic application (paper Sec. III-C / Fig. 4).
+//
+// An AppSpec whose map and combine costs are dialled independently: kind
+// (CPU- or memory-intensive) and intensity (kernel iterations per element)
+// for each side. The combine work is carried *inside the value* flowing
+// through the pipeline, so it executes wherever the runtime applies the
+// combine function — inline on the worker under Phoenix++, on the combiner
+// thread under RAMR. That is exactly the decoupling the paper studies.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "containers/fixed_array_container.hpp"
+#include "synth/kernels.hpp"
+
+namespace ramr::synth {
+
+struct SynthParams {
+  // Map side.
+  WorkKind map_kind = WorkKind::kCpu;
+  std::uint64_t map_intensity = 64;  // kernel iterations per element
+
+  // Combine side (executed by whoever applies the combiner).
+  WorkKind combine_kind = WorkKind::kMemory;
+  std::uint64_t combine_intensity = 16;
+
+  // Shape.
+  std::size_t elements = 100000;
+  std::size_t keys = 64;
+  std::size_t split_elements = 1024;
+
+  // Arena width for memory-intensive kernels (per-thread working set; wide
+  // enough to defeat the private caches).
+  std::size_t arena_bytes = 8u << 20;
+};
+
+// The value type: carries its own combine recipe plus a payload sink.
+struct SynthValue {
+  std::uint8_t combine_kind = 0;
+  std::uint32_t combine_intensity = 0;
+  std::uint32_t arena_mb = 8;
+  std::uint64_t payload = 0;
+  double sink = 0.0;
+};
+
+// Combiner that performs the configured work per combined value.
+struct SynthCombiner {
+  using value_type = SynthValue;
+  static SynthValue identity() { return SynthValue{}; }
+  static void combine(SynthValue& acc, const SynthValue& v) {
+    acc.sink += run_kernel(static_cast<WorkKind>(v.combine_kind),
+                           v.combine_intensity, v.payload,
+                           static_cast<std::size_t>(v.arena_mb) << 20);
+    acc.payload += v.payload;
+    acc.combine_kind = v.combine_kind;
+    acc.combine_intensity = v.combine_intensity;
+    acc.arena_mb = v.arena_mb;
+  }
+};
+
+struct SynthApp {
+  static constexpr const char* kName = "synth";
+
+  using input_type = SynthParams;
+  using container_type =
+      containers::FixedArrayContainer<SynthValue, SynthCombiner>;
+
+  std::size_t num_splits(const input_type& in) const {
+    if (in.elements == 0) return 0;
+    return (in.elements + in.split_elements - 1) / in.split_elements;
+  }
+
+  container_type make_container() const {
+    return container_type(container_keys);
+  }
+
+  // Must match input.keys (container sizing happens before run()).
+  std::size_t container_keys = 64;
+
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    const std::size_t begin = split * in.split_elements;
+    const std::size_t end =
+        std::min(begin + in.split_elements, in.elements);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double r =
+          run_kernel(in.map_kind, in.map_intensity, i, in.arena_bytes);
+      SynthValue v;
+      v.combine_kind = static_cast<std::uint8_t>(in.combine_kind);
+      v.combine_intensity = static_cast<std::uint32_t>(in.combine_intensity);
+      v.arena_mb =
+          static_cast<std::uint32_t>(std::max<std::size_t>(1, in.arena_bytes >> 20));
+      v.payload = i;
+      v.sink = r;
+      emit(i % in.keys, v);
+    }
+  }
+};
+
+// Expected sum of payloads (each element's index emitted once) — the
+// correctness invariant tests assert after any knob combination.
+constexpr std::uint64_t synth_expected_payload_sum(std::size_t elements) {
+  return elements == 0
+             ? 0
+             : static_cast<std::uint64_t>(elements) * (elements - 1) / 2;
+}
+
+}  // namespace ramr::synth

@@ -1,0 +1,156 @@
+#include "topology/pinning.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ramr::topo {
+
+std::size_t PinningPlan::num_mappers() const {
+  std::size_t n = 0;
+  for (const auto& group : mappers_of_combiner) n += group.size();
+  return n;
+}
+
+std::size_t PinningPlan::combiner_of_mapper(std::size_t mapper) const {
+  for (std::size_t j = 0; j < mappers_of_combiner.size(); ++j) {
+    for (std::size_t m : mappers_of_combiner[j]) {
+      if (m == mapper) return j;
+    }
+  }
+  throw Error("mapper index " + std::to_string(mapper) +
+              " not present in pinning plan");
+}
+
+double PinningPlan::mean_pair_distance(const Topology& topo) const {
+  if (mapper_cpu.empty() || combiner_cpu.empty()) {
+    // Unpinned: model as the expected distance of random placement — the
+    // worst tier present in the machine (conservative; the Linux scheduler
+    // does better sometimes, which the simulator models separately).
+    return topo.num_sockets() > 1
+               ? static_cast<double>(Distance::kCrossSocket)
+               : static_cast<double>(Distance::kSameSocket);
+  }
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t j = 0; j < mappers_of_combiner.size(); ++j) {
+    for (std::size_t m : mappers_of_combiner[j]) {
+      sum += static_cast<double>(
+          topo.distance(mapper_cpu.at(m), combiner_cpu.at(j)));
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+std::string PinningPlan::summary(const Topology& topo) const {
+  std::ostringstream os;
+  os << "policy=" << to_string(policy) << " mappers=" << num_mappers()
+     << " combiners=" << num_combiners();
+  os.precision(3);
+  os << " mean_pair_distance=" << mean_pair_distance(topo);
+  return os.str();
+}
+
+std::vector<std::vector<std::size_t>> assign_mappers_to_combiners(
+    std::size_t num_mappers, std::size_t num_combiners) {
+  if (num_mappers == 0 || num_combiners == 0) {
+    throw ConfigError("need at least one mapper and one combiner");
+  }
+  if (num_combiners > num_mappers) {
+    throw ConfigError("more combiners than mappers (" +
+                      std::to_string(num_combiners) + " > " +
+                      std::to_string(num_mappers) + ")");
+  }
+  std::vector<std::vector<std::size_t>> groups(num_combiners);
+  const std::size_t base = num_mappers / num_combiners;
+  const std::size_t extra = num_mappers % num_combiners;
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < num_combiners; ++j) {
+    const std::size_t size = base + (j < extra ? 1 : 0);
+    for (std::size_t k = 0; k < size; ++k) groups[j].push_back(next++);
+  }
+  return groups;
+}
+
+PinningPlan make_plan(const Topology& topo, PinPolicy policy,
+                      std::size_t num_mappers, std::size_t num_combiners) {
+  PinningPlan plan;
+  plan.policy = policy;
+  plan.mappers_of_combiner =
+      assign_mappers_to_combiners(num_mappers, num_combiners);
+
+  if (policy == PinPolicy::kOsDefault) {
+    return plan;
+  }
+
+  const std::size_t total = num_mappers + num_combiners;
+  if (total > topo.num_logical()) {
+    throw ConfigError("pinning " + std::to_string(total) + " threads onto " +
+                      std::to_string(topo.num_logical()) + " logical CPUs (" +
+                      topo.name() + ") is oversubscribed; use the os policy");
+  }
+
+  plan.mapper_cpu.resize(num_mappers);
+  plan.combiner_cpu.resize(num_combiners);
+
+  if (policy == PinPolicy::kRoundRobin) {
+    // Role-oblivious (the paper's RR baseline): threads take OS CPUs in
+    // plain enumeration order with no regard for which mapper feeds which
+    // combiner. The two pools are created independently, so the OS id a
+    // combiner receives bears no relation to its queue partners; rotating
+    // the combiner block by half models that decorrelation (a plain
+    // continuation would, for mappers == combiners under the usual Linux
+    // enumeration, *accidentally* reproduce the paired layout: cpu j and
+    // cpu j + N/2 are SMT siblings).
+    const std::size_t n = topo.num_logical();
+    for (std::size_t m = 0; m < num_mappers; ++m) {
+      plan.mapper_cpu[m] = topo.cpus()[m % n].os_id;
+    }
+    for (std::size_t j = 0; j < num_combiners; ++j) {
+      const std::size_t rotated = (j + num_combiners / 2) % num_combiners;
+      plan.combiner_cpu[j] = topo.cpus()[(num_mappers + rotated) % n].os_id;
+    }
+    return plan;
+  }
+
+  // kRamrPaired: consume the proximity order group by group. Within a
+  // group, the combiner sits in the middle of its mappers (for ratio 1 it
+  // becomes the SMT sibling; for larger ratios it stays inside the group's
+  // cache domain either way). Groups are aligned to SMT-sibling boundaries
+  // when the machine has slack: an unaligned group would push every later
+  // combiner off its mappers' physical core.
+  const std::vector<std::size_t> order = topo.proximity_order();
+  const std::size_t smt = topo.smt_per_core();
+  // Slack available for alignment padding.
+  std::size_t slack = topo.num_logical() - total;
+  std::size_t cursor = 0;
+  for (std::size_t j = 0; j < plan.mappers_of_combiner.size(); ++j) {
+    const auto& group = plan.mappers_of_combiner[j];
+    if (smt > 1 && cursor % smt != 0) {
+      const std::size_t pad = smt - cursor % smt;
+      if (pad <= slack) {
+        cursor += pad;
+        slack -= pad;
+      }
+    }
+    // Slots for this group: group.size() mappers + 1 combiner.
+    std::vector<std::size_t> slots;
+    slots.reserve(group.size() + 1);
+    for (std::size_t k = 0; k < group.size() + 1; ++k) {
+      slots.push_back(order.at(cursor++));
+    }
+    // Mapper k gets slot k for k < half, combiner takes the slot after the
+    // first mapper so ratio-1 pairs are SMT siblings; remaining mappers
+    // shift one right.
+    plan.combiner_cpu[j] = slots[1 % slots.size()];
+    std::size_t slot_idx = 0;
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      if (slot_idx == 1 && slots.size() > 1) ++slot_idx;  // combiner's slot
+      plan.mapper_cpu[group[k]] = slots[slot_idx++];
+    }
+  }
+  return plan;
+}
+
+}  // namespace ramr::topo

@@ -1,0 +1,69 @@
+// Thread-to-CPU placement plans (paper Sec. III-B, Fig. 3, evaluated
+// Sec. IV-B / Fig. 5).
+//
+// A plan answers three questions for a (num_mappers, num_combiners) pair:
+//   1. which mapper queues each combiner drains (same for every policy —
+//      combiner j gets a contiguous block of mappers of size ~ratio);
+//   2. which logical CPU each mapper thread is pinned to;
+//   3. which logical CPU each combiner thread is pinned to.
+// Under kOsDefault the CPU assignments are empty (threads run unpinned and
+// the OS may migrate them).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::topo {
+
+struct PinningPlan {
+  PinPolicy policy = PinPolicy::kOsDefault;
+
+  // mapper_of_combiner[j] = indices of the mappers whose queues combiner j
+  // drains. Always populated; partitions [0, num_mappers).
+  std::vector<std::vector<std::size_t>> mappers_of_combiner;
+
+  // OS CPU ids; empty vectors under kOsDefault.
+  std::vector<std::size_t> mapper_cpu;
+  std::vector<std::size_t> combiner_cpu;
+
+  std::size_t num_mappers() const;
+  std::size_t num_combiners() const { return mappers_of_combiner.size(); }
+
+  // Combiner draining mapper i (inverse of mappers_of_combiner).
+  std::size_t combiner_of_mapper(std::size_t mapper) const;
+
+  // Mean Distance between each mapper and its combiner — the quantity the
+  // RAMR policy minimises; used by tests and the simulator's communication
+  // cost model.
+  double mean_pair_distance(const Topology& topo) const;
+
+  std::string summary(const Topology& topo) const;
+};
+
+// Builds the queue assignment only (policy-independent): splits mappers into
+// num_combiners contiguous groups, sizes differing by at most one.
+std::vector<std::vector<std::size_t>> assign_mappers_to_combiners(
+    std::size_t num_mappers, std::size_t num_combiners);
+
+// Builds a full plan for the given policy. Throws ramr::ConfigError when
+// num_mappers + num_combiners exceeds the machine's logical CPUs for a
+// pinning policy (the OS-default policy accepts any count), or when either
+// count is zero.
+//
+//   * kRamrPaired — walk the topology's proximity order; each combiner group
+//     (its mappers plus the combiner itself) occupies consecutive slots, so
+//     with ratio 1 the pair shares a physical core (L1/L2), and larger
+//     groups stay within the smallest enclosing cache domain.
+//   * kRoundRobin — thread i (mappers first, then combiners) is pinned to
+//     OS CPU (i % num_logical), role-oblivious, matching the paper's RR
+//     baseline.
+//   * kOsDefault — no pinning.
+PinningPlan make_plan(const Topology& topo, PinPolicy policy,
+                      std::size_t num_mappers, std::size_t num_combiners);
+
+}  // namespace ramr::topo

@@ -1,0 +1,207 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace ramr::topo {
+
+Topology::Topology(std::string name, std::vector<LogicalCpu> cpus,
+                   bool uniform_l2)
+    : name_(std::move(name)), cpus_(std::move(cpus)), uniform_l2_(uniform_l2) {
+  if (cpus_.empty()) {
+    throw Error("Topology '" + name_ + "' has no CPUs");
+  }
+  std::sort(cpus_.begin(), cpus_.end(),
+            [](const LogicalCpu& a, const LogicalCpu& b) {
+              return a.os_id < b.os_id;
+            });
+  for (std::size_t i = 0; i + 1 < cpus_.size(); ++i) {
+    if (cpus_[i].os_id == cpus_[i + 1].os_id) {
+      throw Error("Topology '" + name_ + "' has duplicate os_id " +
+                  std::to_string(cpus_[i].os_id));
+    }
+  }
+  std::set<std::size_t> sockets;
+  std::set<std::size_t> cores;
+  std::size_t max_smt = 0;
+  for (const LogicalCpu& c : cpus_) {
+    sockets.insert(c.socket);
+    cores.insert(c.core);
+    max_smt = std::max(max_smt, c.smt);
+  }
+  num_sockets_ = sockets.size();
+  num_cores_ = cores.size();
+  smt_per_core_ = max_smt + 1;
+}
+
+const LogicalCpu& Topology::by_os_id(std::size_t os_id) const {
+  // cpus_ is sorted by os_id; ids are usually dense, so try direct index.
+  if (os_id < cpus_.size() && cpus_[os_id].os_id == os_id) return cpus_[os_id];
+  auto it = std::lower_bound(
+      cpus_.begin(), cpus_.end(), os_id,
+      [](const LogicalCpu& c, std::size_t id) { return c.os_id < id; });
+  if (it == cpus_.end() || it->os_id != os_id) {
+    throw Error("Topology '" + name_ + "' has no CPU with os_id " +
+                std::to_string(os_id));
+  }
+  return *it;
+}
+
+Distance Topology::distance(std::size_t os_a, std::size_t os_b) const {
+  const LogicalCpu& a = by_os_id(os_a);
+  const LogicalCpu& b = by_os_id(os_b);
+  if (a.os_id == b.os_id) return Distance::kSameCpu;
+  if (a.core == b.core) return Distance::kSameCore;
+  if (a.socket == b.socket) return Distance::kSameSocket;
+  return Distance::kCrossSocket;
+}
+
+std::vector<std::size_t> Topology::proximity_order() const {
+  // Sort by (socket, core, smt): SMT siblings adjacent, then cores within a
+  // socket, then sockets. This is exactly the thridtocpu() sequence of
+  // Fig. 3: for the 2x4x2 example it yields 0,8,1,9,2,10,3,11,4,12,...
+  std::vector<std::size_t> order(cpus_.size());
+  std::vector<const LogicalCpu*> ptrs(cpus_.size());
+  for (std::size_t i = 0; i < cpus_.size(); ++i) ptrs[i] = &cpus_[i];
+  std::sort(ptrs.begin(), ptrs.end(),
+            [](const LogicalCpu* a, const LogicalCpu* b) {
+              if (a->socket != b->socket) return a->socket < b->socket;
+              if (a->core != b->core) return a->core < b->core;
+              return a->smt < b->smt;
+            });
+  for (std::size_t i = 0; i < ptrs.size(); ++i) order[i] = ptrs[i]->os_id;
+  return order;
+}
+
+std::string Topology::summary() const {
+  std::ostringstream os;
+  os << name_ << ": " << num_sockets_ << " socket(s) x "
+     << num_cores_ / num_sockets_ << " core(s) x " << smt_per_core_
+     << " thread(s) = " << num_logical() << " logical CPUs"
+     << (uniform_l2_ ? " [uniform shared L2]" : "");
+  return os.str();
+}
+
+namespace {
+
+// Builds the interleaved Linux enumeration: for each SMT level, for each
+// socket, for each core: one logical CPU. os ids are assigned in that scan
+// order, so SMT siblings sit num_sockets*cores_per_socket apart.
+Topology make_interleaved(std::string name, std::size_t sockets,
+                          std::size_t cores_per_socket, std::size_t smt,
+                          bool uniform_l2) {
+  std::vector<LogicalCpu> cpus;
+  cpus.reserve(sockets * cores_per_socket * smt);
+  std::size_t os_id = 0;
+  for (std::size_t t = 0; t < smt; ++t) {
+    for (std::size_t s = 0; s < sockets; ++s) {
+      for (std::size_t c = 0; c < cores_per_socket; ++c) {
+        cpus.push_back(LogicalCpu{.os_id = os_id++,
+                                  .socket = s,
+                                  .core = s * cores_per_socket + c,
+                                  .smt = t});
+      }
+    }
+  }
+  return Topology(std::move(name), std::move(cpus), uniform_l2);
+}
+
+}  // namespace
+
+Topology haswell_server() {
+  return make_interleaved("haswell-server", /*sockets=*/2,
+                          /*cores_per_socket=*/14, /*smt=*/2,
+                          /*uniform_l2=*/false);
+}
+
+Topology make_server(const std::string& name, std::size_t sockets,
+                     std::size_t cores_per_socket, std::size_t smt) {
+  return make_interleaved(name, sockets, cores_per_socket, smt,
+                          /*uniform_l2=*/false);
+}
+
+Topology xeon_phi() {
+  // One "socket"; contiguous ids per core (core = os_id / 4).
+  std::vector<LogicalCpu> cpus;
+  cpus.reserve(57 * 4);
+  for (std::size_t core = 0; core < 57; ++core) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      cpus.push_back(LogicalCpu{
+          .os_id = core * 4 + t, .socket = 0, .core = core, .smt = t});
+    }
+  }
+  return Topology("xeon-phi", std::move(cpus), /*uniform_l2=*/true);
+}
+
+Topology fig3_example() {
+  return make_interleaved("fig3-example", /*sockets=*/2,
+                          /*cores_per_socket=*/4, /*smt=*/2,
+                          /*uniform_l2=*/false);
+}
+
+namespace {
+
+// Reads a small integer file like /sys/devices/system/cpu/cpu3/topology/
+// core_id; returns false on any problem.
+bool read_sys_value(const std::string& path, std::size_t& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  long long v = -1;
+  in >> v;
+  if (!in || v < 0) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Topology host() {
+  std::vector<LogicalCpu> cpus;
+  const std::string base = "/sys/devices/system/cpu/cpu";
+  for (std::size_t id = 0;; ++id) {
+    std::size_t pkg = 0;
+    std::size_t core = 0;
+    const std::string dir = base + std::to_string(id) + "/topology/";
+    if (!read_sys_value(dir + "physical_package_id", pkg)) break;
+    if (!read_sys_value(dir + "core_id", core)) break;
+    cpus.push_back(LogicalCpu{.os_id = id, .socket = pkg, .core = core,
+                              .smt = 0});
+  }
+  if (!cpus.empty()) {
+    // core_id values from /sys are per-package and may repeat across
+    // packages; renumber (socket, core_id) pairs globally and derive smt
+    // indices by arrival order within a physical core.
+    std::vector<std::pair<std::size_t, std::size_t>> seen;  // (socket, core)
+    std::vector<std::size_t> smt_count;
+    for (LogicalCpu& c : cpus) {
+      const std::pair<std::size_t, std::size_t> key{c.socket, c.core};
+      auto it = std::find(seen.begin(), seen.end(), key);
+      std::size_t idx;
+      if (it == seen.end()) {
+        idx = seen.size();
+        seen.push_back(key);
+        smt_count.push_back(0);
+      } else {
+        idx = static_cast<std::size_t>(it - seen.begin());
+      }
+      c.core = idx;
+      c.smt = smt_count[idx]++;
+    }
+    return Topology("host", std::move(cpus));
+  }
+  // Fallback: flat topology, one socket, no SMT information.
+  const unsigned hc = std::thread::hardware_concurrency();
+  const std::size_t n = hc == 0 ? 1 : hc;
+  cpus.clear();
+  for (std::size_t id = 0; id < n; ++id) {
+    cpus.push_back(LogicalCpu{.os_id = id, .socket = 0, .core = id, .smt = 0});
+  }
+  return Topology("host-flat", std::move(cpus));
+}
+
+}  // namespace ramr::topo

@@ -1,0 +1,105 @@
+// Hardware topology description and platform presets.
+//
+// The pinning policy (paper Sec. III-B, Fig. 3) needs to know, for every
+// logical CPU the OS exposes: which socket/NUMA node it belongs to, which
+// physical core it is a hyper-thread of, and how OS ids map onto that
+// physical layout. This module models that, provides the two evaluation
+// platforms (Haswell server, Xeon Phi) plus the paper's Fig. 3 example as
+// presets, and can detect the host machine from /sys on Linux.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ramr::topo {
+
+struct LogicalCpu {
+  std::size_t os_id = 0;   // id as used by sched_setaffinity
+  std::size_t socket = 0;  // package / NUMA node
+  std::size_t core = 0;    // physical core, globally numbered
+  std::size_t smt = 0;     // hyper-thread index within the core
+};
+
+// How far apart two logical CPUs are, in "communication cost" tiers. The
+// paper's pinning policy minimises exactly this ("minimizes the distance in
+// logical core units of co-operating threads").
+enum class Distance : int {
+  kSameCpu = 0,     // the same logical CPU
+  kSameCore = 1,    // SMT siblings: shared L1/L2
+  kSameSocket = 2,  // same package: shared L3 (HWL) / shared ring-L2 (PHI)
+  kCrossSocket = 3, // QPI hop between NUMA nodes
+};
+
+class Topology {
+ public:
+  Topology(std::string name, std::vector<LogicalCpu> cpus,
+           bool uniform_l2 = false);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_logical() const { return cpus_.size(); }
+  std::size_t num_sockets() const { return num_sockets_; }
+  std::size_t num_cores() const { return num_cores_; }
+  std::size_t smt_per_core() const { return smt_per_core_; }
+
+  // All CPUs in OS-id order.
+  const std::vector<LogicalCpu>& cpus() const { return cpus_; }
+  // Lookup by OS id; throws ramr::Error for unknown ids.
+  const LogicalCpu& by_os_id(std::size_t os_id) const;
+
+  // Whether cores share one uniform L2 domain (Xeon Phi's ring of coherent
+  // L2 slices). When true, distance between any two distinct cores within
+  // the socket is kSameSocket regardless of core ids — this is what makes
+  // pinning gains collapse to 1-3% on Phi (paper Sec. IV-B).
+  bool uniform_l2() const { return uniform_l2_; }
+
+  Distance distance(std::size_t os_a, std::size_t os_b) const;
+
+  // The paper's thridtocpu() remap (Fig. 3): OS ids reordered so that
+  // physically adjacent resources get consecutive positions — SMT siblings
+  // first, then cores within a socket, then sockets. Pinning thread i to
+  // proximity_order()[i] places co-operating neighbours on shared caches.
+  std::vector<std::size_t> proximity_order() const;
+
+  std::string summary() const;
+
+ private:
+  std::string name_;
+  std::vector<LogicalCpu> cpus_;  // sorted by os_id
+  std::size_t num_sockets_ = 0;
+  std::size_t num_cores_ = 0;
+  std::size_t smt_per_core_ = 1;
+  bool uniform_l2_ = false;
+};
+
+// ----- presets ------------------------------------------------------------
+
+// The paper's multi-core server: dual-socket Intel Haswell, 14 cores per
+// socket, 2-way hyper-threading (56 logical CPUs), 35MB L3 per socket. OS
+// ids follow the usual Linux enumeration: 0..13 socket0/smt0, 14..27
+// socket1/smt0, 28..41 socket0/smt1, 42..55 socket1/smt1 — SMT siblings are
+// 28 apart, which is what makes the remap worthwhile.
+Topology haswell_server();
+
+// The paper's many-core co-processor: Xeon Phi (KNC) with 57 cores @1.1GHz,
+// 4-way SMT (228 hardware threads), per-core L2 slices joined by a
+// bidirectional ring into a universally shared L2. OS ids are contiguous
+// per core here (a simplification of KNC's off-by-one BSP numbering).
+Topology xeon_phi();
+
+// The worked example of Fig. 3: two NUMA nodes, four cores per node, 2-way
+// hyper-threading (16 logical CPUs), same interleaved OS enumeration as the
+// Haswell preset.
+Topology fig3_example();
+
+// The host machine, parsed from /sys/devices/system/cpu on Linux; falls
+// back to a flat single-socket topology of hardware_concurrency() cores.
+Topology host();
+
+// Arbitrary server shape with the usual interleaved Linux enumeration
+// (all smt0 CPUs of every socket first, then smt1, ...). Used for what-if
+// density studies (bench_ablation_scaling) and property tests.
+Topology make_server(const std::string& name, std::size_t sockets,
+                     std::size_t cores_per_socket, std::size_t smt);
+
+}  // namespace ramr::topo

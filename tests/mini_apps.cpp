@@ -1,0 +1,29 @@
+#include "mini_apps.hpp"
+
+#include "common/rng.hpp"
+
+namespace ramr::testing {
+
+std::vector<std::uint64_t> make_numbers(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng.next();
+  return out;
+}
+
+std::vector<std::string> make_lines(std::size_t n, std::uint64_t seed) {
+  static const char* kWords[] = {"the",  "map",   "reduce", "phi",
+                                 "core", "queue", "cache",  "ramr"};
+  Xoshiro256 rng(seed);
+  std::vector<std::string> out(n);
+  for (auto& line : out) {
+    const std::size_t words = 3 + rng.below(8);
+    for (std::size_t w = 0; w < words; ++w) {
+      if (w != 0) line += ' ';
+      line += kWords[rng.below(8)];
+    }
+  }
+  return out;
+}
+
+}  // namespace ramr::testing

@@ -1,0 +1,137 @@
+// Tests for the MRPhi-style runtime and its atomic global container (the
+// paper's Sec. II third architecture).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/global_apps.hpp"
+#include "apps/suite.hpp"
+#include "containers/atomic_array_container.hpp"
+#include "mrphi/runtime.hpp"
+#include "phoenix/runtime.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::mrphi {
+namespace {
+
+using apps::HistogramGlobalApp;
+using apps::LinearRegressionGlobalApp;
+using containers::AtomicArrayContainer;
+using containers::AtomicOp;
+
+// ---------- the atomic container ------------------------------------------------
+
+TEST(AtomicContainer, SingleThreadedSemantics) {
+  AtomicArrayContainer<std::uint64_t> c(8);
+  c.emit(3, 2);
+  c.emit(3, 5);
+  c.emit(0, 1);
+  EXPECT_EQ(c.at(3), 7u);
+  EXPECT_EQ(c.at(0), 1u);
+  EXPECT_EQ(c.size(), 2u);
+  std::vector<std::size_t> keys;
+  c.for_each([&](std::size_t k, std::uint64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::size_t>{0, 3}));
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(AtomicContainer, ConcurrentIncrementsAreExact) {
+  AtomicArrayContainer<std::uint64_t> c(4);
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.emit(static_cast<std::size_t>(t % 2), 1);  // two hot slots
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.at(0) + c.at(1), 4 * kPerThread);
+  EXPECT_EQ(c.at(0), 2 * kPerThread);
+}
+
+TEST(AtomicContainer, MinMaxOps) {
+  AtomicArrayContainer<std::int64_t, AtomicOp::kMin> lo(2);
+  AtomicArrayContainer<std::int64_t, AtomicOp::kMax> hi(2);
+  for (std::int64_t v : {5, -3, 9, 0}) {
+    lo.emit(0, v);
+    hi.emit(0, v);
+  }
+  EXPECT_EQ(lo.at(0), -3);
+  EXPECT_EQ(hi.at(0), 9);
+}
+
+#ifndef NDEBUG
+TEST(AtomicContainer, DebugBoundsCheck) {
+  AtomicArrayContainer<std::uint64_t> c(2);
+  EXPECT_THROW(c.emit(2, 1), CapacityError);
+}
+#endif
+
+// ---------- the runtime ------------------------------------------------------------
+
+Options small_options(std::size_t workers) {
+  Options o;
+  o.num_workers = workers;
+  o.pin_policy = PinPolicy::kOsDefault;
+  return o;
+}
+
+TEST(MrphiRuntime, HistogramMatchesPhoenixBaseline) {
+  apps::PixelInput input{apps::make_pixels(120000, 3), 4096};
+  const HistogramGlobalApp app;
+  Runtime<HistogramGlobalApp> rt(topo::host(), small_options(4));
+  const auto result = rt.run(app, input);
+
+  const auto ref = apps::histogram_reference(input);
+  ASSERT_EQ(result.pairs.size(), ref.size());
+  for (const auto& [k, v] : result.pairs) EXPECT_EQ(v, ref.at(k));
+}
+
+TEST(MrphiRuntime, LinearRegressionMatchesReference) {
+  apps::LrInput input{apps::make_lr_points(30000, 4), 1024};
+  const LinearRegressionGlobalApp app;
+  Runtime<LinearRegressionGlobalApp> rt(topo::host(), small_options(3));
+  const auto result = rt.run(app, input);
+  const auto ref = apps::lr_reference(input);
+  ASSERT_EQ(result.pairs.size(), ref.size());
+  for (const auto& [k, v] : result.pairs) {
+    EXPECT_EQ(v, ref.at(k)) << "moment " << k;
+  }
+}
+
+TEST(MrphiRuntime, NoReducePhaseTimeIsAccounted) {
+  apps::PixelInput input{apps::make_pixels(30000, 5), 2048};
+  Runtime<HistogramGlobalApp> rt(topo::host(), small_options(2));
+  const auto result = rt.run(HistogramGlobalApp{}, input);
+  // MRPhi has no reduce phase at all — the container is already global.
+  EXPECT_DOUBLE_EQ(result.timers.seconds(Phase::kReduce), 0.0);
+  EXPECT_GT(result.timers.seconds(Phase::kMapCombine), 0.0);
+}
+
+TEST(MrphiRuntime, ResultsStableAcrossWorkerCounts) {
+  apps::PixelInput input{apps::make_pixels(60000, 6), 1024};
+  const HistogramGlobalApp app;
+  std::vector<std::pair<std::size_t, std::uint64_t>> first;
+  for (std::size_t workers : {1u, 2u, 6u}) {
+    Runtime<HistogramGlobalApp> rt(topo::host(), small_options(workers));
+    const auto result = rt.run(app, input);
+    if (first.empty()) {
+      first = result.pairs;
+    } else {
+      EXPECT_EQ(result.pairs, first) << workers << " workers";
+    }
+  }
+}
+
+TEST(MrphiRuntime, RejectsZeroWorkers) {
+  Options o;
+  o.num_workers = 1;
+  Runtime<HistogramGlobalApp> ok(topo::host(), o);
+  EXPECT_EQ(ok.num_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace ramr::mrphi

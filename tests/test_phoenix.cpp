@@ -1,0 +1,136 @@
+// Tests for the Phoenix++-style baseline runtime: correctness against serial
+// references, phase accounting, worker/task knobs.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "mini_apps.hpp"
+#include "phoenix/runtime.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::phoenix {
+namespace {
+
+using testing::make_lines;
+using testing::make_numbers;
+using testing::ModCountApp;
+using testing::pairs_match;
+using testing::WordCountMiniApp;
+
+Options small_options(std::size_t workers) {
+  Options o;
+  o.num_workers = workers;
+  o.pin_policy = PinPolicy::kOsDefault;  // host may be tiny
+  return o;
+}
+
+TEST(PhoenixRuntime, ModCountMatchesReference) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 1);
+  Runtime<ModCountApp> rt(topo::host(), small_options(4));
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
+}
+
+TEST(PhoenixRuntime, WordCountMatchesReference) {
+  const WordCountMiniApp app;
+  const auto input = make_lines(500, 2);
+  Runtime<WordCountMiniApp> rt(topo::host(), small_options(3));
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
+}
+
+TEST(PhoenixRuntime, SingleWorkerIsCorrect) {
+  const ModCountApp app;
+  const auto input = make_numbers(1000, 3);
+  Runtime<ModCountApp> rt(topo::host(), small_options(1));
+  EXPECT_TRUE(pairs_match(rt.run(app, input).pairs, app.reference(input)));
+}
+
+TEST(PhoenixRuntime, EmptyInputYieldsEmptyOutput) {
+  const ModCountApp app;
+  Runtime<ModCountApp> rt(topo::host(), small_options(2));
+  const auto result = rt.run(app, {});
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.tasks_executed, 0u);
+}
+
+TEST(PhoenixRuntime, PhaseTimersCoverMapCombine) {
+  const ModCountApp app;
+  const auto input = make_numbers(20000, 4);
+  Runtime<ModCountApp> rt(topo::host(), small_options(2));
+  const auto result = rt.run(app, input);
+  EXPECT_GT(result.timers.seconds(Phase::kMapCombine), 0.0);
+  EXPECT_GT(result.timers.total(), 0.0);
+}
+
+TEST(PhoenixRuntime, TaskAccountingMatchesSplitCount) {
+  ModCountApp app;
+  app.chunk = 100;
+  const auto input = make_numbers(1000, 5);  // 10 splits
+  Options o = small_options(2);
+  o.task_size = 3;  // ceil(10/3) = 4 tasks
+  Runtime<ModCountApp> rt(topo::host(), o);
+  const auto result = rt.run(app, input);
+  EXPECT_EQ(result.tasks_executed, 4u);
+  EXPECT_EQ(result.local_pops + result.steals, 4u);
+}
+
+TEST(PhoenixRuntime, ResultIdenticalAcrossWorkerCounts) {
+  const ModCountApp app;
+  const auto input = make_numbers(5000, 6);
+  const auto ref = app.reference(input);
+  for (std::size_t workers : {1u, 2u, 5u, 8u}) {
+    Runtime<ModCountApp> rt(topo::host(), small_options(workers));
+    EXPECT_TRUE(pairs_match(rt.run(app, input).pairs, ref))
+        << workers << " workers";
+  }
+}
+
+TEST(PhoenixRuntime, RuntimeReusableAcrossRuns) {
+  const ModCountApp app;
+  Runtime<ModCountApp> rt(topo::host(), small_options(2));
+  const auto in1 = make_numbers(1000, 7);
+  const auto in2 = make_numbers(2000, 8);
+  EXPECT_TRUE(pairs_match(rt.run(app, in1).pairs, app.reference(in1)));
+  EXPECT_TRUE(pairs_match(rt.run(app, in2).pairs, app.reference(in2)));
+}
+
+TEST(PhoenixRuntime, PinnedPoliciesStillCorrectOnModelledTopology) {
+  // Pinning to CPUs the host lacks must degrade gracefully, never corrupt.
+  const ModCountApp app;
+  const auto input = make_numbers(3000, 9);
+  for (PinPolicy p : {PinPolicy::kRoundRobin, PinPolicy::kRamrPaired}) {
+    Options o;
+    o.num_workers = 4;
+    o.pin_policy = p;
+    Runtime<ModCountApp> rt(topo::haswell_server(), o);
+    EXPECT_TRUE(pairs_match(rt.run(app, input).pairs, app.reference(input)));
+  }
+}
+
+TEST(PhoenixRuntime, DefaultWorkerCountFillsTopology) {
+  Options o;
+  o.pin_policy = PinPolicy::kOsDefault;
+  Runtime<ModCountApp> rt(topo::fig3_example(), o);
+  EXPECT_EQ(rt.num_workers(), 16u);
+}
+
+TEST(PhoenixRuntime, BlockedSplitDistributionStaysCorrect) {
+  const ModCountApp app;
+  const auto input = make_numbers(6000, 22);
+  Options o = small_options(3);
+  o.split_distribution = SplitDistribution::kBlocked;
+  Runtime<ModCountApp> rt(topo::host(), o);
+  EXPECT_TRUE(pairs_match(rt.run(app, input).pairs, app.reference(input)));
+}
+
+TEST(PhoenixRuntime, RunOnceConvenienceWorks) {
+  const ModCountApp app;
+  const auto input = make_numbers(500, 10);
+  Options o = small_options(2);
+  const auto result = run_once(app, input, o);
+  EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
+}
+
+}  // namespace
+}  // namespace ramr::phoenix

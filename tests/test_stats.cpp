@@ -1,0 +1,159 @@
+// Unit tests for the statistics/reporting module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/runstats.hpp"
+#include "stats/table.hpp"
+
+namespace ramr::stats {
+namespace {
+
+TEST(RunStats, EmptyIsAllZero) {
+  RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunStats, SingleValue) {
+  RunStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunStats, KnownSequence) {
+  RunStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunStats, CvMatchesDefinition) {
+  RunStats s;
+  for (double x : {10.0, 12.0, 8.0, 10.0}) s.add(x);
+  EXPECT_NEAR(s.cv(), s.stddev() / s.mean(), 1e-15);
+}
+
+TEST(RunStats, MergeEqualsSequential) {
+  Xoshiro256 rng(11);
+  RunStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunStats, MergeWithEmptyIsIdentity) {
+  RunStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunStats, PaperStyleTwentyRunsLowCv) {
+  // The evaluation protocol: 20 runs, stddev ~1% of the mean.
+  Xoshiro256 rng(21);
+  RunStats s;
+  for (int i = 0; i < 20; ++i) s.add(100.0 + rng.uniform(-1.0, 1.0));
+  EXPECT_EQ(s.count(), 20u);
+  EXPECT_LT(s.cv(), 0.02);
+}
+
+TEST(Table, AlignsAndPadsRows) {
+  Table t({"app", "speedup"});
+  t.add_row({"wordcount", "1.59"});
+  t.add_row({"km"});  // short row gets padded
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("wordcount"), std::string::npos);
+  EXPECT_NE(out.find("speedup"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowAccessorsExposeContents) {
+  Table t({"a", "b"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.columns(), 2u);
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x");
+  EXPECT_EQ(t.row(0)[1], "y");
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly) {
+  Table t({"only", "header"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("header"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "only,header\n");
+}
+
+TEST(Table, FmtRespectsPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Series, PrintSeriesProducesOneColumnPerSeries) {
+  Series a{"ramr", {}, {}};
+  Series b{"phoenix", {}, {}};
+  for (int i = 0; i < 4; ++i) {
+    a.add(i, i * 2.0);
+    b.add(i, i * 3.0);
+  }
+  std::ostringstream os;
+  print_series(os, "x", {a, b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ramr"), std::string::npos);
+  EXPECT_NE(out.find("phoenix"), std::string::npos);
+  EXPECT_NE(out.find("6.000"), std::string::npos);  // b at x=2
+}
+
+TEST(Series, MismatchedXVectorsThrow) {
+  Series a{"a", {0.0, 1.0}, {0.0, 0.0}};
+  Series b{"b", {0.0, 2.0}, {0.0, 0.0}};
+  std::ostringstream os;
+  EXPECT_THROW(print_series(os, "x", {a, b}), Error);
+}
+
+TEST(Series, MismatchedYLengthThrows) {
+  Series a{"a", {0.0, 1.0}, {0.0}};
+  std::ostringstream os;
+  EXPECT_THROW(print_series(os, "x", {a}), Error);
+}
+
+}  // namespace
+}  // namespace ramr::stats

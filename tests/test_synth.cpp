@@ -1,0 +1,174 @@
+// Tests for the workload-aware synthetic test-suite (paper Sec. III-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "core/runtime.hpp"
+#include "phoenix/runtime.hpp"
+#include "synth/kernels.hpp"
+#include "synth/synth_app.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::synth {
+namespace {
+
+// ---------- kernels ----------------------------------------------------------
+
+TEST(Kernels, CpuKernelIsDeterministic) {
+  EXPECT_DOUBLE_EQ(cpu_kernel(100, 1.0), cpu_kernel(100, 1.0));
+  EXPECT_NE(cpu_kernel(100, 1.0), cpu_kernel(100, 2.0));
+}
+
+TEST(Kernels, CpuKernelStaysFinite) {
+  const double r = cpu_kernel(10000, 123.0);
+  EXPECT_TRUE(std::isfinite(r));
+}
+
+TEST(Kernels, ChaseArenaIsSingleCyclePermutation) {
+  const auto arena = make_chase_arena(64 * 1024, 7);
+  // Every value in [0, n) exactly once...
+  std::set<std::uint64_t> values(arena.begin(), arena.end());
+  EXPECT_EQ(values.size(), arena.size());
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), arena.size() - 1);
+  // ...and following the chain visits all slots before returning (single
+  // cycle, Sattolo's property).
+  std::uint64_t idx = 0;
+  for (std::size_t i = 0; i + 1 < arena.size(); ++i) {
+    idx = arena[idx];
+    EXPECT_NE(idx, 0u) << "cycle closed early at step " << i;
+  }
+  EXPECT_EQ(arena[idx], 0u);
+}
+
+TEST(Kernels, ChaseArenaRejectsTinySizes) {
+  EXPECT_THROW(make_chase_arena(8, 1), Error);
+}
+
+TEST(Kernels, MemoryKernelFollowsChain) {
+  const auto arena = make_chase_arena(4096, 3);
+  const std::uint64_t two_hops = memory_kernel(arena, 2, 5);
+  EXPECT_EQ(two_hops, arena[arena[5 % arena.size()]]);
+  EXPECT_EQ(memory_kernel(arena, 0, 9), 9 % arena.size());
+}
+
+TEST(Kernels, RunKernelDispatches) {
+  EXPECT_NO_THROW(run_kernel(WorkKind::kCpu, 10, 1, 1 << 16));
+  EXPECT_NO_THROW(run_kernel(WorkKind::kMemory, 10, 1, 1 << 16));
+  EXPECT_STREQ(to_string(WorkKind::kCpu), "cpu");
+  EXPECT_STREQ(to_string(WorkKind::kMemory), "memory");
+}
+
+// ---------- synthetic app through the runtimes --------------------------------
+
+RuntimeConfig small_config() {
+  RuntimeConfig cfg;
+  cfg.num_mappers = 2;
+  cfg.num_combiners = 1;
+  cfg.pin_policy = PinPolicy::kOsDefault;
+  cfg.queue_capacity = 256;
+  cfg.batch_size = 32;
+  return cfg;
+}
+
+SynthParams small_params() {
+  SynthParams p;
+  p.elements = 3000;
+  p.keys = 16;
+  p.split_elements = 250;
+  p.map_intensity = 4;
+  p.combine_intensity = 2;
+  p.arena_bytes = 1 << 16;  // small arenas: tests must stay fast
+  return p;
+}
+
+std::uint64_t payload_sum(
+    const std::vector<std::pair<std::size_t, SynthValue>>& pairs) {
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : pairs) sum += v.payload;
+  return sum;
+}
+
+TEST(SynthApp, EveryElementCombinedExactlyOnceUnderRamr) {
+  const SynthParams params = small_params();
+  SynthApp app;
+  app.container_keys = params.keys;
+  core::Runtime<SynthApp> rt(topo::host(), small_config());
+  const auto result = rt.run(app, params);
+  EXPECT_EQ(result.pairs.size(), params.keys);
+  EXPECT_EQ(payload_sum(result.pairs),
+            synth_expected_payload_sum(params.elements));
+}
+
+TEST(SynthApp, PhoenixAndRamrAgreeOnPayloads) {
+  const SynthParams params = small_params();
+  SynthApp app;
+  app.container_keys = params.keys;
+  phoenix::Options po;
+  po.num_workers = 2;
+  po.pin_policy = PinPolicy::kOsDefault;
+  phoenix::Runtime<SynthApp> baseline(topo::host(), po);
+  core::Runtime<SynthApp> ramr(topo::host(), small_config());
+  const auto a = baseline.run(app, params);
+  const auto b = ramr.run(app, params);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].first, b.pairs[i].first);
+    EXPECT_EQ(a.pairs[i].second.payload, b.pairs[i].second.payload);
+  }
+}
+
+class SynthKindSweep
+    : public ::testing::TestWithParam<std::tuple<WorkKind, WorkKind>> {};
+
+TEST_P(SynthKindSweep, AllKindCombinationsStayCorrect) {
+  const auto [mk, ck] = GetParam();
+  SynthParams params = small_params();
+  params.map_kind = mk;
+  params.combine_kind = ck;
+  SynthApp app;
+  app.container_keys = params.keys;
+  core::Runtime<SynthApp> rt(topo::host(), small_config());
+  const auto result = rt.run(app, params);
+  EXPECT_EQ(payload_sum(result.pairs),
+            synth_expected_payload_sum(params.elements));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SynthKindSweep,
+    ::testing::Combine(::testing::Values(WorkKind::kCpu, WorkKind::kMemory),
+                       ::testing::Values(WorkKind::kCpu, WorkKind::kMemory)));
+
+TEST(SynthApp, IntensityKnobsScaleWork) {
+  // Heavier map intensity must take measurably longer (single-threaded to
+  // keep the comparison clean on a 1-core host).
+  // Intensities far enough apart that the kernel dominates the per-element
+  // framework overhead even in -O0 builds.
+  SynthParams light = small_params();
+  light.elements = 2000;
+  light.map_intensity = 1;
+  SynthParams heavy = light;
+  heavy.map_intensity = 5000;
+  SynthApp app;
+  app.container_keys = light.keys;
+  phoenix::Options po;
+  po.num_workers = 1;
+  po.pin_policy = PinPolicy::kOsDefault;
+  phoenix::Runtime<SynthApp> rt(topo::host(), po);
+  const double t_light = rt.run(app, light).timers.total();
+  const double t_heavy = rt.run(app, heavy).timers.total();
+  EXPECT_GT(t_heavy, t_light * 2.0);
+}
+
+TEST(SynthApp, ExpectedPayloadSumFormula) {
+  EXPECT_EQ(synth_expected_payload_sum(0), 0u);
+  EXPECT_EQ(synth_expected_payload_sum(1), 0u);
+  EXPECT_EQ(synth_expected_payload_sum(5), 10u);  // 0+1+2+3+4
+}
+
+}  // namespace
+}  // namespace ramr::synth

@@ -1,0 +1,265 @@
+// Tests for topology presets, the thridtocpu() proximity remap (Fig. 3),
+// distances, and the three pinning policies (Sec. III-B / IV-B).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "topology/pinning.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::topo {
+namespace {
+
+// ---------- presets ---------------------------------------------------------
+
+TEST(Topology, HaswellPresetMatchesPaper) {
+  const Topology t = haswell_server();
+  EXPECT_EQ(t.num_logical(), 56u);  // "the system can run a total of 56 threads"
+  EXPECT_EQ(t.num_sockets(), 2u);
+  EXPECT_EQ(t.num_cores(), 28u);  // 14 cores-per-socket x 2
+  EXPECT_EQ(t.smt_per_core(), 2u);
+  EXPECT_FALSE(t.uniform_l2());
+}
+
+TEST(Topology, XeonPhiPresetMatchesPaper) {
+  const Topology t = xeon_phi();
+  EXPECT_EQ(t.num_logical(), 228u);  // "Xeon Phi can run 228 hardware threads"
+  EXPECT_EQ(t.num_sockets(), 1u);
+  EXPECT_EQ(t.num_cores(), 57u);
+  EXPECT_EQ(t.smt_per_core(), 4u);
+  EXPECT_TRUE(t.uniform_l2());
+}
+
+TEST(Topology, Fig3ExampleMatchesPaper) {
+  const Topology t = fig3_example();
+  EXPECT_EQ(t.num_logical(), 16u);  // 2 nodes x 4 cores x 2 HT
+  EXPECT_EQ(t.num_sockets(), 2u);
+  EXPECT_EQ(t.smt_per_core(), 2u);
+}
+
+TEST(Topology, HostDetectionProducesValidTopology) {
+  const Topology t = host();
+  EXPECT_GE(t.num_logical(), 1u);
+  EXPECT_GE(t.num_sockets(), 1u);
+  // Every os_id resolves.
+  for (const LogicalCpu& c : t.cpus()) {
+    EXPECT_EQ(t.by_os_id(c.os_id).os_id, c.os_id);
+  }
+}
+
+TEST(Topology, MakeServerBuildsArbitraryShapes) {
+  const Topology t = make_server("what-if", 4, 8, 2);
+  EXPECT_EQ(t.num_logical(), 64u);
+  EXPECT_EQ(t.num_sockets(), 4u);
+  EXPECT_EQ(t.smt_per_core(), 2u);
+  // Interleaved enumeration: SMT siblings are num_sockets*cores apart.
+  EXPECT_EQ(t.distance(0, 32), Distance::kSameCore);
+  EXPECT_EQ(t.distance(0, 8), Distance::kCrossSocket);
+}
+
+TEST(Topology, RejectsEmptyAndDuplicateIds) {
+  EXPECT_THROW(Topology("empty", {}), Error);
+  std::vector<LogicalCpu> dup{{.os_id = 0}, {.os_id = 0}};
+  EXPECT_THROW(Topology("dup", dup), Error);
+}
+
+TEST(Topology, ByOsIdThrowsForUnknown) {
+  const Topology t = fig3_example();
+  EXPECT_THROW(t.by_os_id(1000), Error);
+}
+
+// ---------- distance --------------------------------------------------------
+
+TEST(Distance, HaswellTiers) {
+  const Topology t = haswell_server();
+  // Interleaved enumeration: cpu 0 and cpu 28 are SMT siblings of core 0.
+  EXPECT_EQ(t.distance(0, 0), Distance::kSameCpu);
+  EXPECT_EQ(t.distance(0, 28), Distance::kSameCore);
+  EXPECT_EQ(t.distance(0, 1), Distance::kSameSocket);
+  EXPECT_EQ(t.distance(0, 14), Distance::kCrossSocket);
+}
+
+TEST(Distance, IsSymmetric) {
+  const Topology t = haswell_server();
+  for (std::size_t a : {0u, 5u, 28u, 41u, 55u}) {
+    for (std::size_t b : {0u, 14u, 29u, 42u}) {
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+    }
+  }
+}
+
+TEST(Distance, PhiSmtSiblingsShareCore) {
+  const Topology t = xeon_phi();
+  EXPECT_EQ(t.distance(0, 1), Distance::kSameCore);
+  EXPECT_EQ(t.distance(0, 3), Distance::kSameCore);
+  EXPECT_EQ(t.distance(0, 4), Distance::kSameSocket);  // next core on ring
+  EXPECT_EQ(t.distance(0, 224), Distance::kSameSocket);
+}
+
+// ---------- proximity order (thridtocpu) --------------------------------------
+
+TEST(ProximityOrder, Fig3RemapInterleavesSmtSiblings) {
+  // Fig. 3: thridtocpu() re-maps CPU ids so consecutive positions share a
+  // physical core. With the interleaved enumeration (siblings 8 apart), the
+  // expected remap starts 0,8,1,9,2,10,...
+  const Topology t = fig3_example();
+  const auto order = t.proximity_order();
+  const std::vector<std::size_t> expected{0, 8,  1, 9,  2, 10, 3, 11,
+                                          4, 12, 5, 13, 6, 14, 7, 15};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ProximityOrder, IsAPermutation) {
+  for (const Topology& t :
+       {haswell_server(), xeon_phi(), fig3_example(), host()}) {
+    auto order = t.proximity_order();
+    std::set<std::size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), t.num_logical()) << t.name();
+  }
+}
+
+TEST(ProximityOrder, SocketChangesExactlyOncePerBoundary) {
+  // Walking the proximity order, socket changes happen exactly
+  // num_sockets-1 times (each socket is exhausted before moving on).
+  const Topology t = haswell_server();
+  const auto order = t.proximity_order();
+  std::size_t socket_changes = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (t.by_os_id(order[i]).socket != t.by_os_id(order[i - 1]).socket) {
+      ++socket_changes;
+    }
+  }
+  EXPECT_EQ(socket_changes, t.num_sockets() - 1);
+}
+
+TEST(ProximityOrder, ConsecutivePairsShareCoreWithSmt) {
+  // With 2-way SMT, positions (2i, 2i+1) must be SMT siblings — that is what
+  // lets a ratio-1 mapper/combiner pair communicate through shared L1/L2.
+  const Topology t = haswell_server();
+  const auto order = t.proximity_order();
+  for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+    EXPECT_EQ(t.distance(order[i], order[i + 1]), Distance::kSameCore)
+        << "positions " << i << "," << i + 1;
+  }
+}
+
+// ---------- queue assignment ---------------------------------------------------
+
+TEST(Assignment, PartitionsMappersEvenly) {
+  const auto groups = assign_mappers_to_combiners(10, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size(), 4u);  // remainder goes to the first groups
+  EXPECT_EQ(groups[1].size(), 3u);
+  EXPECT_EQ(groups[2].size(), 3u);
+  std::set<std::size_t> all;
+  for (const auto& g : groups) all.insert(g.begin(), g.end());
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(Assignment, RejectsDegenerateCounts) {
+  EXPECT_THROW(assign_mappers_to_combiners(0, 1), ConfigError);
+  EXPECT_THROW(assign_mappers_to_combiners(3, 0), ConfigError);
+  EXPECT_THROW(assign_mappers_to_combiners(2, 3), ConfigError);
+}
+
+// ---------- pinning plans -------------------------------------------------------
+
+TEST(PinningPlan, OsDefaultLeavesCpusEmpty) {
+  const Topology t = haswell_server();
+  const auto plan = make_plan(t, PinPolicy::kOsDefault, 100, 50);
+  EXPECT_TRUE(plan.mapper_cpu.empty());
+  EXPECT_TRUE(plan.combiner_cpu.empty());
+  EXPECT_EQ(plan.num_mappers(), 100u);  // assignment exists regardless
+}
+
+TEST(PinningPlan, PinnedPoliciesRejectOversubscription) {
+  const Topology t = fig3_example();  // 16 logical CPUs
+  EXPECT_THROW(make_plan(t, PinPolicy::kRamrPaired, 12, 8), ConfigError);
+  EXPECT_THROW(make_plan(t, PinPolicy::kRoundRobin, 16, 1), ConfigError);
+  EXPECT_NO_THROW(make_plan(t, PinPolicy::kOsDefault, 16, 8));
+}
+
+TEST(PinningPlan, CpusAreDistinctAcrossAllThreads) {
+  const Topology t = haswell_server();
+  for (PinPolicy p : {PinPolicy::kRamrPaired, PinPolicy::kRoundRobin}) {
+    const auto plan = make_plan(t, p, 28, 14);
+    std::set<std::size_t> used(plan.mapper_cpu.begin(), plan.mapper_cpu.end());
+    used.insert(plan.combiner_cpu.begin(), plan.combiner_cpu.end());
+    EXPECT_EQ(used.size(), 42u) << to_string(p);
+  }
+}
+
+TEST(PinningPlan, RatioOnePairsShareAPhysicalCore) {
+  // Fig. 3's configuration: ratio 1 on the 2x4x2 machine -> each
+  // mapper/combiner pair must land on SMT siblings (shared L1/L2).
+  const Topology t = fig3_example();
+  const auto plan = make_plan(t, PinPolicy::kRamrPaired, 8, 8);
+  for (std::size_t j = 0; j < 8; ++j) {
+    ASSERT_EQ(plan.mappers_of_combiner[j].size(), 1u);
+    const std::size_t m = plan.mappers_of_combiner[j][0];
+    EXPECT_EQ(t.distance(plan.mapper_cpu[m], plan.combiner_cpu[j]),
+              Distance::kSameCore)
+        << "pair " << j;
+  }
+}
+
+TEST(PinningPlan, RamrPolicyKeepsGroupsWithinASocket) {
+  const Topology t = haswell_server();
+  const auto plan = make_plan(t, PinPolicy::kRamrPaired, 24, 8);  // ratio 3
+  for (std::size_t j = 0; j < 8; ++j) {
+    const std::size_t combiner_socket =
+        t.by_os_id(plan.combiner_cpu[j]).socket;
+    for (std::size_t m : plan.mappers_of_combiner[j]) {
+      EXPECT_EQ(t.by_os_id(plan.mapper_cpu[m]).socket, combiner_socket)
+          << "combiner " << j << " mapper " << m;
+    }
+  }
+}
+
+TEST(PinningPlan, RamrBeatsRoundRobinOnMeanDistance) {
+  // The quantity the policy optimises: mean mapper<->combiner distance.
+  const Topology t = haswell_server();
+  const auto ramr = make_plan(t, PinPolicy::kRamrPaired, 24, 12);
+  const auto rr = make_plan(t, PinPolicy::kRoundRobin, 24, 12);
+  EXPECT_LT(ramr.mean_pair_distance(t), rr.mean_pair_distance(t));
+}
+
+TEST(PinningPlan, PhiNeverCrossesSocketsButHaswellRrDoes) {
+  // On Xeon Phi (single package, ring-shared L2) even the worst placement
+  // stays within the kSameSocket tier, while Haswell's RR plan strands
+  // pairs across the QPI link — the structural reason pinning matters on
+  // Haswell (2.28x) but not on Phi (1-3%). The cycle-cost consequence is
+  // asserted in test_sim's Fig. 5 checks.
+  const Topology hwl = haswell_server();
+  const Topology phi = xeon_phi();
+  const auto worst_pair = [](const Topology& t) {
+    const std::size_t m = t.num_logical() / 2;
+    const std::size_t c = t.num_logical() / 4;
+    const auto plan = make_plan(t, PinPolicy::kRoundRobin, m, c);
+    Distance worst = Distance::kSameCpu;
+    for (std::size_t j = 0; j < plan.mappers_of_combiner.size(); ++j) {
+      for (std::size_t mi : plan.mappers_of_combiner[j]) {
+        worst = std::max(
+            worst, t.distance(plan.mapper_cpu[mi], plan.combiner_cpu[j]));
+      }
+    }
+    return worst;
+  };
+  EXPECT_EQ(worst_pair(phi), Distance::kSameSocket);
+  EXPECT_EQ(worst_pair(hwl), Distance::kCrossSocket);
+}
+
+TEST(PinningPlan, CombinerOfMapperIsInverse) {
+  const auto plan = make_plan(fig3_example(), PinPolicy::kOsDefault, 9, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t m : plan.mappers_of_combiner[j]) {
+      EXPECT_EQ(plan.combiner_of_mapper(m), j);
+    }
+  }
+  EXPECT_THROW(plan.combiner_of_mapper(100), Error);
+}
+
+}  // namespace
+}  // namespace ramr::topo
