@@ -1,0 +1,149 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "ramr::ramr_common" for configuration "Release"
+set_property(TARGET ramr::ramr_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_common )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_common "${_IMPORT_PREFIX}/lib/libramr_common.a" )
+
+# Import target "ramr::ramr_trace" for configuration "Release"
+set_property(TARGET ramr::ramr_trace APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_trace PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_trace.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_trace )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_trace "${_IMPORT_PREFIX}/lib/libramr_trace.a" )
+
+# Import target "ramr::ramr_stats" for configuration "Release"
+set_property(TARGET ramr::ramr_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_stats )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_stats "${_IMPORT_PREFIX}/lib/libramr_stats.a" )
+
+# Import target "ramr::ramr_spsc" for configuration "Release"
+set_property(TARGET ramr::ramr_spsc APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_spsc PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_spsc.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_spsc )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_spsc "${_IMPORT_PREFIX}/lib/libramr_spsc.a" )
+
+# Import target "ramr::ramr_topology" for configuration "Release"
+set_property(TARGET ramr::ramr_topology APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_topology PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_topology.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_topology )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_topology "${_IMPORT_PREFIX}/lib/libramr_topology.a" )
+
+# Import target "ramr::ramr_sched" for configuration "Release"
+set_property(TARGET ramr::ramr_sched APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_sched PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_sched.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_sched )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_sched "${_IMPORT_PREFIX}/lib/libramr_sched.a" )
+
+# Import target "ramr::ramr_containers" for configuration "Release"
+set_property(TARGET ramr::ramr_containers APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_containers PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_containers.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_containers )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_containers "${_IMPORT_PREFIX}/lib/libramr_containers.a" )
+
+# Import target "ramr::ramr_phoenix" for configuration "Release"
+set_property(TARGET ramr::ramr_phoenix APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_phoenix PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_phoenix.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_phoenix )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_phoenix "${_IMPORT_PREFIX}/lib/libramr_phoenix.a" )
+
+# Import target "ramr::ramr_mrphi" for configuration "Release"
+set_property(TARGET ramr::ramr_mrphi APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_mrphi PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_mrphi.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_mrphi )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_mrphi "${_IMPORT_PREFIX}/lib/libramr_mrphi.a" )
+
+# Import target "ramr::ramr_core" for configuration "Release"
+set_property(TARGET ramr::ramr_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_core )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_core "${_IMPORT_PREFIX}/lib/libramr_core.a" )
+
+# Import target "ramr::ramr_perf" for configuration "Release"
+set_property(TARGET ramr::ramr_perf APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_perf PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_perf.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_perf )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_perf "${_IMPORT_PREFIX}/lib/libramr_perf.a" )
+
+# Import target "ramr::ramr_apps" for configuration "Release"
+set_property(TARGET ramr::ramr_apps APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_apps PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_apps.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_apps )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_apps "${_IMPORT_PREFIX}/lib/libramr_apps.a" )
+
+# Import target "ramr::ramr_synth" for configuration "Release"
+set_property(TARGET ramr::ramr_synth APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_synth PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_synth.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_synth )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_synth "${_IMPORT_PREFIX}/lib/libramr_synth.a" )
+
+# Import target "ramr::ramr_sim" for configuration "Release"
+set_property(TARGET ramr::ramr_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ramr::ramr_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libramr_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets ramr::ramr_sim )
+list(APPEND _cmake_import_check_files_for_ramr::ramr_sim "${_IMPORT_PREFIX}/lib/libramr_sim.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

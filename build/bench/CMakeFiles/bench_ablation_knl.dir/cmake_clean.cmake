@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knl.dir/bench_ablation_knl.cpp.o"
+  "CMakeFiles/bench_ablation_knl.dir/bench_ablation_knl.cpp.o.d"
+  "bench_ablation_knl"
+  "bench_ablation_knl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

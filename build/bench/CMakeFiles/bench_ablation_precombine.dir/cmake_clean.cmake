@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_precombine.dir/bench_ablation_precombine.cpp.o"
+  "CMakeFiles/bench_ablation_precombine.dir/bench_ablation_precombine.cpp.o.d"
+  "bench_ablation_precombine"
+  "bench_ablation_precombine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_precombine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

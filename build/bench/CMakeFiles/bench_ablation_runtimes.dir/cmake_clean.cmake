@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_runtimes.dir/bench_ablation_runtimes.cpp.o"
+  "CMakeFiles/bench_ablation_runtimes.dir/bench_ablation_runtimes.cpp.o.d"
+  "bench_ablation_runtimes"
+  "bench_ablation_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transient.dir/bench_ablation_transient.cpp.o"
+  "CMakeFiles/bench_ablation_transient.dir/bench_ablation_transient.cpp.o.d"
+  "bench_ablation_transient"
+  "bench_ablation_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

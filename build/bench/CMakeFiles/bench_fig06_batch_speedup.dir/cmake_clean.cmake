@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_batch_speedup.dir/bench_fig06_batch_speedup.cpp.o"
+  "CMakeFiles/bench_fig06_batch_speedup.dir/bench_fig06_batch_speedup.cpp.o.d"
+  "bench_fig06_batch_speedup"
+  "bench_fig06_batch_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_batch_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

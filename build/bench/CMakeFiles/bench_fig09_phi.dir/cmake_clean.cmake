@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_phi.dir/bench_fig09_phi.cpp.o"
+  "CMakeFiles/bench_fig09_phi.dir/bench_fig09_phi.cpp.o.d"
+  "bench_fig09_phi"
+  "bench_fig09_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_suitability.dir/bench_fig10_suitability.cpp.o"
+  "CMakeFiles/bench_fig10_suitability.dir/bench_fig10_suitability.cpp.o.d"
+  "bench_fig10_suitability"
+  "bench_fig10_suitability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_suitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

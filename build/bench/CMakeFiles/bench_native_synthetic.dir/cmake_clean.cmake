@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_synthetic.dir/bench_native_synthetic.cpp.o"
+  "CMakeFiles/bench_native_synthetic.dir/bench_native_synthetic.cpp.o.d"
+  "bench_native_synthetic"
+  "bench_native_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

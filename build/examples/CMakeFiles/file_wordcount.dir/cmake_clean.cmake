@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_wordcount.dir/file_wordcount.cpp.o"
+  "CMakeFiles/file_wordcount.dir/file_wordcount.cpp.o.d"
+  "file_wordcount"
+  "file_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

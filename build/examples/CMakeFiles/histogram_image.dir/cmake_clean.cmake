@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_image.dir/histogram_image.cpp.o"
+  "CMakeFiles/histogram_image.dir/histogram_image.cpp.o.d"
+  "histogram_image"
+  "histogram_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

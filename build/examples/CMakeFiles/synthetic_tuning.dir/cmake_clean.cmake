@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_tuning.dir/synthetic_tuning.cpp.o"
+  "CMakeFiles/synthetic_tuning.dir/synthetic_tuning.cpp.o.d"
+  "synthetic_tuning"
+  "synthetic_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

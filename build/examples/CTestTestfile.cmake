@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(smoke_example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_kmeans_clustering "/root/repo/build/examples/kmeans_clustering")
+set_tests_properties(smoke_example_kmeans_clustering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_synthetic_tuning "/root/repo/build/examples/synthetic_tuning")
+set_tests_properties(smoke_example_synthetic_tuning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_platform_explorer "/root/repo/build/examples/platform_explorer")
+set_tests_properties(smoke_example_platform_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_histogram_image "/root/repo/build/examples/histogram_image")
+set_tests_properties(smoke_example_histogram_image PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_pipeline_trace "/root/repo/build/examples/pipeline_trace")
+set_tests_properties(smoke_example_pipeline_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_file_wordcount "/root/repo/build/examples/file_wordcount")
+set_tests_properties(smoke_example_file_wordcount PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_suite_runner "/root/repo/build/examples/suite_runner" "km" "--scale=8192" "--reps=1")
+set_tests_properties(smoke_example_suite_runner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/inputs.cpp" "src/apps/CMakeFiles/ramr_apps.dir/inputs.cpp.o" "gcc" "src/apps/CMakeFiles/ramr_apps.dir/inputs.cpp.o.d"
+  "/root/repo/src/apps/io.cpp" "src/apps/CMakeFiles/ramr_apps.dir/io.cpp.o" "gcc" "src/apps/CMakeFiles/ramr_apps.dir/io.cpp.o.d"
+  "/root/repo/src/apps/references.cpp" "src/apps/CMakeFiles/ramr_apps.dir/references.cpp.o" "gcc" "src/apps/CMakeFiles/ramr_apps.dir/references.cpp.o.d"
+  "/root/repo/src/apps/suite.cpp" "src/apps/CMakeFiles/ramr_apps.dir/suite.cpp.o" "gcc" "src/apps/CMakeFiles/ramr_apps.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ramr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/ramr_containers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

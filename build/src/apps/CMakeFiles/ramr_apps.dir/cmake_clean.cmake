@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_apps.dir/inputs.cpp.o"
+  "CMakeFiles/ramr_apps.dir/inputs.cpp.o.d"
+  "CMakeFiles/ramr_apps.dir/io.cpp.o"
+  "CMakeFiles/ramr_apps.dir/io.cpp.o.d"
+  "CMakeFiles/ramr_apps.dir/references.cpp.o"
+  "CMakeFiles/ramr_apps.dir/references.cpp.o.d"
+  "CMakeFiles/ramr_apps.dir/suite.cpp.o"
+  "CMakeFiles/ramr_apps.dir/suite.cpp.o.d"
+  "libramr_apps.a"
+  "libramr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

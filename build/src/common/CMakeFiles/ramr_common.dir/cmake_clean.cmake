@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_common.dir/affinity.cpp.o"
+  "CMakeFiles/ramr_common.dir/affinity.cpp.o.d"
+  "CMakeFiles/ramr_common.dir/config.cpp.o"
+  "CMakeFiles/ramr_common.dir/config.cpp.o.d"
+  "CMakeFiles/ramr_common.dir/env.cpp.o"
+  "CMakeFiles/ramr_common.dir/env.cpp.o.d"
+  "CMakeFiles/ramr_common.dir/timing.cpp.o"
+  "CMakeFiles/ramr_common.dir/timing.cpp.o.d"
+  "libramr_common.a"
+  "libramr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_containers.dir/anchor.cpp.o"
+  "CMakeFiles/ramr_containers.dir/anchor.cpp.o.d"
+  "libramr_containers.a"
+  "libramr_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

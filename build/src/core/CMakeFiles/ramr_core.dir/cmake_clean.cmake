@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_core.dir/anchor.cpp.o"
+  "CMakeFiles/ramr_core.dir/anchor.cpp.o.d"
+  "libramr_core.a"
+  "libramr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_mrphi.dir/anchor.cpp.o"
+  "CMakeFiles/ramr_mrphi.dir/anchor.cpp.o.d"
+  "libramr_mrphi.a"
+  "libramr_mrphi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_mrphi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ramr_mrphi.
+# This may be replaced when dependencies are built.

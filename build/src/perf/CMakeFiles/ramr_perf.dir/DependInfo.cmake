@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/cache_model.cpp" "src/perf/CMakeFiles/ramr_perf.dir/cache_model.cpp.o" "gcc" "src/perf/CMakeFiles/ramr_perf.dir/cache_model.cpp.o.d"
+  "/root/repo/src/perf/profiles.cpp" "src/perf/CMakeFiles/ramr_perf.dir/profiles.cpp.o" "gcc" "src/perf/CMakeFiles/ramr_perf.dir/profiles.cpp.o.d"
+  "/root/repo/src/perf/stall_model.cpp" "src/perf/CMakeFiles/ramr_perf.dir/stall_model.cpp.o" "gcc" "src/perf/CMakeFiles/ramr_perf.dir/stall_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ramr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ramr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/ramr_containers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

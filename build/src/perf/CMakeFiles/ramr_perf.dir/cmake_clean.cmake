@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_perf.dir/cache_model.cpp.o"
+  "CMakeFiles/ramr_perf.dir/cache_model.cpp.o.d"
+  "CMakeFiles/ramr_perf.dir/profiles.cpp.o"
+  "CMakeFiles/ramr_perf.dir/profiles.cpp.o.d"
+  "CMakeFiles/ramr_perf.dir/stall_model.cpp.o"
+  "CMakeFiles/ramr_perf.dir/stall_model.cpp.o.d"
+  "libramr_perf.a"
+  "libramr_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_phoenix.dir/anchor.cpp.o"
+  "CMakeFiles/ramr_phoenix.dir/anchor.cpp.o.d"
+  "libramr_phoenix.a"
+  "libramr_phoenix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_phoenix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

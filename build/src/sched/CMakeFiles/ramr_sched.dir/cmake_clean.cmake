@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_sched.dir/task_queue.cpp.o"
+  "CMakeFiles/ramr_sched.dir/task_queue.cpp.o.d"
+  "CMakeFiles/ramr_sched.dir/thread_pool.cpp.o"
+  "CMakeFiles/ramr_sched.dir/thread_pool.cpp.o.d"
+  "libramr_sched.a"
+  "libramr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

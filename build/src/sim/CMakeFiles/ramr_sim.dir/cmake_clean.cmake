@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_sim.dir/machine.cpp.o"
+  "CMakeFiles/ramr_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/ramr_sim.dir/model.cpp.o"
+  "CMakeFiles/ramr_sim.dir/model.cpp.o.d"
+  "CMakeFiles/ramr_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/ramr_sim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/ramr_sim.dir/workload.cpp.o"
+  "CMakeFiles/ramr_sim.dir/workload.cpp.o.d"
+  "libramr_sim.a"
+  "libramr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

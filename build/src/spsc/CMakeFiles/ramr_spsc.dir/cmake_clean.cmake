@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_spsc.dir/anchor.cpp.o"
+  "CMakeFiles/ramr_spsc.dir/anchor.cpp.o.d"
+  "libramr_spsc.a"
+  "libramr_spsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_spsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_stats.dir/runstats.cpp.o"
+  "CMakeFiles/ramr_stats.dir/runstats.cpp.o.d"
+  "CMakeFiles/ramr_stats.dir/table.cpp.o"
+  "CMakeFiles/ramr_stats.dir/table.cpp.o.d"
+  "libramr_stats.a"
+  "libramr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_synth.dir/kernels.cpp.o"
+  "CMakeFiles/ramr_synth.dir/kernels.cpp.o.d"
+  "libramr_synth.a"
+  "libramr_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

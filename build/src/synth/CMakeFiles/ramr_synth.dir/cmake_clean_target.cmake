@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libramr_synth.a"
+)

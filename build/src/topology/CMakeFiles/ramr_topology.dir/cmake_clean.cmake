@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_topology.dir/pinning.cpp.o"
+  "CMakeFiles/ramr_topology.dir/pinning.cpp.o.d"
+  "CMakeFiles/ramr_topology.dir/topology.cpp.o"
+  "CMakeFiles/ramr_topology.dir/topology.cpp.o.d"
+  "libramr_topology.a"
+  "libramr_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramr_trace.dir/trace.cpp.o"
+  "CMakeFiles/ramr_trace.dir/trace.cpp.o.d"
+  "libramr_trace.a"
+  "libramr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

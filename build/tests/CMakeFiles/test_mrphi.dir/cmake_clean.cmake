@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrphi.dir/test_mrphi.cpp.o"
+  "CMakeFiles/test_mrphi.dir/test_mrphi.cpp.o.d"
+  "test_mrphi"
+  "test_mrphi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrphi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

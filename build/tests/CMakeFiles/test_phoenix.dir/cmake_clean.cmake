@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phoenix.dir/mini_apps.cpp.o"
+  "CMakeFiles/test_phoenix.dir/mini_apps.cpp.o.d"
+  "CMakeFiles/test_phoenix.dir/test_phoenix.cpp.o"
+  "CMakeFiles/test_phoenix.dir/test_phoenix.cpp.o.d"
+  "test_phoenix"
+  "test_phoenix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phoenix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
