@@ -46,6 +46,8 @@ std::string to_string(SplitDistribution distribution) {
 RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   base.num_mappers = env::get_uint(kEnvMappers, base.num_mappers);
   base.num_combiners = env::get_uint(kEnvCombiners, base.num_combiners);
+  base.mapper_combiner_ratio =
+      env::get_uint(kEnvRatio, base.mapper_combiner_ratio);
   base.task_size = env::get_uint(kEnvTaskSize, base.task_size);
   base.queue_capacity = env::get_uint(kEnvQueueCapacity, base.queue_capacity);
   base.batch_size = env::get_uint(kEnvBatchSize, base.batch_size);

@@ -36,6 +36,7 @@ std::string to_string(SplitDistribution distribution);
 // Env-knob names (all optional; see RuntimeConfig::from_env).
 inline constexpr const char* kEnvMappers = "RAMR_MAPPERS";
 inline constexpr const char* kEnvCombiners = "RAMR_COMBINERS";
+inline constexpr const char* kEnvRatio = "RAMR_RATIO";
 inline constexpr const char* kEnvTaskSize = "RAMR_TASK_SIZE";
 inline constexpr const char* kEnvQueueCapacity = "RAMR_QUEUE_CAPACITY";
 inline constexpr const char* kEnvBatchSize = "RAMR_BATCH_SIZE";

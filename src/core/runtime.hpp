@@ -1,47 +1,21 @@
 // RAMR — the Resource-Aware MapReduce runtime (paper Sec. III, Fig. 2).
 //
-// The decoupled architecture: two thread pools are instantiated up front —
-// a general-purpose pool that executes map (and, between phases, reduce and
-// merge) and a combiner pool with at most as many workers. Map tasks are
-// dequeued from per-locality-group task queues; each mapper emits its
-// intermediate key/value pairs into its own fixed-capacity SPSC ring
-// instead of combining them inline. Combiners run *concurrently* with
-// mappers: each one drains its assigned set of rings in batches, applies
-// the combine function, and stores results in a private container. When all
-// map tasks are done each mapper closes its ring; a combiner exits once all
-// of its rings are closed and drained. Reduce and merge then proceed as in
-// the baseline.
-//
-// The three resource-aware mechanisms:
-//   * batched reads       — Ring::consume_batch (Sec. III-A, Figs. 6/7);
-//   * sleep on failed push — spsc::SleepBackoff (Sec. III-A);
-//   * contention-aware pinning — topo::make_plan(kRamrPaired) places each
-//     combiner on a logical CPU adjacent to its mappers (Sec. III-B, Fig. 3).
+// The decoupled architecture, expressed as a thin configuration of the
+// shared execution engine: a dual-pool engine::PoolSet (general-purpose
+// mapper pool + combiner pool, placed by the pinning plan) plus the
+// engine::PipelinedSpsc emit strategy (per-mapper SPSC rings drained
+// concurrently by the combiner pool, with batched reads, sleep-on-full
+// backoff, and optional mapper-side pre-combining) driven through
+// engine::PhaseDriver. See engine/strategy_pipelined.hpp for the pipeline
+// and failure protocols.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <cstddef>
-#include <memory>
-#include <optional>
-#include <span>
 #include <utility>
-#include <vector>
 
 #include "common/config.hpp"
-#include "common/error.hpp"
-#include "common/timing.hpp"
-#include "containers/container_traits.hpp"
-#include "core/precombine.hpp"
-#include "phoenix/app_model.hpp"
-#include "sched/parallel_sort.hpp"
-#include "sched/task_queue.hpp"
-#include "sched/thread_pool.hpp"
-#include "spsc/backoff.hpp"
-#include "spsc/ring.hpp"
-#include "spsc/ring_set.hpp"
-#include "topology/pinning.hpp"
+#include "engine/phase_driver.hpp"
+#include "engine/pool_set.hpp"
+#include "engine/strategy_pipelined.hpp"
 #include "topology/topology.hpp"
 #include "trace/trace.hpp"
 
@@ -60,258 +34,29 @@ class Runtime {
   // pools live for the lifetime of the Runtime, and threads are pinned at
   // start-up "throughout the MR invocation" (paper Sec. III-B).
   Runtime(topo::Topology topology, RuntimeConfig config)
-      : topo_(std::move(topology)),
-        cfg_(config.resolved(topo_.num_logical())),
-        plan_(topo::make_plan(topo_, cfg_.pin_policy, cfg_.num_mappers,
-                              cfg_.num_combiners)) {
-    std::vector<std::optional<std::size_t>> mapper_pins(cfg_.num_mappers);
-    std::vector<std::optional<std::size_t>> combiner_pins(cfg_.num_combiners);
-    if (cfg_.pin_policy != PinPolicy::kOsDefault) {
-      for (std::size_t m = 0; m < cfg_.num_mappers; ++m) {
-        mapper_pins[m] = plan_.mapper_cpu.at(m);
-      }
-      for (std::size_t j = 0; j < cfg_.num_combiners; ++j) {
-        combiner_pins[j] = plan_.combiner_cpu.at(j);
-      }
-    }
-    mapper_pool_ = std::make_unique<sched::ThreadPool>(
-        cfg_.num_mappers, std::move(mapper_pins));
-    combiner_pool_ = std::make_unique<sched::ThreadPool>(
-        cfg_.num_combiners, std::move(combiner_pins));
-    num_groups_ = topo_.num_sockets();
-  }
+      : pools_(std::move(topology), config),
+        driver_(pools_,
+                engine::DriverOptions{pools_.config().task_size,
+                                      pools_.config().split_distribution}) {}
 
-  const RuntimeConfig& config() const { return cfg_; }
-  const topo::PinningPlan& plan() const { return plan_; }
+  const RuntimeConfig& config() const { return pools_.config(); }
+  const topo::PinningPlan& plan() const { return pools_.plan(); }
 
   // Optional execution tracing (see src/trace/): one lane per mapper and
   // combiner, task/drain events, phase marks. The recorder must outlive
   // every run(); pass nullptr to disable (the default).
-  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+  void set_recorder(trace::Recorder* recorder) {
+    driver_.set_recorder(recorder);
+  }
 
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
-    mr::result_of<S> result;
-
-    // ---- split ----------------------------------------------------------
-    sched::TaskQueues queues(num_groups_);
-    {
-      ScopedPhase t(result.timers, Phase::kSplit);
-      if (cfg_.split_distribution == SplitDistribution::kBlocked) {
-        queues.distribute_blocked(app.num_splits(input), cfg_.task_size);
-      } else {
-        queues.distribute(app.num_splits(input), cfg_.task_size);
-      }
-    }
-
-    // ---- map-combine (overlapped) ----------------------------------------
-    // One ring per mapper (single producer); each combiner drains a
-    // disjoint ring set (single consumer) — SPSC suffices (Sec. III-A).
-    std::vector<std::unique_ptr<spsc::Ring<Record>>> rings;
-    rings.reserve(cfg_.num_mappers);
-    for (std::size_t m = 0; m < cfg_.num_mappers; ++m) {
-      rings.push_back(
-          std::make_unique<spsc::Ring<Record>>(cfg_.queue_capacity));
-    }
-    std::vector<Container> combiner_containers;
-    combiner_containers.reserve(cfg_.num_combiners);
-    for (std::size_t j = 0; j < cfg_.num_combiners; ++j) {
-      combiner_containers.push_back(app.make_container());
-    }
-
-    // Trace lanes must exist before the pools start (Recorder setup is not
-    // thread-safe); each lane is then written by exactly one thread.
-    std::vector<trace::Lane*> mapper_lanes(cfg_.num_mappers, nullptr);
-    std::vector<trace::Lane*> combiner_lanes(cfg_.num_combiners, nullptr);
-    if (recorder_ != nullptr) {
-      for (std::size_t m = 0; m < cfg_.num_mappers; ++m) {
-        mapper_lanes[m] = &recorder_->lane("mapper-" + std::to_string(m));
-      }
-      for (std::size_t j = 0; j < cfg_.num_combiners; ++j) {
-        combiner_lanes[j] = &recorder_->lane("combiner-" + std::to_string(j));
-      }
-    }
-    const Clock::time_point epoch =
-        recorder_ != nullptr ? recorder_->epoch() : Clock::time_point{};
-
-    std::atomic<std::size_t> tasks_executed{0};
-    // Failure protocol: a mapper that dies still closes its ring (so
-    // combiners terminate); a combiner that dies raises this flag (so
-    // mappers blocked on its full rings abort instead of waiting forever).
-    std::atomic<bool> combiner_failed{false};
-
-    const auto combiner_job = [&](std::size_t j) {
-      std::vector<spsc::Ring<Record>*> mine;
-      for (std::size_t m : plan_.mappers_of_combiner[j]) {
-        mine.push_back(rings[m].get());
-      }
-      spsc::RingSet<Record> set(std::move(mine));
-      Container& container = combiner_containers[j];
-      trace::Lane* lane = combiner_lanes[j];
-      spsc::SleepBackoff idle(std::chrono::microseconds(cfg_.sleep_micros));
-      const auto consume = [&container](std::span<Record> block) {
-        for (Record& r : block) {
-          container.emit(r.key, r.value);
-        }
-      };
-      try {
-        for (;;) {
-          const std::size_t got = set.sweep(consume, cfg_.batch_size);
-          if (lane != nullptr) {
-            lane->record(epoch,
-                         got > 0 ? trace::EventKind::kDrainActive
-                                 : trace::EventKind::kDrainIdle,
-                         got);
-          }
-          if (got == 0) {
-            if (set.finished()) break;
-            idle.wait();
-          } else {
-            idle.reset();
-          }
-        }
-      } catch (...) {
-        combiner_failed.store(true, std::memory_order_release);
-        throw;
-      }
-      if (lane != nullptr) {
-        lane->record(epoch, trace::EventKind::kDrainDone, j);
-      }
-    };
-
-    const auto mapper_job = [&](std::size_t m) {
-      spsc::Ring<Record>& ring = *rings[m];
-      const std::size_t group = mapper_group(m);
-      trace::Lane* lane = mapper_lanes[m];
-      std::size_t executed = 0;
-      // `emit` feeds records toward the ring; `on_task_end` runs between
-      // tasks (the pre-combining variant flushes its buffer there so the
-      // combiners keep receiving data at task granularity).
-      auto drain_tasks = [&](auto&& emit, auto&& on_task_end) {
-        while (auto task = queues.pop(group)) {
-          if (lane != nullptr) {
-            lane->record(epoch, trace::EventKind::kTaskStart, task->begin);
-          }
-          for (std::size_t split = task->begin; split < task->end; ++split) {
-            app.map(input, split, emit);
-          }
-          on_task_end();
-          if (lane != nullptr) {
-            lane->record(epoch, trace::EventKind::kTaskEnd, task->begin);
-          }
-          ++executed;
-        }
-      };
-      auto run_with = [&](auto backoff) {
-        auto push_record = [&](Record&& r) {
-          while (!ring.try_push(std::move(r))) {
-            if (combiner_failed.load(std::memory_order_acquire)) {
-              throw Error("RAMR: combiner thread failed; aborting map");
-            }
-            backoff.wait();
-          }
-          backoff.reset();
-        };
-        if (cfg_.precombine_slots > 0) {
-          PrecombineBuffer<K, V, typename Container::combiner> buffer(
-              cfg_.precombine_slots);
-          drain_tasks(
-              [&](const K& k, const V& v) {
-                if (auto evicted = buffer.absorb(k, v)) {
-                  push_record(std::move(*evicted));
-                }
-              },
-              [&] { buffer.flush(push_record); });
-        } else {
-          drain_tasks(
-              [&](const K& k, const V& v) { push_record(Record{k, v}); },
-              [] {});
-        }
-      };
-      try {
-        if (cfg_.sleep_on_full) {
-          run_with(spsc::SleepBackoff(
-              std::chrono::microseconds(cfg_.sleep_micros)));
-        } else {
-          run_with(spsc::BusyWaitBackoff{});
-        }
-      } catch (...) {
-        // Close even on failure: combiners must be able to terminate.
-        ring.close();
-        throw;
-      }
-      // Map phase over for this mapper: notify the combiner side.
-      ring.close();
-      if (lane != nullptr) {
-        lane->record(epoch, trace::EventKind::kStreamClose, m);
-      }
-      tasks_executed.fetch_add(executed, std::memory_order_relaxed);
-    };
-
-    {
-      ScopedPhase t(result.timers, Phase::kMapCombine);
-      combiner_pool_->start(combiner_job);
-      mapper_pool_->start(mapper_job);
-      // Always wait for BOTH pools, then rethrow the first failure: leaving
-      // a region in flight would poison the next run().
-      std::exception_ptr error;
-      try {
-        mapper_pool_->wait();
-      } catch (...) {
-        error = std::current_exception();
-      }
-      try {
-        combiner_pool_->wait();
-      } catch (...) {
-        if (!error) error = std::current_exception();
-      }
-      if (error) std::rethrow_exception(error);
-    }
-    result.tasks_executed = tasks_executed.load();
-    result.local_pops = queues.local_pops();
-    result.steals = queues.steals();
-    for (const auto& ring : rings) {
-      result.queue_pushes += ring->producer_stats().pushes;
-      result.queue_failed_pushes += ring->producer_stats().failed_pushes;
-      result.queue_batches += ring->consumer_stats().batches;
-      result.queue_max_occupancy = std::max(
-          result.queue_max_occupancy, ring->consumer_stats().max_occupancy);
-    }
-
-    // ---- reduce: parallel tree-merge of combiner containers ---------------
-    // Reduce and merge run on the general-purpose pool ("the top pool ...
-    // will be used to execute the tasks of map, reduce and merge").
-    {
-      ScopedPhase t(result.timers, Phase::kReduce);
-      sched::parallel_tree_merge(*mapper_pool_, combiner_containers);
-    }
-
-    // ---- merge: parallel key sort ------------------------------------------
-    {
-      ScopedPhase t(result.timers, Phase::kMerge);
-      result.pairs = containers::to_pairs(combiner_containers[0]);
-      mr::apply_reducer(app, result.pairs);
-      sched::parallel_sort(
-          *mapper_pool_, result.pairs,
-          [](const auto& a, const auto& b) { return a.first < b.first; });
-    }
-    return result;
+    engine::PipelinedSpsc<S> strategy;
+    return driver_.run(strategy, app, input);
   }
 
  private:
-  std::size_t mapper_group(std::size_t m) const {
-    if (cfg_.pin_policy != PinPolicy::kOsDefault && !plan_.mapper_cpu.empty()) {
-      return topo_.by_os_id(plan_.mapper_cpu[m]).socket % num_groups_;
-    }
-    return m % num_groups_;
-  }
-
-  topo::Topology topo_;
-  RuntimeConfig cfg_;
-  topo::PinningPlan plan_;
-  std::unique_ptr<sched::ThreadPool> mapper_pool_;
-  std::unique_ptr<sched::ThreadPool> combiner_pool_;
-  std::size_t num_groups_ = 1;
-  trace::Recorder* recorder_ = nullptr;
+  engine::PoolSet pools_;
+  engine::PhaseDriver driver_;
 };
 
 // Convenience: run an app once on the host topology. Worker counts default

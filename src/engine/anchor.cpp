@@ -1,0 +1,6 @@
+// Anchor translation unit for the (mostly header-only) engine library; the
+// non-template machinery lives in pool_set.cpp.
+#include "engine/phase_driver.hpp"
+#include "engine/strategy_atomic.hpp"
+#include "engine/strategy_fused.hpp"
+#include "engine/strategy_pipelined.hpp"

@@ -1,0 +1,106 @@
+// The EmitStrategy concept: how map output couples to the combine side.
+//
+// The paper's three architectures are one runtime skeleton (split →
+// map-combine → reduce → merge, see engine/phase_driver.hpp) with different
+// map→combine coupling strategies:
+//
+//   * FusedCombine   (Phoenix++) — combine inline after every emission into
+//     a thread-local container;               engine/strategy_fused.hpp
+//   * PipelinedSpsc  (RAMR)      — emissions stream through SPSC rings to a
+//     concurrent combiner pool;               engine/strategy_pipelined.hpp
+//   * AtomicGlobal   (MRPhi)     — emissions fetch-op on one shared
+//     atomically-accessed container;          engine/strategy_atomic.hpp
+//
+// A strategy owns the per-run intermediate state (containers, rings) and
+// implements:
+//
+//   using key_type / value_type;               // of the pipelined records
+//   static constexpr bool kHasReduce;          // false = no reduce phase at
+//                                              // all (its timer stays 0)
+//   void map_combine(ctx, app, input, result); // the overlapped phase
+//   void reduce(PoolSet&);                     // merge down to one container
+//   void collect(result);                      // fill result.pairs, unsorted
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "engine/pool_set.hpp"
+#include "sched/task_queue.hpp"
+#include "trace/trace.hpp"
+
+namespace ramr::engine {
+
+// Per-run trace lanes, one per thread. Lanes must exist before the pools
+// start (Recorder setup is not thread-safe); each lane is then written by
+// exactly one thread. Disabled (all null) without a recorder.
+struct TraceLanes {
+  std::vector<trace::Lane*> mapper;    // one per general-purpose worker
+  std::vector<trace::Lane*> combiner;  // one per combiner (dual shape only)
+  Clock::time_point epoch{};
+
+  // Lane names: "mapper-i"/"combiner-j" under the dual shape, "worker-i"
+  // under the single shape (one pool, no distinct combiner role).
+  static TraceLanes create(trace::Recorder* recorder, const PoolSet& pools) {
+    TraceLanes lanes;
+    lanes.mapper.assign(pools.num_mappers(), nullptr);
+    lanes.combiner.assign(pools.num_combiners(), nullptr);
+    if (recorder == nullptr) return lanes;
+    lanes.epoch = recorder->epoch();
+    const std::string mapper_prefix = pools.dual() ? "mapper-" : "worker-";
+    for (std::size_t m = 0; m < lanes.mapper.size(); ++m) {
+      lanes.mapper[m] = &recorder->lane(mapper_prefix + std::to_string(m));
+    }
+    for (std::size_t j = 0; j < lanes.combiner.size(); ++j) {
+      lanes.combiner[j] = &recorder->lane("combiner-" + std::to_string(j));
+    }
+    return lanes;
+  }
+};
+
+// Everything a strategy needs during the map-combine phase.
+struct MapCombineContext {
+  PoolSet& pools;
+  sched::TaskQueues& queues;
+  TraceLanes& lanes;
+};
+
+// The shared mapper task loop: pops TaskRanges from the group's queue,
+// maps every split through `emit`, runs `on_task_end` between tasks (the
+// pre-combining strategy flushes its buffer there), and records task
+// start/end trace events. Returns the number of tasks executed.
+template <typename App, typename Emit, typename OnTaskEnd>
+std::size_t drain_map_tasks(sched::TaskQueues& queues, std::size_t group,
+                            const App& app,
+                            const typename App::input_type& input,
+                            trace::Lane* lane, Clock::time_point epoch,
+                            Emit&& emit, OnTaskEnd&& on_task_end) {
+  std::size_t executed = 0;
+  while (auto task = queues.pop(group)) {
+    if (lane != nullptr) {
+      lane->record(epoch, trace::EventKind::kTaskStart, task->begin);
+    }
+    for (std::size_t split = task->begin; split < task->end; ++split) {
+      app.map(input, split, emit);
+    }
+    on_task_end();
+    if (lane != nullptr) {
+      lane->record(epoch, trace::EventKind::kTaskEnd, task->begin);
+    }
+    ++executed;
+  }
+  return executed;
+}
+
+template <typename St>
+concept EmitStrategy = requires {
+  typename St::key_type;
+  typename St::value_type;
+  { St::kHasReduce } -> std::convertible_to<bool>;
+};
+
+}  // namespace ramr::engine

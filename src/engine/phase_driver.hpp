@@ -1,0 +1,101 @@
+// PhaseDriver — the runtime skeleton every architecture shares.
+//
+// One MapReduce invocation is the same four-phase sequence regardless of
+// how map couples to combine (paper Fig. 1 categories):
+//
+//   split       : TaskQueues::distribute[_blocked] over locality groups
+//   map-combine : delegated to the EmitStrategy (one timed phase; the
+//                 pipelined strategy runs two pools concurrently in it)
+//   reduce      : strategy merges intermediate state down to one container
+//                 (skipped entirely — timer stays 0 — when the strategy
+//                 has no reduce, e.g. the atomic-global design)
+//   merge       : collect pairs, apply the app's optional per-key reducer,
+//                 parallel key sort on the general-purpose pool
+//
+// The driver also owns the trace wiring: with a Recorder set, every
+// strategy gets per-thread lanes (task and drain events), so Phoenix++ and
+// MRPhi runs are traceable exactly like RAMR ones.
+#pragma once
+
+#include <cstddef>
+
+#include "common/config.hpp"
+#include "common/timing.hpp"
+#include "engine/app_model.hpp"
+#include "engine/emit_strategy.hpp"
+#include "engine/pool_set.hpp"
+#include "engine/result.hpp"
+#include "sched/parallel_sort.hpp"
+#include "sched/task_queue.hpp"
+#include "trace/trace.hpp"
+
+namespace ramr::engine {
+
+// The phase-sequencing knobs (the strategy-specific knobs stay in
+// RuntimeConfig and are read by the strategies from PoolSet::config()).
+struct DriverOptions {
+  std::size_t task_size = 4;
+  SplitDistribution split_distribution = SplitDistribution::kRoundRobin;
+};
+
+class PhaseDriver {
+ public:
+  explicit PhaseDriver(PoolSet& pools, DriverOptions options = {})
+      : pools_(pools), options_(options) {}
+
+  // Optional execution tracing: one lane per worker thread, task/drain
+  // events, phase marks. The recorder must outlive every run(); pass
+  // nullptr to disable (the default).
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
+  template <EmitStrategy St, typename App>
+  RunResult<typename St::key_type, typename St::value_type> run(
+      St& strategy, const App& app, const typename App::input_type& input) {
+    RunResult<typename St::key_type, typename St::value_type> result;
+
+    // ---- split ----------------------------------------------------------
+    sched::TaskQueues queues(pools_.num_groups());
+    {
+      ScopedPhase t(result.timers, Phase::kSplit);
+      if (options_.split_distribution == SplitDistribution::kBlocked) {
+        queues.distribute_blocked(app.num_splits(input), options_.task_size);
+      } else {
+        queues.distribute(app.num_splits(input), options_.task_size);
+      }
+    }
+
+    // ---- map-combine (one timed phase, strategy-defined coupling) -------
+    TraceLanes lanes = TraceLanes::create(recorder_, pools_);
+    MapCombineContext ctx{pools_, queues, lanes};
+    {
+      ScopedPhase t(result.timers, Phase::kMapCombine);
+      strategy.map_combine(ctx, app, input, result);
+    }
+    result.local_pops = queues.local_pops();
+    result.steals = queues.steals();
+
+    // ---- reduce ---------------------------------------------------------
+    if constexpr (St::kHasReduce) {
+      ScopedPhase t(result.timers, Phase::kReduce);
+      strategy.reduce(pools_);
+    }
+
+    // ---- merge: collect + optional reducer + parallel key sort ----------
+    {
+      ScopedPhase t(result.timers, Phase::kMerge);
+      strategy.collect(result);
+      mr::apply_reducer(app, result.pairs);
+      sched::parallel_sort(
+          pools_.mapper_pool(), result.pairs,
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    return result;
+  }
+
+ private:
+  PoolSet& pools_;
+  DriverOptions options_;
+  trace::Recorder* recorder_ = nullptr;
+};
+
+}  // namespace ramr::engine

@@ -1,0 +1,81 @@
+#include "engine/pool_set.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ramr::engine {
+
+void join_pools_rethrow_first(sched::ThreadPool& first,
+                              sched::ThreadPool& second) {
+  std::exception_ptr error;
+  try {
+    first.wait();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  try {
+    second.wait();
+  } catch (...) {
+    if (!error) error = std::current_exception();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+PoolSet::PoolSet(topo::Topology topology, const RuntimeConfig& config)
+    : topo_(std::move(topology)),
+      cfg_(config.resolved(topo_.num_logical())),
+      plan_(topo::make_plan(topo_, cfg_.pin_policy, cfg_.num_mappers,
+                            cfg_.num_combiners)),
+      mapper_pins_(cfg_.num_mappers),
+      combiner_pins_(cfg_.num_combiners) {
+  if (cfg_.pin_policy != PinPolicy::kOsDefault) {
+    for (std::size_t m = 0; m < cfg_.num_mappers; ++m) {
+      mapper_pins_[m] = plan_.mapper_cpu.at(m);
+    }
+    for (std::size_t j = 0; j < cfg_.num_combiners; ++j) {
+      combiner_pins_[j] = plan_.combiner_cpu.at(j);
+    }
+  }
+  mapper_pool_ =
+      std::make_unique<sched::ThreadPool>(cfg_.num_mappers, mapper_pins_);
+  combiner_pool_ =
+      std::make_unique<sched::ThreadPool>(cfg_.num_combiners, combiner_pins_);
+  num_groups_ = topo_.num_sockets();
+}
+
+PoolSet::PoolSet(topo::Topology topology, std::size_t num_workers,
+                 PinPolicy policy)
+    : topo_(std::move(topology)) {
+  const std::size_t workers =
+      num_workers == 0 ? topo_.num_logical() : num_workers;
+  if (workers == 0) {
+    throw ConfigError("PoolSet needs at least one worker");
+  }
+  cfg_.num_mappers = workers;
+  cfg_.num_combiners = 0;
+  cfg_.pin_policy = policy;
+  plan_.policy = policy;
+  mapper_pins_.resize(workers);
+  if (policy != PinPolicy::kOsDefault) {
+    const auto order = topo_.proximity_order();
+    for (std::size_t i = 0; i < workers; ++i) {
+      mapper_pins_[i] = policy == PinPolicy::kRoundRobin
+                            ? topo_.cpus()[i % topo_.num_logical()].os_id
+                            : order[i % order.size()];
+    }
+  }
+  mapper_pool_ = std::make_unique<sched::ThreadPool>(workers, mapper_pins_);
+  num_groups_ = topo_.num_sockets();
+}
+
+std::size_t PoolSet::group_of_mapper(std::size_t m) const {
+  if (cfg_.pin_policy != PinPolicy::kOsDefault && dual() &&
+      !plan_.mapper_cpu.empty()) {
+    return topo_.by_os_id(plan_.mapper_cpu[m]).socket % num_groups_;
+  }
+  return m % num_groups_;
+}
+
+}  // namespace ramr::engine

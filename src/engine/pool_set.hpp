@@ -1,0 +1,106 @@
+// Thread-pool construction and PinPolicy resolution — the one place that
+// turns (topology, policy, worker counts) into pinned, long-lived pools.
+//
+// Every runtime used to re-implement this (with subtle divergence in how
+// the single-pool runtimes interpreted the paired policy); they now all
+// hold a PoolSet in one of two shapes:
+//
+//   * dual   — the decoupled RAMR shape: a general-purpose mapper pool plus
+//     a combiner pool, placed by topo::make_plan (paper Sec. III-B);
+//   * single — the Phoenix++/MRPhi shape: one general-purpose pool; round-
+//     robin pins threads in OS-id order, the paired policy (which has no
+//     pair structure without a combiner pool) degenerates to the
+//     topology's proximity order.
+//
+// Threads are created and pinned once at construction and live "throughout
+// the MR invocation" (paper Sec. III-B); pools persist across run() calls.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sched/thread_pool.hpp"
+#include "topology/pinning.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::engine {
+
+// The wait-both-pools / rethrow-first-error join protocol: always wait for
+// BOTH pools before rethrowing, because leaving a region in flight would
+// poison the next run() (the pools are long-lived). This is the single
+// definition of the pattern — strategies must not hand-roll it.
+void join_pools_rethrow_first(sched::ThreadPool& first,
+                              sched::ThreadPool& second);
+
+class PoolSet {
+ public:
+  // Dual-pool (decoupled) shape. The config is resolved against the
+  // topology (worker counts derived from the machine when left at 0) and
+  // the pinning plan computed once. Throws ConfigError on impossible
+  // configs (see RuntimeConfig::resolved).
+  PoolSet(topo::Topology topology, const RuntimeConfig& config);
+
+  // Single-pool shape. `num_workers` 0 = one worker per logical CPU.
+  // Throws ConfigError when the topology has no CPUs to derive from.
+  PoolSet(topo::Topology topology, std::size_t num_workers, PinPolicy policy);
+
+  PoolSet(const PoolSet&) = delete;
+  PoolSet& operator=(const PoolSet&) = delete;
+
+  bool dual() const { return combiner_pool_ != nullptr; }
+
+  const topo::Topology& topology() const { return topo_; }
+
+  // Resolved config; meaningful for the dual shape (the single shape
+  // synthesizes one carrying num_mappers = worker count, pin policy, and
+  // defaults elsewhere).
+  const RuntimeConfig& config() const { return cfg_; }
+
+  // Placement plan; empty CPU vectors under the single shape or kOsDefault.
+  const topo::PinningPlan& plan() const { return plan_; }
+
+  // The general-purpose pool: map tasks, and between phases reduce and
+  // merge ("the top pool ... will be used to execute the tasks of map,
+  // reduce and merge").
+  sched::ThreadPool& mapper_pool() { return *mapper_pool_; }
+
+  // The combiner pool; only present under the dual shape.
+  sched::ThreadPool& combiner_pool() { return *combiner_pool_; }
+
+  std::size_t num_mappers() const { return mapper_pool_->size(); }
+  std::size_t num_combiners() const {
+    return combiner_pool_ ? combiner_pool_->size() : 0;
+  }
+
+  // Locality groups: one task queue per socket the pools span.
+  std::size_t num_groups() const { return num_groups_; }
+
+  // Which locality-group queue mapper/worker `m` prefers: the socket of its
+  // pinned CPU when placement is known, round-robin otherwise.
+  std::size_t group_of_mapper(std::size_t m) const;
+
+  // The pin each thread was requested to run on (std::nullopt = unpinned);
+  // exposed so tests can verify policy resolution without digging into the
+  // OS. Pins that fail on a small host degrade silently to unpinned.
+  const std::vector<std::optional<std::size_t>>& mapper_pins() const {
+    return mapper_pins_;
+  }
+  const std::vector<std::optional<std::size_t>>& combiner_pins() const {
+    return combiner_pins_;
+  }
+
+ private:
+  topo::Topology topo_;
+  RuntimeConfig cfg_;
+  topo::PinningPlan plan_;
+  std::vector<std::optional<std::size_t>> mapper_pins_;
+  std::vector<std::optional<std::size_t>> combiner_pins_;
+  std::unique_ptr<sched::ThreadPool> mapper_pool_;
+  std::unique_ptr<sched::ThreadPool> combiner_pool_;
+  std::size_t num_groups_ = 1;
+};
+
+}  // namespace ramr::engine

@@ -1,0 +1,46 @@
+// The unified result of one MapReduce invocation under ANY runtime.
+//
+// Every coupling strategy (fused, pipelined, atomic-global) reports through
+// this one type: phase timers, task/steal scheduling counters, and the
+// pipeline queue statistics (zero for the strategies that have no queues).
+// `mr::Result` and `mrphi::Runtime::Result` are aliases of this type, so
+// results compare and print uniformly across the three architectures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timing.hpp"
+
+namespace ramr::engine {
+
+template <typename K, typename V>
+struct RunResult {
+  // Key-sorted (key, combined value) pairs — the merge phase output.
+  std::vector<std::pair<K, V>> pairs;
+
+  // Wall-clock per phase (split / map-combine / reduce / merge) — the
+  // quantities behind the paper's Fig. 1 breakdown.
+  PhaseTimers timers;
+
+  // Scheduling diagnostics.
+  std::size_t tasks_executed = 0;
+  std::size_t local_pops = 0;
+  std::size_t steals = 0;
+
+  // Pipeline diagnostics (nonzero only under the pipelined SPSC strategy).
+  std::size_t queue_pushes = 0;
+  std::size_t queue_failed_pushes = 0;
+  std::size_t queue_batches = 0;
+  std::size_t queue_max_occupancy = 0;  // deepest any ring ever got
+
+  std::string summary() const {
+    std::string s = timers.summary();
+    s += " pairs=" + std::to_string(pairs.size());
+    return s;
+  }
+};
+
+}  // namespace ramr::engine

@@ -1,0 +1,68 @@
+// AtomicGlobal — the MRPhi coupling strategy (paper Sec. II related work:
+// Lu et al., "Optimizing the MapReduce framework on Intel Xeon Phi
+// coprocessor").
+//
+// ONE worker pool, ONE globally shared atomically-accessed container (no
+// thread-local containers, no combine phase, no reduce-phase merging — the
+// paper: "an atomically-accessed global container was favored instead of
+// thread-local containers"). Map emissions go straight to the global array
+// with atomic fetch-ops; the merge phase reads it out sorted. Where
+// Phoenix++ pays reduce-phase merging and RAMR pays queue traffic, this
+// strategy pays coherence contention on hot keys.
+//
+// Restricted, like the original, to apps whose combiner is an atomic
+// fetch-op over an a-priori key range (AtomicArrayContainer) — HG/LR-class
+// workloads; WC-class arbitrary keys do not fit this design.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+#include "engine/app_model.hpp"
+#include "engine/emit_strategy.hpp"
+#include "engine/result.hpp"
+
+namespace ramr::engine {
+
+template <mr::GlobalAppSpec App>
+class AtomicGlobal {
+ public:
+  using Container = typename App::container_type;
+  using key_type = typename Container::key_type;
+  using value_type = typename Container::value_type;
+  static constexpr bool kHasReduce = false;  // the container is already global
+
+  void map_combine(MapCombineContext& ctx, const App& app,
+                   const typename App::input_type& input,
+                   RunResult<key_type, value_type>& result) {
+    // The whole map IS the combine: atomic fetch-ops on the shared array.
+    global_.emplace(app.make_global_container());
+    Container& global = *global_;
+    std::atomic<std::size_t> tasks_executed{0};
+    ctx.pools.mapper_pool().run_on_all([&](std::size_t worker) {
+      const auto emit = [&global](const key_type& k, const value_type& v) {
+        global.emit(k, v);
+      };
+      const std::size_t executed = drain_map_tasks(
+          ctx.queues, ctx.pools.group_of_mapper(worker), app, input,
+          ctx.lanes.mapper[worker], ctx.lanes.epoch, emit, [] {});
+      tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+    });
+    result.tasks_executed = tasks_executed.load();
+  }
+
+  void reduce(PoolSet&) {}  // never called: kHasReduce is false
+
+  void collect(RunResult<key_type, value_type>& result) {
+    result.pairs.reserve(global_->size());
+    global_->for_each([&](const key_type& k, const value_type& v) {
+      result.pairs.emplace_back(k, v);
+    });
+  }
+
+ private:
+  std::optional<Container> global_;
+};
+
+}  // namespace ramr::engine

@@ -1,0 +1,203 @@
+// PipelinedSpsc — the RAMR coupling strategy (paper Sec. III, Fig. 2).
+//
+// Map tasks run on the general-purpose pool; each mapper emits its
+// intermediate key/value pairs into its own fixed-capacity SPSC ring
+// instead of combining them inline. Combiners run *concurrently* with
+// mappers on the second pool: each one drains its assigned set of rings in
+// batches, applies the combine function, and stores results in a private
+// container. When all map tasks are done each mapper closes its ring; a
+// combiner exits once all of its rings are closed and drained.
+//
+// The three resource-aware mechanisms:
+//   * batched reads       — Ring::consume_batch (Sec. III-A, Figs. 6/7);
+//   * sleep on failed push — spsc::SleepBackoff (Sec. III-A);
+//   * contention-aware pinning — topo::make_plan(kRamrPaired) places each
+//     combiner on a logical CPU adjacent to its mappers (Sec. III-B).
+//
+// Failure protocol: a mapper that dies still closes its ring (so combiners
+// terminate); a combiner that dies raises a shared flag (so mappers blocked
+// on its full rings abort instead of waiting forever); the pools are joined
+// through engine::join_pools_rethrow_first.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "containers/container_traits.hpp"
+#include "engine/app_model.hpp"
+#include "engine/emit_strategy.hpp"
+#include "engine/precombine.hpp"
+#include "engine/result.hpp"
+#include "sched/parallel_sort.hpp"
+#include "spsc/backoff.hpp"
+#include "spsc/ring.hpp"
+#include "spsc/ring_set.hpp"
+
+namespace ramr::engine {
+
+template <mr::AppSpec App>
+class PipelinedSpsc {
+ public:
+  using Container = typename App::container_type;
+  using key_type = mr::key_type_of<App>;
+  using value_type = mr::value_type_of<App>;
+  using Record = containers::KeyValue<key_type, value_type>;
+  static constexpr bool kHasReduce = true;
+
+  void map_combine(MapCombineContext& ctx, const App& app,
+                   const typename App::input_type& input,
+                   RunResult<key_type, value_type>& result) {
+    const RuntimeConfig& cfg = ctx.pools.config();
+    const topo::PinningPlan& plan = ctx.pools.plan();
+
+    // One ring per mapper (single producer); each combiner drains a
+    // disjoint ring set (single consumer) — SPSC suffices (Sec. III-A).
+    rings_.clear();
+    rings_.reserve(cfg.num_mappers);
+    for (std::size_t m = 0; m < cfg.num_mappers; ++m) {
+      rings_.push_back(std::make_unique<spsc::Ring<Record>>(cfg.queue_capacity));
+    }
+    combiner_containers_.clear();
+    combiner_containers_.reserve(cfg.num_combiners);
+    for (std::size_t j = 0; j < cfg.num_combiners; ++j) {
+      combiner_containers_.push_back(app.make_container());
+    }
+
+    std::atomic<std::size_t> tasks_executed{0};
+    std::atomic<bool> combiner_failed{false};
+
+    const auto combiner_job = [&](std::size_t j) {
+      std::vector<spsc::Ring<Record>*> mine;
+      for (std::size_t m : plan.mappers_of_combiner[j]) {
+        mine.push_back(rings_[m].get());
+      }
+      spsc::RingSet<Record> set(std::move(mine));
+      Container& container = combiner_containers_[j];
+      trace::Lane* lane = ctx.lanes.combiner[j];
+      spsc::SleepBackoff idle(std::chrono::microseconds(cfg.sleep_micros));
+      const auto consume = [&container](std::span<Record> block) {
+        for (Record& r : block) {
+          container.emit(r.key, r.value);
+        }
+      };
+      try {
+        for (;;) {
+          const std::size_t got = set.sweep(consume, cfg.batch_size);
+          if (lane != nullptr) {
+            lane->record(ctx.lanes.epoch,
+                         got > 0 ? trace::EventKind::kDrainActive
+                                 : trace::EventKind::kDrainIdle,
+                         got);
+          }
+          if (got == 0) {
+            if (set.finished()) break;
+            idle.wait();
+          } else {
+            idle.reset();
+          }
+        }
+      } catch (...) {
+        combiner_failed.store(true, std::memory_order_release);
+        throw;
+      }
+      if (lane != nullptr) {
+        lane->record(ctx.lanes.epoch, trace::EventKind::kDrainDone, j);
+      }
+    };
+
+    const auto mapper_job = [&](std::size_t m) {
+      spsc::Ring<Record>& ring = *rings_[m];
+      const std::size_t group = ctx.pools.group_of_mapper(m);
+      trace::Lane* lane = ctx.lanes.mapper[m];
+      std::size_t executed = 0;
+      // `emit` feeds records toward the ring; the per-task hook flushes the
+      // pre-combining buffer (when enabled) so the combiners keep receiving
+      // data at task granularity.
+      auto run_with = [&](auto backoff) {
+        auto push_record = [&](Record&& r) {
+          while (!ring.try_push(std::move(r))) {
+            if (combiner_failed.load(std::memory_order_acquire)) {
+              throw Error("RAMR: combiner thread failed; aborting map");
+            }
+            backoff.wait();
+          }
+          backoff.reset();
+        };
+        if (cfg.precombine_slots > 0) {
+          PrecombineBuffer<key_type, value_type, typename Container::combiner>
+              buffer(cfg.precombine_slots);
+          executed = drain_map_tasks(
+              ctx.queues, group, app, input, lane, ctx.lanes.epoch,
+              [&](const key_type& k, const value_type& v) {
+                if (auto evicted = buffer.absorb(k, v)) {
+                  push_record(std::move(*evicted));
+                }
+              },
+              [&] { buffer.flush(push_record); });
+        } else {
+          executed = drain_map_tasks(
+              ctx.queues, group, app, input, lane, ctx.lanes.epoch,
+              [&](const key_type& k, const value_type& v) {
+                push_record(Record{k, v});
+              },
+              [] {});
+        }
+      };
+      try {
+        if (cfg.sleep_on_full) {
+          run_with(
+              spsc::SleepBackoff(std::chrono::microseconds(cfg.sleep_micros)));
+        } else {
+          run_with(spsc::BusyWaitBackoff{});
+        }
+      } catch (...) {
+        // Close even on failure: combiners must be able to terminate.
+        ring.close();
+        throw;
+      }
+      // Map phase over for this mapper: notify the combiner side.
+      ring.close();
+      if (lane != nullptr) {
+        lane->record(ctx.lanes.epoch, trace::EventKind::kStreamClose, m);
+      }
+      tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+    };
+
+    ctx.pools.combiner_pool().start(combiner_job);
+    ctx.pools.mapper_pool().start(mapper_job);
+    join_pools_rethrow_first(ctx.pools.mapper_pool(),
+                             ctx.pools.combiner_pool());
+
+    result.tasks_executed = tasks_executed.load();
+    for (const auto& ring : rings_) {
+      result.queue_pushes += ring->producer_stats().pushes;
+      result.queue_failed_pushes += ring->producer_stats().failed_pushes;
+      result.queue_batches += ring->consumer_stats().batches;
+      result.queue_max_occupancy = std::max(
+          result.queue_max_occupancy, ring->consumer_stats().max_occupancy);
+    }
+  }
+
+  // Reduce and merge run on the general-purpose pool ("the top pool ...
+  // will be used to execute the tasks of map, reduce and merge").
+  void reduce(PoolSet& pools) {
+    sched::parallel_tree_merge(pools.mapper_pool(), combiner_containers_);
+  }
+
+  void collect(RunResult<key_type, value_type>& result) {
+    result.pairs = containers::to_pairs(combiner_containers_[0]);
+  }
+
+ private:
+  std::vector<std::unique_ptr<spsc::Ring<Record>>> rings_;
+  std::vector<Container> combiner_containers_;
+};
+
+}  // namespace ramr::engine

@@ -1,48 +1,30 @@
 // MRPhi-style runtime (paper Sec. II related work: Lu et al., "Optimizing
 // the MapReduce framework on Intel Xeon Phi coprocessor").
 //
-// The third architecture in the paper's design space, reproduced for
-// comparison: ONE worker pool, ONE globally shared atomically-accessed
-// container (no thread-local containers, no combine phase, no reduce-phase
-// merging — the paper: "an atomically-accessed global container was
-// favored instead of thread-local containers"). Map emissions go straight
-// to the global array with atomic fetch-ops; the merge phase reads it out
-// sorted. Where Phoenix++ pays reduce-phase merging and RAMR pays queue
-// traffic, MRPhi pays coherence contention on hot keys.
-//
-// Restricted, like the original, to apps whose combiner is an atomic
-// fetch-op over an a-priori key range (AtomicArrayContainer) — HG/LR-class
-// workloads; WC-class arbitrary keys do not fit this design.
+// The third architecture in the paper's design space, expressed as a thin
+// configuration of the shared execution engine: a single-pool
+// engine::PoolSet plus the engine::AtomicGlobal emit strategy (one
+// atomically-accessed global container, no reduce phase) driven through
+// engine::PhaseDriver. See engine/strategy_atomic.hpp for the design's
+// trade-offs and restrictions.
 #pragma once
 
 #include <cstddef>
-#include <memory>
-#include <optional>
 #include <utility>
-#include <vector>
 
 #include "common/config.hpp"
-#include "common/error.hpp"
-#include "common/timing.hpp"
 #include "containers/atomic_array_container.hpp"
-#include "sched/parallel_sort.hpp"
-#include "sched/task_queue.hpp"
-#include "sched/thread_pool.hpp"
+#include "engine/phase_driver.hpp"
+#include "engine/pool_set.hpp"
+#include "engine/strategy_atomic.hpp"
 #include "topology/topology.hpp"
 
 namespace ramr::mrphi {
 
-// The MRPhi app model: like mr::AppSpec but with a *shared* container —
-// make_global_container() is called once per run, and map's emit writes to
-// it concurrently from every worker.
+// Historical spelling of the MRPhi app model; the concept now lives with
+// the rest of the application model in engine/app_model.hpp.
 template <typename S>
-concept GlobalAppSpec = requires(const S& app,
-                                 const typename S::input_type& in) {
-  typename S::input_type;
-  typename S::container_type;  // an AtomicArrayContainer instantiation
-  { app.num_splits(in) } -> std::convertible_to<std::size_t>;
-  { app.make_global_container() } -> std::same_as<typename S::container_type>;
-};
+concept GlobalAppSpec = mr::GlobalAppSpec<S>;
 
 struct Options {
   std::size_t num_workers = 0;  // 0 = one per logical CPU
@@ -50,84 +32,38 @@ struct Options {
   PinPolicy pin_policy = PinPolicy::kRoundRobin;
 };
 
-template <GlobalAppSpec S>
+template <mr::GlobalAppSpec S>
 class Runtime {
  public:
   using Container = typename S::container_type;
   using K = typename Container::key_type;
   using V = typename Container::value_type;
 
-  struct Result {
-    std::vector<std::pair<K, V>> pairs;
-    PhaseTimers timers;
-    std::size_t tasks_executed = 0;
-  };
+  // The unified engine result; kept under the historical name.
+  using Result = engine::RunResult<K, V>;
 
   explicit Runtime(topo::Topology topology, Options options = {})
-      : topo_(std::move(topology)), options_(options) {
-    num_workers_ = options_.num_workers == 0 ? topo_.num_logical()
-                                             : options_.num_workers;
-    if (num_workers_ == 0) {
-      throw ConfigError("mrphi::Runtime needs at least one worker");
-    }
-    std::vector<std::optional<std::size_t>> pins(num_workers_);
-    if (options_.pin_policy != PinPolicy::kOsDefault) {
-      for (std::size_t i = 0; i < num_workers_; ++i) {
-        pins[i] = topo_.cpus()[i % topo_.num_logical()].os_id;
-      }
-    }
-    pool_ = std::make_unique<sched::ThreadPool>(num_workers_, std::move(pins));
+      : pools_(std::move(topology), options.num_workers, options.pin_policy),
+        driver_(pools_, engine::DriverOptions{options.task_size,
+                                              SplitDistribution::kRoundRobin}) {
   }
 
-  std::size_t num_workers() const { return num_workers_; }
+  std::size_t num_workers() const { return pools_.num_mappers(); }
+
+  // Optional execution tracing (see src/trace/): one lane per worker,
+  // task events. The recorder must outlive every run().
+  void set_recorder(trace::Recorder* recorder) {
+    driver_.set_recorder(recorder);
+  }
 
   Result run(const S& app, const typename S::input_type& input) {
-    Result result;
-
-    sched::TaskQueues queues(topo_.num_sockets());
-    {
-      ScopedPhase t(result.timers, Phase::kSplit);
-      queues.distribute(app.num_splits(input), options_.task_size);
-    }
-
-    Container global = app.make_global_container();
-    std::atomic<std::size_t> tasks_executed{0};
-    {
-      // The whole map IS the combine: atomic fetch-ops on the shared array.
-      ScopedPhase t(result.timers, Phase::kMapCombine);
-      pool_->run_on_all([&](std::size_t worker) {
-        const std::size_t group = worker % queues.num_groups();
-        auto emit = [&global](const K& k, const V& v) { global.emit(k, v); };
-        std::size_t executed = 0;
-        while (auto task = queues.pop(group)) {
-          for (std::size_t split = task->begin; split < task->end; ++split) {
-            app.map(input, split, emit);
-          }
-          ++executed;
-        }
-        tasks_executed.fetch_add(executed, std::memory_order_relaxed);
-      });
-    }
-    result.tasks_executed = tasks_executed.load();
-
-    // No reduce phase: the container is already global.
-    {
-      ScopedPhase t(result.timers, Phase::kMerge);
-      result.pairs.reserve(global.size());
-      global.for_each(
-          [&](const K& k, const V& v) { result.pairs.emplace_back(k, v); });
-      sched::parallel_sort(
-          *pool_, result.pairs,
-          [](const auto& a, const auto& b) { return a.first < b.first; });
-    }
-    return result;
+    engine::AtomicGlobal<S> strategy;
+    return driver_.run(strategy, app, input);
   }
 
  private:
-  topo::Topology topo_;
-  Options options_;
-  std::size_t num_workers_ = 0;
-  std::unique_ptr<sched::ThreadPool> pool_;
+  engine::PoolSet pools_;
+  engine::PhaseDriver driver_;
 };
 
 }  // namespace ramr::mrphi

@@ -1,106 +1,7 @@
-// The application model shared by the Phoenix++ baseline and the RAMR
-// runtime: what an application must provide to run under either.
-//
-// Mirrors Phoenix++'s design: an application supplies its input type, an
-// intermediate container type (fixed array / fixed hash / regular hash), a
-// splitter, and a map function that emits key/value pairs. Combining is the
-// container's combiner; the reduce phase merges per-thread containers; the
-// merge phase produces key-sorted output.
+// Compatibility shim: the application model (ramr::mr) moved into the
+// engine layer when the runtimes were unified over one execution engine —
+// see engine/app_model.hpp. Existing "phoenix/app_model.hpp" includes keep
+// working; the declared names live in namespace ramr::mr as before.
 #pragma once
 
-#include <concepts>
-#include <cstddef>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "common/timing.hpp"
-#include "containers/container_traits.hpp"
-
-namespace ramr::mr {
-
-// An application specification. `map` is templated on the emit callable so
-// the exact same app code drives both runtimes: Phoenix++ passes an emitter
-// that combines straight into the worker's container, RAMR passes one that
-// pushes into the mapper's SPSC ring.
-//
-//   struct MyApp {
-//     using input_type = ...;
-//     using container_type = ...;   // satisfies IntermediateContainer
-//     std::size_t num_splits(const input_type&) const;
-//     container_type make_container() const;
-//     template <typename Emit>
-//     void map(const input_type&, std::size_t split, Emit&& emit) const;
-//     // Optional: a per-key reducer applied to every combined value during
-//     // the reduce phase (e.g. divide a sum by a count). Detected via
-//     // `requires`; apps without it get the identity.
-//     void reduce(const key_type&, value_type&) const;
-//   };
-template <typename S>
-concept AppSpec = requires(const S& app, const typename S::input_type& in) {
-  typename S::input_type;
-  typename S::container_type;
-  requires containers::IntermediateContainer<typename S::container_type>;
-  { app.num_splits(in) } -> std::convertible_to<std::size_t>;
-  { app.make_container() } -> std::same_as<typename S::container_type>;
-};
-
-template <AppSpec S>
-using key_type_of = typename S::container_type::key_type;
-
-template <AppSpec S>
-using value_type_of = typename S::container_type::value_type;
-
-// Result of one MapReduce invocation under either runtime.
-template <typename K, typename V>
-struct Result {
-  // Key-sorted (key, combined value) pairs — the merge phase output.
-  std::vector<std::pair<K, V>> pairs;
-
-  // Wall-clock per phase (split / map-combine / reduce / merge) — the
-  // quantities behind the paper's Fig. 1 breakdown.
-  PhaseTimers timers;
-
-  // Scheduling diagnostics.
-  std::size_t tasks_executed = 0;
-  std::size_t local_pops = 0;
-  std::size_t steals = 0;
-
-  // RAMR-only pipeline diagnostics (zero under the baseline).
-  std::size_t queue_pushes = 0;
-  std::size_t queue_failed_pushes = 0;
-  std::size_t queue_batches = 0;
-  std::size_t queue_max_occupancy = 0;  // deepest any ring ever got
-
-  std::string summary() const {
-    std::string s = timers.summary();
-    s += " pairs=" + std::to_string(pairs.size());
-    return s;
-  }
-};
-
-template <AppSpec S>
-using result_of = Result<key_type_of<S>, value_type_of<S>>;
-
-// Whether the app supplies the optional per-key reducer.
-template <typename S>
-concept HasReducer = requires(const S& app, const key_type_of<S>& k,
-                              value_type_of<S>& v) {
-  { app.reduce(k, v) };
-};
-
-// Applies the app's reducer to every pair (no-op when absent). Called by
-// both runtimes at the end of the reduce phase, after containers merged.
-template <AppSpec S, typename Pairs>
-void apply_reducer(const S& app, Pairs& pairs) {
-  if constexpr (HasReducer<S>) {
-    for (auto& [key, value] : pairs) {
-      app.reduce(key, value);
-    }
-  } else {
-    (void)app;
-    (void)pairs;
-  }
-}
-
-}  // namespace ramr::mr
+#include "engine/app_model.hpp"

@@ -1,27 +1,18 @@
 // Phoenix++-style baseline MapReduce runtime.
 //
-// Faithful re-implementation of the architecture RAMR is measured against
-// (paper Sec. II / [4]): one general-purpose worker pool; each worker owns a
-// thread-local intermediate container; the combine function is applied
-// after *every* map emission on the same thread ("map-combine" is fused);
-// reduce merges the per-worker containers; merge sorts by key. Workers pull
-// split-range tasks from per-locality-group queues with stealing.
+// The architecture RAMR is measured against (paper Sec. II / [4]),
+// expressed as a thin configuration of the shared execution engine: a
+// single-pool engine::PoolSet plus the engine::FusedCombine emit strategy
+// (thread-local containers, combine applied after every map emission on the
+// same thread) driven through engine::PhaseDriver.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <memory>
-#include <optional>
-#include <vector>
 
 #include "common/config.hpp"
-#include "common/error.hpp"
-#include "common/timing.hpp"
-#include "phoenix/app_model.hpp"
-#include "sched/parallel_sort.hpp"
-#include "sched/task_queue.hpp"
-#include "sched/thread_pool.hpp"
-#include "topology/pinning.hpp"
+#include "engine/phase_driver.hpp"
+#include "engine/pool_set.hpp"
+#include "engine/strategy_fused.hpp"
 #include "topology/topology.hpp"
 
 namespace ramr::phoenix {
@@ -46,99 +37,27 @@ class Runtime {
   using V = mr::value_type_of<S>;
 
   explicit Runtime(topo::Topology topology, Options options = {})
-      : topo_(std::move(topology)), options_(options) {
-    num_workers_ = options_.num_workers == 0 ? topo_.num_logical()
-                                             : options_.num_workers;
-    if (num_workers_ == 0) {
-      throw ConfigError("phoenix::Runtime needs at least one worker");
-    }
-    std::vector<std::optional<std::size_t>> pins(num_workers_);
-    if (options_.pin_policy != PinPolicy::kOsDefault) {
-      const auto order = topo_.proximity_order();
-      for (std::size_t i = 0; i < num_workers_; ++i) {
-        // RR uses plain OS-id order; the paired policy has no pair structure
-        // here (single pool), so it degenerates to proximity order.
-        const std::size_t cpu =
-            options_.pin_policy == PinPolicy::kRoundRobin
-                ? topo_.cpus()[i % topo_.num_logical()].os_id
-                : order[i % order.size()];
-        pins[i] = cpu;
-      }
-    }
-    pool_ = std::make_unique<sched::ThreadPool>(num_workers_, std::move(pins));
-    // Locality groups: one task queue per socket the pool spans.
-    num_groups_ = topo_.num_sockets();
+      : pools_(std::move(topology), options.num_workers, options.pin_policy),
+        driver_(pools_, engine::DriverOptions{options.task_size,
+                                              options.split_distribution}) {}
+
+  std::size_t num_workers() const { return pools_.num_mappers(); }
+
+  // Optional execution tracing (see src/trace/): one lane per worker,
+  // task events, phase marks. The recorder must outlive every run(); pass
+  // nullptr to disable (the default).
+  void set_recorder(trace::Recorder* recorder) {
+    driver_.set_recorder(recorder);
   }
 
-  std::size_t num_workers() const { return num_workers_; }
-
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
-    mr::result_of<S> result;
-
-    // ---- split ----------------------------------------------------------
-    std::size_t num_splits = 0;
-    sched::TaskQueues queues(num_groups_);
-    {
-      ScopedPhase t(result.timers, Phase::kSplit);
-      num_splits = app.num_splits(input);
-      if (options_.split_distribution == SplitDistribution::kBlocked) {
-        queues.distribute_blocked(num_splits, options_.task_size);
-      } else {
-        queues.distribute(num_splits, options_.task_size);
-      }
-    }
-
-    // ---- map + inline combine ------------------------------------------
-    std::vector<Container> locals;
-    locals.reserve(num_workers_);
-    for (std::size_t w = 0; w < num_workers_; ++w) {
-      locals.push_back(app.make_container());
-    }
-    std::atomic<std::size_t> tasks_executed{0};
-    {
-      ScopedPhase t(result.timers, Phase::kMapCombine);
-      pool_->run_on_all([&](std::size_t worker) {
-        Container& mine = locals[worker];
-        const std::size_t group = worker % num_groups_;
-        auto emit = [&mine](const K& k, const V& v) { mine.emit(k, v); };
-        std::size_t executed = 0;
-        while (auto task = queues.pop(group)) {
-          for (std::size_t split = task->begin; split < task->end; ++split) {
-            app.map(input, split, emit);
-          }
-          ++executed;
-        }
-        tasks_executed.fetch_add(executed, std::memory_order_relaxed);
-      });
-    }
-    result.tasks_executed = tasks_executed.load();
-    result.local_pops = queues.local_pops();
-    result.steals = queues.steals();
-
-    // ---- reduce: parallel tree-merge of thread-local containers ----------
-    {
-      ScopedPhase t(result.timers, Phase::kReduce);
-      sched::parallel_tree_merge(*pool_, locals);
-    }
-
-    // ---- merge: parallel key sort on the same pool ------------------------
-    {
-      ScopedPhase t(result.timers, Phase::kMerge);
-      result.pairs = containers::to_pairs(locals[0]);
-      mr::apply_reducer(app, result.pairs);
-      sched::parallel_sort(
-          *pool_, result.pairs,
-          [](const auto& a, const auto& b) { return a.first < b.first; });
-    }
-    return result;
+    engine::FusedCombine<S> strategy;
+    return driver_.run(strategy, app, input);
   }
 
  private:
-  topo::Topology topo_;
-  Options options_;
-  std::size_t num_workers_ = 0;
-  std::size_t num_groups_ = 1;
-  std::unique_ptr<sched::ThreadPool> pool_;
+  engine::PoolSet pools_;
+  engine::PhaseDriver driver_;
 };
 
 // Convenience: run an app once on the host topology with default options.

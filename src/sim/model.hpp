@@ -63,7 +63,7 @@ struct RamrConfig {
   std::size_t queue_capacity = 5000;
   PinPolicy pin = PinPolicy::kRamrPaired;
   bool sleep_on_full = true;
-  // Mapper-side pre-combining (extension; see core/precombine.hpp): the
+  // Mapper-side pre-combining (extension; see engine/precombine.hpp): the
   // factor by which coalescing shrinks the record stream (1 = off). The
   // mapper pays a small probe cost per ORIGINAL record; everything priced
   // per record downstream (push, pop, communication) divides by the factor.

@@ -108,6 +108,17 @@ TEST(Config, FromEnvReadsEveryKnob) {
   EXPECT_EQ(cfg.sleep_micros, 75u);
 }
 
+TEST(Config, RatioEnvKnobDrivesDerivedWorkerCounts) {
+  env::ScopedOverride r(kEnvRatio, "3");
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.mapper_combiner_ratio, 3u);
+  // The ratio feeds the machine fill: groups of (3+1)=4 threads -> 3 groups
+  // on 12 CPUs.
+  const RuntimeConfig resolved = cfg.resolved(12);
+  EXPECT_EQ(resolved.num_mappers, 9u);
+  EXPECT_EQ(resolved.num_combiners, 3u);
+}
+
 TEST(Config, ResolveDerivesWorkersFromMachine) {
   RuntimeConfig cfg;
   cfg.mapper_combiner_ratio = 2;
