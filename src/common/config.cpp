@@ -43,6 +43,26 @@ std::string to_string(SplitDistribution distribution) {
   return distribution == SplitDistribution::kRoundRobin ? "rr" : "block";
 }
 
+BackoffKind parse_backoff_kind(const std::string& name) {
+  if (name == "busy" || name == "spin") return BackoffKind::kBusyWait;
+  if (name == "sleep" || name == "fixed") return BackoffKind::kSleep;
+  if (name == "exp" || name == "exponential") return BackoffKind::kExponential;
+  throw ConfigError("unknown backoff kind '" + name +
+                    "' (expected busy|sleep|exp)");
+}
+
+std::string to_string(BackoffKind kind) {
+  switch (kind) {
+    case BackoffKind::kBusyWait:
+      return "busy";
+    case BackoffKind::kSleep:
+      return "sleep";
+    case BackoffKind::kExponential:
+      return "exp";
+  }
+  return "?";
+}
+
 RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   base.num_mappers = env::get_uint(kEnvMappers, base.num_mappers);
   base.num_combiners = env::get_uint(kEnvCombiners, base.num_combiners);
@@ -54,11 +74,21 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   base.sleep_on_full = env::get_bool(kEnvSleepOnFull, base.sleep_on_full);
   base.sleep_micros = env::get_uint(kEnvSleepMicros, base.sleep_micros);
   base.precombine_slots = env::get_uint(kEnvPrecombine, base.precombine_slots);
+  base.sleep_cap_micros =
+      env::get_uint(kEnvSleepCapMicros, base.sleep_cap_micros);
+  base.max_task_retries =
+      env::get_uint(kEnvTaskRetries, base.max_task_retries);
+  base.deadline_ms = env::get_uint(kEnvDeadlineMs, base.deadline_ms);
+  base.stall_timeout_ms = env::get_uint(kEnvStallMs, base.stall_timeout_ms);
+  base.fault_spec = env::get_string(kEnvFaults, base.fault_spec);
   if (auto policy = env::get(kEnvPinPolicy)) {
     base.pin_policy = parse_pin_policy(*policy);
   }
   if (auto dist = env::get(kEnvSplitDistribution)) {
     base.split_distribution = parse_split_distribution(*dist);
+  }
+  if (auto kind = env::get(kEnvBackoff)) {
+    base.backoff = parse_backoff_kind(*kind);
   }
   return base;
 }
@@ -90,6 +120,15 @@ RuntimeConfig RuntimeConfig::resolved(std::size_t hardware_threads) const {
                       std::to_string(r.num_combiners) + " > " +
                       std::to_string(r.num_mappers) + ")");
   }
+  if (r.num_mappers == 0 || r.num_combiners == 0) {
+    // Defensive: the derivations above always yield at least one worker per
+    // pool, but a config that somehow resolves to an empty pool must fail
+    // here with a clear message, not crash the pipelined strategy later
+    // (PipelinedSpsc::collect reads combiner container 0 unconditionally).
+    throw ConfigError("config resolved to an empty pool (" +
+                      std::to_string(r.num_mappers) + " mappers, " +
+                      std::to_string(r.num_combiners) + " combiners)");
+  }
   if (r.task_size == 0) throw ConfigError("task size must be >= 1");
   if (r.queue_capacity < 2) throw ConfigError("queue capacity must be >= 2");
   if (r.batch_size == 0) throw ConfigError("batch size must be >= 1");
@@ -97,6 +136,16 @@ RuntimeConfig RuntimeConfig::resolved(std::size_t hardware_threads) const {
     throw ConfigError("batch size " + std::to_string(r.batch_size) +
                       " exceeds queue capacity " +
                       std::to_string(r.queue_capacity));
+  }
+  if (!r.sleep_on_full) {
+    // Historical spelling of the busy-wait policy wins over the newer knob.
+    r.backoff = BackoffKind::kBusyWait;
+  }
+  if (r.backoff == BackoffKind::kExponential &&
+      r.sleep_cap_micros < r.sleep_micros) {
+    throw ConfigError("sleep cap " + std::to_string(r.sleep_cap_micros) +
+                      "us below initial sleep period " +
+                      std::to_string(r.sleep_micros) + "us");
   }
   return r;
 }
@@ -109,7 +158,15 @@ std::string RuntimeConfig::summary() const {
      << " pin=" << to_string(pin_policy)
      << " split=" << to_string(split_distribution)
      << " sleep_on_full=" << (sleep_on_full ? "yes" : "no") << " sleep_us="
-     << sleep_micros << " precombine=" << precombine_slots;
+     << sleep_micros << " precombine=" << precombine_slots
+     << " backoff=" << to_string(backoff);
+  if (backoff == BackoffKind::kExponential) {
+    os << " sleep_cap_us=" << sleep_cap_micros;
+  }
+  if (max_task_retries > 0) os << " task_retries=" << max_task_retries;
+  if (deadline_ms > 0) os << " deadline_ms=" << deadline_ms;
+  if (stall_timeout_ms > 0) os << " stall_ms=" << stall_timeout_ms;
+  if (!fault_spec.empty()) os << " faults=" << fault_spec;
   return os.str();
 }
 

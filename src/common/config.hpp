@@ -33,6 +33,18 @@ enum class SplitDistribution {
 SplitDistribution parse_split_distribution(const std::string& name);
 std::string to_string(SplitDistribution distribution);
 
+// Producer/consumer backoff policy for the pipelined strategy (Sec. III-A
+// evaluates sleep vs busy-wait; the exponential capped ladder is an
+// extension for long combiner outages).
+enum class BackoffKind {
+  kBusyWait,     // spin (with periodic yield); never sleeps
+  kSleep,        // fixed-period sleep after a short spin (paper default)
+  kExponential,  // sleep doubling from sleep_micros up to sleep_cap_micros
+};
+
+BackoffKind parse_backoff_kind(const std::string& name);
+std::string to_string(BackoffKind kind);
+
 // Env-knob names (all optional; see RuntimeConfig::from_env).
 inline constexpr const char* kEnvMappers = "RAMR_MAPPERS";
 inline constexpr const char* kEnvCombiners = "RAMR_COMBINERS";
@@ -46,6 +58,12 @@ inline constexpr const char* kEnvSleepMicros = "RAMR_SLEEP_US";
 inline constexpr const char* kEnvSplitDistribution =
     "RAMR_SPLIT_DISTRIBUTION";
 inline constexpr const char* kEnvPrecombine = "RAMR_PRECOMBINE";
+inline constexpr const char* kEnvBackoff = "RAMR_BACKOFF";
+inline constexpr const char* kEnvSleepCapMicros = "RAMR_SLEEP_CAP_US";
+inline constexpr const char* kEnvTaskRetries = "RAMR_TASK_RETRIES";
+inline constexpr const char* kEnvDeadlineMs = "RAMR_DEADLINE_MS";
+inline constexpr const char* kEnvStallMs = "RAMR_STALL_MS";
+inline constexpr const char* kEnvFaults = "RAMR_FAULTS";
 
 struct RuntimeConfig {
   // Worker counts. 0 means "derive from the machine": mappers default to the
@@ -84,6 +102,34 @@ struct RuntimeConfig {
   // published behaviour). Coalesces same-key emissions before they enter
   // the SPSC ring — an extension targeting the queue-traffic-bound apps.
   std::size_t precombine_slots = 0;
+
+  // Backoff policy (applies when sleep_on_full is true; sleep_on_full=false
+  // forces kBusyWait in resolved() for backwards compatibility). The
+  // exponential ladder starts at sleep_micros and doubles per consecutive
+  // sleep, capped at sleep_cap_micros.
+  BackoffKind backoff = BackoffKind::kSleep;
+  std::size_t sleep_cap_micros = 1000;
+
+  // ---- robustness knobs (see src/faults/, engine/health.hpp) -------------
+
+  // Map tasks failing with a TransientError are retried up to this many
+  // times before the failure aborts the run (0 = no retry; the retry and
+  // abort counts are reported in RunResult).
+  std::size_t max_task_retries = 0;
+
+  // Whole-run wall-clock deadline in milliseconds (0 = none). When
+  // exceeded, the run is cancelled cooperatively and run() throws an
+  // AbortError naming the phase.
+  std::size_t deadline_ms = 0;
+
+  // Per-worker stall bound in milliseconds (0 = none): an active worker
+  // whose heartbeat does not advance for this long trips the watchdog.
+  // Must exceed the longest single map task the app can execute.
+  std::size_t stall_timeout_ms = 0;
+
+  // Fault-injection spec (see faults::FaultPlan::parse; "" = disabled,
+  // zero-cost). Test/chaos-only knob.
+  std::string fault_spec;
 
   // Build a config taking every RAMR_* env knob into account, starting from
   // the given base (defaults if omitted). Throws ConfigError on bad values.

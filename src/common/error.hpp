@@ -28,4 +28,13 @@ class CapacityError : public Error {
   explicit CapacityError(const std::string& what) : Error(what) {}
 };
 
+// Classification base for failures that may succeed on a retry (the engine
+// retries map tasks that fail with a TransientError up to the configured
+// limit; any other exception aborts the run). Apps may derive from this to
+// opt their own recoverable failures into task-level retry.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace ramr

@@ -35,9 +35,7 @@ class Runtime {
   // start-up "throughout the MR invocation" (paper Sec. III-B).
   Runtime(topo::Topology topology, RuntimeConfig config)
       : pools_(std::move(topology), config),
-        driver_(pools_,
-                engine::DriverOptions{pools_.config().task_size,
-                                      pools_.config().split_distribution}) {}
+        driver_(pools_, engine::driver_options_from(pools_.config())) {}
 
   const RuntimeConfig& config() const { return pools_.config(); }
   const topo::PinningPlan& plan() const { return pools_.plan(); }

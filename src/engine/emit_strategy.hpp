@@ -20,6 +20,13 @@
 //   void map_combine(ctx, app, input, result); // the overlapped phase
 //   void reduce(PoolSet&);                     // merge down to one container
 //   void collect(result);                      // fill result.pairs, unsorted
+//
+// Robustness plumbing (all owned by PhaseDriver::run, threaded through the
+// context): a CancellationToken every worker polls at its scheduling
+// points, a fault Injector (zero-cost when disabled), per-worker
+// Heartbeats for the stall watchdog, and the task-retry state. Workers
+// observing cancellation exit *quietly* so the pool that carries the
+// root-cause exception is the only one that reports an error.
 #pragma once
 
 #include <atomic>
@@ -28,8 +35,11 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "common/timing.hpp"
+#include "engine/health.hpp"
 #include "engine/pool_set.hpp"
+#include "faults/injector.hpp"
 #include "sched/task_queue.hpp"
 #include "trace/trace.hpp"
 
@@ -62,35 +72,102 @@ struct TraceLanes {
   }
 };
 
+// Shared counters for bounded task-level retry (owned by the driver; the
+// totals land in RunResult::task_retries / task_aborts).
+struct RetryState {
+  std::size_t max_retries = 0;
+  std::atomic<std::size_t> retries{0};  // retry attempts performed
+  std::atomic<std::size_t> aborts{0};   // tasks that exhausted the budget
+};
+
 // Everything a strategy needs during the map-combine phase.
 struct MapCombineContext {
   PoolSet& pools;
   sched::TaskQueues& queues;
   TraceLanes& lanes;
+  common::CancellationToken& cancel;
+  faults::Injector& injector;
+  Heartbeats& beats;
+  RetryState& retry;
+};
+
+// Per-worker control block for drain_map_tasks, bundling the scheduling
+// inputs with the robustness plumbing.
+struct TaskLoopControl {
+  sched::TaskQueues& queues;
+  std::size_t group;
+  trace::Lane* lane;
+  Clock::time_point epoch;
+  common::CancellationToken& cancel;
+  faults::Injector& injector;
+  Heartbeats::Slot& beat;
+  RetryState& retry;
+  std::size_t worker;
+
+  static TaskLoopControl create(MapCombineContext& ctx, std::size_t worker) {
+    return TaskLoopControl{ctx.queues,
+                           ctx.pools.group_of_mapper(worker),
+                           ctx.lanes.mapper[worker],
+                           ctx.lanes.epoch,
+                           ctx.cancel,
+                           ctx.injector,
+                           ctx.beats.mapper(worker),
+                           ctx.retry,
+                           worker};
+  }
 };
 
 // The shared mapper task loop: pops TaskRanges from the group's queue,
 // maps every split through `emit`, runs `on_task_end` between tasks (the
 // pre-combining strategy flushes its buffer there), and records task
 // start/end trace events. Returns the number of tasks executed.
+//
+// Robustness semantics:
+//  * cancellation is polled between tasks — a worker whose peer failed (or
+//    whose run hit a deadline/stall verdict) stops pulling work and
+//    returns normally with a partial count;
+//  * a task attempt that throws a TransientError is re-executed up to
+//    ctl.retry.max_retries times (the fault site fires *before* the task
+//    body, so injected transient faults retry exactly-once-semantically;
+//    an app that throws mid-emission is retried with at-least-once
+//    emission semantics — see docs/ARCHITECTURE.md §6);
+//  * any other exception (and a transient one past the budget) propagates
+//    to the strategy's worker wrapper, which attributes it on the token
+//    and rethrows.
 template <typename App, typename Emit, typename OnTaskEnd>
-std::size_t drain_map_tasks(sched::TaskQueues& queues, std::size_t group,
-                            const App& app,
+std::size_t drain_map_tasks(const TaskLoopControl& ctl, const App& app,
                             const typename App::input_type& input,
-                            trace::Lane* lane, Clock::time_point epoch,
                             Emit&& emit, OnTaskEnd&& on_task_end) {
   std::size_t executed = 0;
-  while (auto task = queues.pop(group)) {
-    if (lane != nullptr) {
-      lane->record(epoch, trace::EventKind::kTaskStart, task->begin);
+  while (auto task = ctl.queues.pop(ctl.group)) {
+    if (ctl.cancel.cancelled()) break;
+    ctl.beat.bump();
+    if (ctl.lane != nullptr) {
+      ctl.lane->record(ctl.epoch, trace::EventKind::kTaskStart, task->begin);
     }
-    for (std::size_t split = task->begin; split < task->end; ++split) {
-      app.map(input, split, emit);
+    std::size_t attempt = 0;
+    for (;;) {
+      try {
+        ctl.injector.on_map_task(ctl.worker);
+        for (std::size_t split = task->begin; split < task->end; ++split) {
+          app.map(input, split, emit);
+        }
+        on_task_end();
+        break;
+      } catch (const TransientError&) {
+        if (attempt >= ctl.retry.max_retries || ctl.cancel.cancelled()) {
+          ctl.retry.aborts.fetch_add(1, std::memory_order_relaxed);
+          throw;
+        }
+        ++attempt;
+        ctl.retry.retries.fetch_add(1, std::memory_order_relaxed);
+        ctl.beat.bump();
+      }
     }
-    on_task_end();
-    if (lane != nullptr) {
-      lane->record(epoch, trace::EventKind::kTaskEnd, task->begin);
+    if (ctl.lane != nullptr) {
+      ctl.lane->record(ctl.epoch, trace::EventKind::kTaskEnd, task->begin);
     }
+    ctl.beat.bump();
     ++executed;
   }
   return executed;

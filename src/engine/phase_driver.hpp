@@ -15,16 +15,31 @@
 // The driver also owns the trace wiring: with a Recorder set, every
 // strategy gets per-thread lanes (task and drain events), so Phoenix++ and
 // MRPhi runs are traceable exactly like RAMR ones.
+//
+// Robustness: the driver owns one CancellationToken, fault Injector,
+// Heartbeats block, and RetryState per run() and threads them to the
+// strategy through MapCombineContext. With a deadline or stall bound
+// configured it also runs a Watchdog thread that converts a hung or
+// over-budget run into a cooperative cancel; the driver then throws a
+// structured common::AbortError (phase- and worker-attributed) instead of
+// joining forever. All of it is zero-cost when the knobs are off: no
+// watchdog thread, a disabled injector, and one token poll per task.
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string>
 
+#include "common/cancellation.hpp"
 #include "common/config.hpp"
 #include "common/timing.hpp"
 #include "engine/app_model.hpp"
 #include "engine/emit_strategy.hpp"
+#include "engine/health.hpp"
 #include "engine/pool_set.hpp"
 #include "engine/result.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
 #include "sched/parallel_sort.hpp"
 #include "sched/task_queue.hpp"
 #include "trace/trace.hpp"
@@ -36,12 +51,26 @@ namespace ramr::engine {
 struct DriverOptions {
   std::size_t task_size = 4;
   SplitDistribution split_distribution = SplitDistribution::kRoundRobin;
+
+  // Robustness knobs, mirroring the RuntimeConfig fields of the same names
+  // (driver_options_from copies them; the single-pool runtimes expose them
+  // through their own Options structs).
+  std::size_t max_task_retries = 0;
+  std::size_t deadline_ms = 0;
+  std::size_t stall_timeout_ms = 0;
+  std::string fault_spec;
 };
+
+inline DriverOptions driver_options_from(const RuntimeConfig& cfg) {
+  return DriverOptions{cfg.task_size,       cfg.split_distribution,
+                       cfg.max_task_retries, cfg.deadline_ms,
+                       cfg.stall_timeout_ms, cfg.fault_spec};
+}
 
 class PhaseDriver {
  public:
   explicit PhaseDriver(PoolSet& pools, DriverOptions options = {})
-      : pools_(pools), options_(options) {}
+      : pools_(pools), options_(std::move(options)) {}
 
   // Optional execution tracing: one lane per worker thread, task/drain
   // events, phase marks. The recorder must outlive every run(); pass
@@ -53,7 +82,39 @@ class PhaseDriver {
       St& strategy, const App& app, const typename App::input_type& input) {
     RunResult<typename St::key_type, typename St::value_type> result;
 
+    // ---- per-run robustness state ---------------------------------------
+    common::CancellationToken cancel;
+    faults::Injector injector(faults::FaultPlan::parse(options_.fault_spec));
+    injector.bind(&cancel);
+    Heartbeats beats(pools_.num_mappers(), pools_.num_combiners(),
+                     pools_.dual());
+    RetryState retry;
+    retry.max_retries = options_.max_task_retries;
+    std::optional<Watchdog> watchdog;
+    if (options_.deadline_ms > 0 || options_.stall_timeout_ms > 0) {
+      watchdog.emplace(
+          Watchdog::Options{
+              std::chrono::milliseconds(options_.deadline_ms),
+              std::chrono::milliseconds(options_.stall_timeout_ms)},
+          cancel, beats);
+    }
+    const auto mark_phase = [&](Phase phase) {
+      if (watchdog) watchdog->set_phase(phase);
+    };
+    // A watchdog verdict cancels cooperatively; workers unwind quietly and
+    // the driver converts the recorded snapshot into a structured error at
+    // the next phase boundary. (A worker *failure* instead surfaces as the
+    // worker's own exception through the pool join.)
+    const auto throw_if_aborted = [&] {
+      if (!cancel.cancelled()) return;
+      common::CancelState state = cancel.snapshot();
+      if (state.cause != common::CancelCause::kWorkerFailed) {
+        throw common::AbortError(std::move(state));
+      }
+    };
+
     // ---- split ----------------------------------------------------------
+    mark_phase(Phase::kSplit);
     sched::TaskQueues queues(pools_.num_groups());
     {
       ScopedPhase t(result.timers, Phase::kSplit);
@@ -65,22 +126,30 @@ class PhaseDriver {
     }
 
     // ---- map-combine (one timed phase, strategy-defined coupling) -------
+    mark_phase(Phase::kMapCombine);
     TraceLanes lanes = TraceLanes::create(recorder_, pools_);
-    MapCombineContext ctx{pools_, queues, lanes};
+    MapCombineContext ctx{pools_, queues, lanes, cancel,
+                          injector, beats, retry};
     {
       ScopedPhase t(result.timers, Phase::kMapCombine);
       strategy.map_combine(ctx, app, input, result);
     }
     result.local_pops = queues.local_pops();
     result.steals = queues.steals();
+    result.task_retries = retry.retries.load();
+    result.task_aborts = retry.aborts.load();
+    throw_if_aborted();
 
     // ---- reduce ---------------------------------------------------------
     if constexpr (St::kHasReduce) {
+      mark_phase(Phase::kReduce);
       ScopedPhase t(result.timers, Phase::kReduce);
       strategy.reduce(pools_);
+      throw_if_aborted();
     }
 
     // ---- merge: collect + optional reducer + parallel key sort ----------
+    mark_phase(Phase::kMerge);
     {
       ScopedPhase t(result.timers, Phase::kMerge);
       strategy.collect(result);
@@ -89,6 +158,7 @@ class PhaseDriver {
           pools_.mapper_pool(), result.pairs,
           [](const auto& a, const auto& b) { return a.first < b.first; });
     }
+    throw_if_aborted();
     return result;
   }
 

@@ -1,5 +1,6 @@
 #include "engine/pool_set.hpp"
 
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -7,20 +8,50 @@
 
 namespace ramr::engine {
 
-void join_pools_rethrow_first(sched::ThreadPool& first,
-                              sched::ThreadPool& second) {
-  std::exception_ptr error;
+namespace {
+std::string what_of(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "<non-standard exception>";
+  }
+}
+}  // namespace
+
+JoinOutcome join_pools_collect(sched::ThreadPool& first,
+                               sched::ThreadPool& second) {
+  JoinOutcome outcome;
   try {
     first.wait();
   } catch (...) {
-    error = std::current_exception();
+    outcome.first_error = std::current_exception();
   }
   try {
     second.wait();
   } catch (...) {
-    if (!error) error = std::current_exception();
+    if (!outcome.first_error) {
+      outcome.first_error = std::current_exception();
+    } else {
+      ++outcome.suppressed;
+      outcome.suppressed_message = what_of(std::current_exception());
+    }
   }
-  if (error) std::rethrow_exception(error);
+  return outcome;
+}
+
+void join_pools_rethrow_first(sched::ThreadPool& first,
+                              sched::ThreadPool& second) {
+  JoinOutcome outcome = join_pools_collect(first, second);
+  if (!outcome.first_error) return;
+  if (outcome.suppressed > 0) {
+    std::fprintf(stderr,
+                 "[ramr] note: %zu additional worker error(s) suppressed by "
+                 "the join protocol; first suppressed: %s\n",
+                 outcome.suppressed, outcome.suppressed_message.c_str());
+  }
+  std::rethrow_exception(outcome.first_error);
 }
 
 PoolSet::PoolSet(topo::Topology topology, const RuntimeConfig& config)

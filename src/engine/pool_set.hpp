@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -32,6 +34,20 @@ namespace ramr::engine {
 // BOTH pools before rethrowing, because leaving a region in flight would
 // poison the next run() (the pools are long-lived). This is the single
 // definition of the pattern — strategies must not hand-roll it.
+//
+// When both pools fail, the second pool's exception is *suppressed*, not
+// silently dropped: join_pools_collect reports its count and message so
+// callers can surface them (join_pools_rethrow_first prints a one-line
+// stderr note before rethrowing the first error).
+struct JoinOutcome {
+  std::exception_ptr first_error;  // null when both pools completed cleanly
+  std::size_t suppressed = 0;      // additional errors beyond the first
+  std::string suppressed_message;  // what() of the first suppressed error
+};
+
+JoinOutcome join_pools_collect(sched::ThreadPool& first,
+                               sched::ThreadPool& second);
+
 void join_pools_rethrow_first(sched::ThreadPool& first,
                               sched::ThreadPool& second);
 

@@ -36,9 +36,20 @@ struct RunResult {
   std::size_t queue_batches = 0;
   std::size_t queue_max_occupancy = 0;  // deepest any ring ever got
 
+  // Actual sleeps the producer/consumer backoffs performed (pipelined
+  // strategy only; the backoff ablation bench compares policies on this).
+  std::size_t backoff_sleeps = 0;
+
+  // Task-level retry accounting: attempts re-executed after a transient
+  // failure, and tasks abandoned after exhausting the retry budget.
+  std::size_t task_retries = 0;
+  std::size_t task_aborts = 0;
+
   std::string summary() const {
     std::string s = timers.summary();
     s += " pairs=" + std::to_string(pairs.size());
+    if (task_retries > 0) s += " retries=" + std::to_string(task_retries);
+    if (task_aborts > 0) s += " aborts=" + std::to_string(task_aborts);
     return s;
   }
 };

@@ -13,12 +13,18 @@
 // Restricted, like the original, to apps whose combiner is an atomic
 // fetch-op over an a-priori key range (AtomicArrayContainer) — HG/LR-class
 // workloads; WC-class arbitrary keys do not fit this design.
+//
+// Failure protocol: same cooperative-cancellation contract as the other
+// strategies (poll at task boundaries, quiet exit on CancelledError,
+// attribute real failures on the token).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <optional>
+#include <string>
 
+#include "common/cancellation.hpp"
 #include "engine/app_model.hpp"
 #include "engine/emit_strategy.hpp"
 #include "engine/result.hpp"
@@ -37,17 +43,28 @@ class AtomicGlobal {
                    const typename App::input_type& input,
                    RunResult<key_type, value_type>& result) {
     // The whole map IS the combine: atomic fetch-ops on the shared array.
+    ctx.injector.on_container_alloc();
     global_.emplace(app.make_global_container());
     Container& global = *global_;
     std::atomic<std::size_t> tasks_executed{0};
     ctx.pools.mapper_pool().run_on_all([&](std::size_t worker) {
-      const auto emit = [&global](const key_type& k, const value_type& v) {
+      TaskLoopControl ctl = TaskLoopControl::create(ctx, worker);
+      ActiveScope live(ctl.beat);
+      const auto emit = [&](const key_type& k, const value_type& v) {
+        ctx.injector.on_emit(worker);
         global.emit(k, v);
       };
-      const std::size_t executed = drain_map_tasks(
-          ctx.queues, ctx.pools.group_of_mapper(worker), app, input,
-          ctx.lanes.mapper[worker], ctx.lanes.epoch, emit, [] {});
-      tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+      try {
+        const std::size_t executed =
+            drain_map_tasks(ctl, app, input, emit, [] {});
+        tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+      } catch (const common::CancelledError&) {
+        // A peer failed or the watchdog cancelled: exit quietly.
+      } catch (const std::exception& e) {
+        ctx.cancel.cancel(common::CancelCause::kWorkerFailed, "map-combine",
+                          "worker-" + std::to_string(worker), e.what());
+        throw;
+      }
     });
     result.tasks_executed = tasks_executed.load();
   }

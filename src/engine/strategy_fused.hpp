@@ -4,12 +4,20 @@
 // container; the combine function is applied after *every* map emission on
 // the same thread ("map-combine" is fused). The reduce phase tree-merges
 // the per-worker containers; merge sorts by key (paper Sec. II / [4]).
+//
+// Failure protocol: single pool, so the join is simple — but workers still
+// participate in cooperative cancellation (poll at task boundaries, quiet
+// exit on CancelledError, attribute real failures on the token) so that a
+// deadline/stall verdict or an injected fault behaves uniformly across the
+// three strategies.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "containers/container_traits.hpp"
 #include "engine/app_model.hpp"
 #include "engine/emit_strategy.hpp"
@@ -32,18 +40,29 @@ class FusedCombine {
     locals_.clear();
     locals_.reserve(ctx.pools.num_mappers());
     for (std::size_t w = 0; w < ctx.pools.num_mappers(); ++w) {
+      ctx.injector.on_container_alloc();
       locals_.push_back(app.make_container());
     }
     std::atomic<std::size_t> tasks_executed{0};
     ctx.pools.mapper_pool().run_on_all([&](std::size_t worker) {
+      TaskLoopControl ctl = TaskLoopControl::create(ctx, worker);
+      ActiveScope live(ctl.beat);
       Container& mine = locals_[worker];
-      const auto emit = [&mine](const key_type& k, const value_type& v) {
+      const auto emit = [&](const key_type& k, const value_type& v) {
+        ctx.injector.on_emit(worker);
         mine.emit(k, v);
       };
-      const std::size_t executed = drain_map_tasks(
-          ctx.queues, ctx.pools.group_of_mapper(worker), app, input,
-          ctx.lanes.mapper[worker], ctx.lanes.epoch, emit, [] {});
-      tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+      try {
+        const std::size_t executed =
+            drain_map_tasks(ctl, app, input, emit, [] {});
+        tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+      } catch (const common::CancelledError&) {
+        // A peer failed or the watchdog cancelled: exit quietly.
+      } catch (const std::exception& e) {
+        ctx.cancel.cancel(common::CancelCause::kWorkerFailed, "map-combine",
+                          "worker-" + std::to_string(worker), e.what());
+        throw;
+      }
     });
     result.tasks_executed = tasks_executed.load();
   }

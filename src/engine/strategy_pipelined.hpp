@@ -10,14 +10,20 @@
 //
 // The three resource-aware mechanisms:
 //   * batched reads       — Ring::consume_batch (Sec. III-A, Figs. 6/7);
-//   * sleep on failed push — spsc::SleepBackoff (Sec. III-A);
+//   * sleep on failed push — spsc::SleepBackoff or the exponential capped
+//     ladder (Sec. III-A; selected by RuntimeConfig::backoff);
 //   * contention-aware pinning — topo::make_plan(kRamrPaired) places each
 //     combiner on a logical CPU adjacent to its mappers (Sec. III-B).
 //
-// Failure protocol: a mapper that dies still closes its ring (so combiners
-// terminate); a combiner that dies raises a shared flag (so mappers blocked
-// on its full rings abort instead of waiting forever); the pools are joined
-// through engine::join_pools_rethrow_first.
+// Failure protocol (docs/ARCHITECTURE.md §6): the first failing worker
+// records an attributed cancel on the run's CancellationToken and rethrows
+// its exception; every peer polls the token — mappers at task boundaries
+// and inside the full-ring push loop, combiners every sweep, backoffs
+// before every sleep — and exits quietly, so the pool carrying the root
+// cause is the only one that reports. A mapper that dies still closes its
+// ring (so combiners can terminate even mid-cancel), and the pools are
+// joined through engine::join_pools_rethrow_first (which surfaces, not
+// drops, a second pool's suppressed error).
 #pragma once
 
 #include <algorithm>
@@ -26,9 +32,11 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "containers/container_traits.hpp"
 #include "engine/app_model.hpp"
@@ -56,6 +64,11 @@ class PipelinedSpsc {
                    RunResult<key_type, value_type>& result) {
     const RuntimeConfig& cfg = ctx.pools.config();
     const topo::PinningPlan& plan = ctx.pools.plan();
+    if (!ctx.pools.dual() || cfg.num_combiners == 0) {
+      throw ConfigError(
+          "PipelinedSpsc requires a dual-pool PoolSet with at least one "
+          "combiner (got a single-pool/zero-combiner configuration)");
+    }
 
     // One ring per mapper (single producer); each combiner drains a
     // disjoint ring set (single consumer) — SPSC suffices (Sec. III-A).
@@ -67,13 +80,16 @@ class PipelinedSpsc {
     combiner_containers_.clear();
     combiner_containers_.reserve(cfg.num_combiners);
     for (std::size_t j = 0; j < cfg.num_combiners; ++j) {
+      ctx.injector.on_container_alloc();
       combiner_containers_.push_back(app.make_container());
     }
 
     std::atomic<std::size_t> tasks_executed{0};
-    std::atomic<bool> combiner_failed{false};
+    std::atomic<std::size_t> backoff_sleeps{0};
 
     const auto combiner_job = [&](std::size_t j) {
+      Heartbeats::Slot& beat = ctx.beats.combiner(j);
+      ActiveScope live(beat);
       std::vector<spsc::Ring<Record>*> mine;
       for (std::size_t m : plan.mappers_of_combiner[j]) {
         mine.push_back(rings_[m].get());
@@ -81,15 +97,19 @@ class PipelinedSpsc {
       spsc::RingSet<Record> set(std::move(mine));
       Container& container = combiner_containers_[j];
       trace::Lane* lane = ctx.lanes.combiner[j];
-      spsc::SleepBackoff idle(std::chrono::microseconds(cfg.sleep_micros));
+      auto idle = make_consumer_backoff(cfg);
+      idle.bind(&ctx.cancel.flag());
       const auto consume = [&container](std::span<Record> block) {
         for (Record& r : block) {
           container.emit(r.key, r.value);
         }
       };
+      std::size_t batches = 0;
       try {
         for (;;) {
+          if (ctx.cancel.cancelled()) break;
           const std::size_t got = set.sweep(consume, cfg.batch_size);
+          beat.bump();
           if (lane != nullptr) {
             lane->record(ctx.lanes.epoch,
                          got > 0 ? trace::EventKind::kDrainActive
@@ -100,13 +120,18 @@ class PipelinedSpsc {
             if (set.finished()) break;
             idle.wait();
           } else {
+            ctx.injector.on_combiner_batch(j, ++batches);
             idle.reset();
           }
         }
-      } catch (...) {
-        combiner_failed.store(true, std::memory_order_release);
+      } catch (const std::exception& e) {
+        ctx.cancel.cancel(common::CancelCause::kWorkerFailed, "map-combine",
+                          "combiner-" + std::to_string(j), e.what());
+        backoff_sleeps.fetch_add(idle.sleep_count(),
+                                 std::memory_order_relaxed);
         throw;
       }
+      backoff_sleeps.fetch_add(idle.sleep_count(), std::memory_order_relaxed);
       if (lane != nullptr) {
         lane->record(ctx.lanes.epoch, trace::EventKind::kDrainDone, j);
       }
@@ -114,18 +139,26 @@ class PipelinedSpsc {
 
     const auto mapper_job = [&](std::size_t m) {
       spsc::Ring<Record>& ring = *rings_[m];
-      const std::size_t group = ctx.pools.group_of_mapper(m);
-      trace::Lane* lane = ctx.lanes.mapper[m];
+      TaskLoopControl ctl = TaskLoopControl::create(ctx, m);
+      ActiveScope live(ctl.beat);
+      trace::Lane* lane = ctl.lane;
       std::size_t executed = 0;
       // `emit` feeds records toward the ring; the per-task hook flushes the
       // pre-combining buffer (when enabled) so the combiners keep receiving
       // data at task granularity.
       auto run_with = [&](auto backoff) {
+        backoff.bind(&ctx.cancel.flag());
         auto push_record = [&](Record&& r) {
+          ctx.injector.on_emit(m);
           while (!ring.try_push(std::move(r))) {
-            if (combiner_failed.load(std::memory_order_acquire)) {
-              throw Error("RAMR: combiner thread failed; aborting map");
+            if (ctx.cancel.cancelled()) {
+              // Unwind out of app.map; the wrapper below exits quietly
+              // (the peer that caused the cancel reports the error).
+              throw common::CancelledError(
+                  "mapper-" + std::to_string(m) +
+                  ": run cancelled while blocked on a full ring");
             }
+            ctl.beat.bump();
             backoff.wait();
           }
           backoff.reset();
@@ -134,7 +167,7 @@ class PipelinedSpsc {
           PrecombineBuffer<key_type, value_type, typename Container::combiner>
               buffer(cfg.precombine_slots);
           executed = drain_map_tasks(
-              ctx.queues, group, app, input, lane, ctx.lanes.epoch,
+              ctl, app, input,
               [&](const key_type& k, const value_type& v) {
                 if (auto evicted = buffer.absorb(k, v)) {
                   push_record(std::move(*evicted));
@@ -143,22 +176,45 @@ class PipelinedSpsc {
               [&] { buffer.flush(push_record); });
         } else {
           executed = drain_map_tasks(
-              ctx.queues, group, app, input, lane, ctx.lanes.epoch,
+              ctl, app, input,
               [&](const key_type& k, const value_type& v) {
                 push_record(Record{k, v});
               },
               [] {});
         }
+        backoff_sleeps.fetch_add(backoff.sleep_count(),
+                                 std::memory_order_relaxed);
       };
       try {
-        if (cfg.sleep_on_full) {
-          run_with(
-              spsc::SleepBackoff(std::chrono::microseconds(cfg.sleep_micros)));
-        } else {
-          run_with(spsc::BusyWaitBackoff{});
+        switch (cfg.backoff) {
+          case BackoffKind::kBusyWait:
+            run_with(spsc::BusyWaitBackoff{});
+            break;
+          case BackoffKind::kExponential:
+            run_with(spsc::ExponentialSleepBackoff(
+                std::chrono::microseconds(cfg.sleep_micros),
+                std::chrono::microseconds(cfg.sleep_cap_micros)));
+            break;
+          case BackoffKind::kSleep:
+            run_with(spsc::SleepBackoff(
+                std::chrono::microseconds(cfg.sleep_micros)));
+            break;
         }
+      } catch (const common::CancelledError&) {
+        // Cooperative unwind: a peer failed or a watchdog verdict landed.
+        // Close even here: combiners must be able to terminate.
+        ring.close();
+        tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+        return;
+      } catch (const std::exception& e) {
+        ctx.cancel.cancel(common::CancelCause::kWorkerFailed, "map-combine",
+                          "mapper-" + std::to_string(m), e.what());
+        ring.close();
+        throw;
       } catch (...) {
-        // Close even on failure: combiners must be able to terminate.
+        ctx.cancel.cancel(common::CancelCause::kWorkerFailed, "map-combine",
+                          "mapper-" + std::to_string(m),
+                          "<non-standard exception>");
         ring.close();
         throw;
       }
@@ -176,6 +232,7 @@ class PipelinedSpsc {
                              ctx.pools.combiner_pool());
 
     result.tasks_executed = tasks_executed.load();
+    result.backoff_sleeps = backoff_sleeps.load();
     for (const auto& ring : rings_) {
       result.queue_pushes += ring->producer_stats().pushes;
       result.queue_failed_pushes += ring->producer_stats().failed_pushes;
@@ -192,10 +249,25 @@ class PipelinedSpsc {
   }
 
   void collect(RunResult<key_type, value_type>& result) {
+    if (combiner_containers_.empty()) {
+      throw Error("PipelinedSpsc::collect: no combiner containers (was "
+                  "map_combine run?)");
+    }
     result.pairs = containers::to_pairs(combiner_containers_[0]);
   }
 
  private:
+  // Consumer-side idle policy: the exponential ladder applies when
+  // selected; busy-wait producers still pair with a sleeping consumer
+  // (the combiner has nothing to do on an empty sweep either way).
+  static auto make_consumer_backoff(const RuntimeConfig& cfg) {
+    return spsc::ExponentialSleepBackoff(
+        std::chrono::microseconds(cfg.sleep_micros),
+        std::chrono::microseconds(cfg.backoff == BackoffKind::kExponential
+                                      ? cfg.sleep_cap_micros
+                                      : cfg.sleep_micros));
+  }
+
   std::vector<std::unique_ptr<spsc::Ring<Record>>> rings_;
   std::vector<Container> combiner_containers_;
 };

@@ -1,0 +1,10 @@
+// Anchor translation unit: includes the header-only injector once so that
+// header breakage is caught when building the library itself, not first by
+// a downstream target.
+#include "faults/injector.hpp"
+
+namespace ramr::faults {
+
+// Nothing to instantiate; the include is the check.
+
+}  // namespace ramr::faults

@@ -1,0 +1,138 @@
+// The runtime half of fault injection: one Injector per run(), shared by
+// every worker of both pools, with one call site per fault class.
+//
+// Cost model: every site starts with a single predictable branch on a plain
+// bool (`enabled`), so a disabled injector adds nothing measurable to the
+// emit path or the task loop. All mutable state is atomic — the injector is
+// the only cross-thread object in the fault path and must stay clean under
+// ThreadSanitizer.
+//
+// Faults are thrown as InjectedFault (permanent — terminates the run) or
+// TransientInjectedFault (derives from TransientError — eligible for
+// task-level retry). Messages carry the site and worker attribution the
+// acceptance tests assert on ("injected fault: ... on mapper-2").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/cancellation.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "faults/plan.hpp"
+
+namespace ramr::faults {
+
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+class TransientInjectedFault : public TransientError {
+ public:
+  explicit TransientInjectedFault(const std::string& what)
+      : TransientError(what) {}
+};
+
+class Injector {
+ public:
+  Injector() = default;  // disabled
+  explicit Injector(const FaultPlan& plan)
+      : plan_(plan),
+        map_fires_left_(static_cast<std::int64_t>(plan.map_fires)) {}
+
+  bool enabled() const { return plan_.enabled; }
+  const FaultPlan& plan() const { return plan_; }
+
+  // The injected stall polls this token so a watchdog cancel wakes the
+  // "hung" worker promptly instead of sleeping out the full stall.
+  void bind(const common::CancellationToken* token) { token_ = token; }
+
+  // Total faults injected so far (all sites, stalls included).
+  std::size_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  // ---- sites --------------------------------------------------------------
+
+  // Called by a mapper before each map-task attempt (retries re-enter).
+  void on_map_task(std::size_t worker) {
+    if (!plan_.enabled) return;
+    const std::uint64_t ordinal =
+        map_attempts_.fetch_add(1, std::memory_order_relaxed);
+    bool fire = plan_.map_task >= 0 &&
+                ordinal >= static_cast<std::uint64_t>(plan_.map_task);
+    if (!fire && plan_.map_p > 0.0) {
+      // Seeded per-attempt coin: deterministic given (seed, ordinal).
+      Xoshiro256 rng(plan_.seed ^ (ordinal * 0x9e3779b97f4a7c15ULL));
+      fire = rng.uniform() < plan_.map_p;
+    }
+    if (!fire) return;
+    if (map_fires_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    const std::string what = "injected fault: map task attempt " +
+                             std::to_string(ordinal) + " on mapper-" +
+                             std::to_string(worker) + " (phase map-combine)";
+    if (plan_.map_transient) throw TransientInjectedFault(what);
+    throw InjectedFault(what);
+  }
+
+  // Called by a combiner after consuming its `batch`-th non-empty batch
+  // (1-based, per-combiner count).
+  void on_combiner_batch(std::size_t worker, std::size_t batch) {
+    if (!plan_.enabled || plan_.combiner_batch < 0) return;
+    if (worker != plan_.combiner ||
+        batch < static_cast<std::uint64_t>(plan_.combiner_batch)) {
+      return;
+    }
+    if (combiner_fired_.exchange(true, std::memory_order_relaxed)) return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault("injected fault: combiner batch " +
+                        std::to_string(batch) + " on combiner-" +
+                        std::to_string(worker) + " (phase map-combine)");
+  }
+
+  // Called on the emit path. Stalls (sleeps) the `stall_emit`-th emission
+  // in 1 ms cancellation-aware slices; never throws.
+  void on_emit(std::size_t /*worker*/) {
+    if (!plan_.enabled || plan_.stall_emit == 0) return;
+    const std::uint64_t ordinal =
+        emits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (ordinal != plan_.stall_emit) return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    const auto slice = std::chrono::milliseconds(1);
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(plan_.stall_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      if (token_ != nullptr && token_->cancelled()) return;
+      std::this_thread::sleep_for(slice);
+    }
+  }
+
+  // Called before each intermediate-container construction (0-based global
+  // ordinal in strategy construction order).
+  void on_container_alloc() {
+    if (!plan_.enabled || plan_.alloc < 0) return;
+    const std::uint64_t ordinal =
+        allocs_.fetch_add(1, std::memory_order_relaxed);
+    if (ordinal != static_cast<std::uint64_t>(plan_.alloc)) return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault("injected fault: container allocation " +
+                        std::to_string(ordinal) + " failed");
+  }
+
+ private:
+  FaultPlan plan_;
+  const common::CancellationToken* token_ = nullptr;
+  std::atomic<std::uint64_t> map_attempts_{0};
+  std::atomic<std::int64_t> map_fires_left_{0};
+  std::atomic<bool> combiner_fired_{false};
+  std::atomic<std::uint64_t> emits_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::size_t> injected_{0};
+};
+
+}  // namespace ramr::faults

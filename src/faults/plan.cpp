@@ -1,0 +1,112 @@
+#include "faults/plan.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace ramr::faults {
+namespace {
+
+std::uint64_t parse_uint(std::string_view key, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty() || value[0] == '-') {
+    throw ConfigError("fault spec: bad value '" + value + "' for " +
+                      std::string(key));
+  }
+  return v;
+}
+
+double parse_probability(std::string_view key, const std::string& value) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty() || v < 0.0 || v > 1.0) {
+    throw ConfigError("fault spec: " + std::string(key) +
+                      " must be a probability in [0,1], got '" + value + "'");
+  }
+  return v;
+}
+
+bool parse_flag(std::string_view key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "no") return false;
+  throw ConfigError("fault spec: bad boolean '" + value + "' for " +
+                    std::string(key));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  plan.enabled = true;
+
+  std::istringstream tokens(spec);
+  std::string token;
+  while (std::getline(tokens, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("fault spec: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "map_task") {
+      plan.map_task = static_cast<std::int64_t>(parse_uint(key, value));
+    } else if (key == "map_fires") {
+      plan.map_fires = static_cast<std::uint32_t>(parse_uint(key, value));
+    } else if (key == "map_transient") {
+      plan.map_transient = parse_flag(key, value);
+    } else if (key == "map_p") {
+      plan.map_p = parse_probability(key, value);
+    } else if (key == "combiner_batch") {
+      plan.combiner_batch = static_cast<std::int64_t>(parse_uint(key, value));
+    } else if (key == "combiner") {
+      plan.combiner = static_cast<std::uint32_t>(parse_uint(key, value));
+    } else if (key == "stall_emit") {
+      plan.stall_emit = parse_uint(key, value);
+    } else if (key == "stall_ms") {
+      plan.stall_ms = static_cast<std::uint32_t>(parse_uint(key, value));
+    } else if (key == "alloc") {
+      plan.alloc = static_cast<std::int64_t>(parse_uint(key, value));
+    } else if (key == "seed") {
+      plan.seed = parse_uint(key, value);
+    } else {
+      throw ConfigError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  if (!enabled) return "faults=off";
+  std::ostringstream os;
+  os << "faults=on";
+  if (map_task >= 0) {
+    os << " map_task=" << map_task << " fires=" << map_fires
+       << (map_transient ? " transient" : " permanent");
+  }
+  if (map_p > 0.0) os << " map_p=" << map_p << " seed=" << seed;
+  if (combiner_batch >= 0) {
+    os << " combiner=" << combiner << " batch=" << combiner_batch;
+  }
+  if (stall_emit > 0) {
+    os << " stall_emit=" << stall_emit << " stall_ms=" << stall_ms;
+  }
+  if (alloc >= 0) os << " alloc=" << alloc;
+  return os.str();
+}
+
+}  // namespace ramr::faults

@@ -1,0 +1,73 @@
+// Deterministic fault-injection plan for the execution engine.
+//
+// A FaultPlan describes which injection sites fire during one run():
+//
+//   * map-task throw         — the Nth scheduled map-task attempt (a global
+//     ordinal across all mappers) throws, permanently or transiently;
+//     alternatively a seeded per-attempt probability selects victims;
+//   * combiner throw         — combiner J throws when it has consumed its
+//     Kth non-empty batch;
+//   * emit-path stall        — the Nth emission sleeps (in cancellation-
+//     aware slices), simulating a hung worker for watchdog tests;
+//   * container-allocation failure — the Kth intermediate-container
+//     construction throws, modelling setup-time resource exhaustion.
+//
+// Plans are parsed from a compact spec string so that they flow through
+// RuntimeConfig and the RAMR_FAULTS env knob without the config layer
+// depending on this library: comma-separated key=value tokens, e.g.
+//
+//   "map_task=5"                          fail map-task attempt #5, hard
+//   "map_task=5,map_transient=1,map_fires=2"   fail transiently, twice
+//   "map_p=0.01,seed=42"                  seeded 1% per-attempt failures
+//   "combiner_batch=3,combiner=1"         combiner 1 dies on its 3rd batch
+//   "stall_emit=1000,stall_ms=10000"      emission #1000 hangs for 10 s
+//   "alloc=2"                             3rd container allocation fails
+//
+// The empty string means "disabled" and parses to a plan whose Injector
+// compiles down to a single predictable branch per site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ramr::faults {
+
+struct FaultPlan {
+  bool enabled = false;
+
+  // Map-task site. `map_task` is the 0-based global attempt ordinal at (and
+  // after) which the fault arms; `map_fires` bounds how many attempts
+  // actually throw; `map_transient` selects TransientError classification
+  // (eligible for task retry). `map_p` is an independent seeded
+  // per-attempt probability in [0,1] for chaos-style runs.
+  std::int64_t map_task = -1;  // -1 = site disabled
+  std::uint32_t map_fires = 1;
+  bool map_transient = false;
+  double map_p = 0.0;
+
+  // Combiner site: combiner `combiner` throws once it has consumed batch
+  // number `combiner_batch` (1-based count of non-empty sweeps).
+  std::int64_t combiner_batch = -1;  // -1 = site disabled
+  std::uint32_t combiner = 0;
+
+  // Emit-path stall: the `stall_emit`-th emission (1-based global ordinal)
+  // sleeps for `stall_ms`, waking early if the run is cancelled.
+  std::uint64_t stall_emit = 0;  // 0 = site disabled
+  std::uint32_t stall_ms = 50;
+
+  // Container-allocation site: the `alloc`-th make_container call
+  // (0-based, in strategy construction order) throws.
+  std::int64_t alloc = -1;  // -1 = site disabled
+
+  // Seed for the probabilistic map-task site.
+  std::uint64_t seed = 0;
+
+  // Parse a spec string ("" = disabled plan). Throws ConfigError on unknown
+  // keys or unparsable values.
+  static FaultPlan parse(const std::string& spec);
+
+  // One-line human-readable form (inverse of parse, for logs).
+  std::string summary() const;
+};
+
+}  // namespace ramr::faults

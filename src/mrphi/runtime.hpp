@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <utility>
 
 #include "common/config.hpp"
@@ -30,6 +31,11 @@ struct Options {
   std::size_t num_workers = 0;  // 0 = one per logical CPU
   std::size_t task_size = 4;
   PinPolicy pin_policy = PinPolicy::kRoundRobin;
+  // Robustness knobs (see docs/ARCHITECTURE.md §6).
+  std::size_t max_task_retries = 0;
+  std::size_t deadline_ms = 0;
+  std::size_t stall_timeout_ms = 0;
+  std::string fault_spec;
 };
 
 template <mr::GlobalAppSpec S>
@@ -44,9 +50,11 @@ class Runtime {
 
   explicit Runtime(topo::Topology topology, Options options = {})
       : pools_(std::move(topology), options.num_workers, options.pin_policy),
-        driver_(pools_, engine::DriverOptions{options.task_size,
-                                              SplitDistribution::kRoundRobin}) {
-  }
+        driver_(pools_,
+                engine::DriverOptions{
+                    options.task_size, SplitDistribution::kRoundRobin,
+                    options.max_task_retries, options.deadline_ms,
+                    options.stall_timeout_ms, options.fault_spec}) {}
 
   std::size_t num_workers() const { return pools_.num_mappers(); }
 

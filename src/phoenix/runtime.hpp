@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/config.hpp"
 #include "engine/phase_driver.hpp"
@@ -27,6 +28,13 @@ struct Options {
   PinPolicy pin_policy = PinPolicy::kRoundRobin;
   // Task dealing across the per-socket queues.
   SplitDistribution split_distribution = SplitDistribution::kRoundRobin;
+  // Robustness knobs (see docs/ARCHITECTURE.md §6): bounded retry of
+  // transient map-task failures, run deadline, per-worker stall watchdog,
+  // and the fault-injection plan (empty = disabled).
+  std::size_t max_task_retries = 0;
+  std::size_t deadline_ms = 0;
+  std::size_t stall_timeout_ms = 0;
+  std::string fault_spec;
 };
 
 template <mr::AppSpec S>
@@ -38,8 +46,11 @@ class Runtime {
 
   explicit Runtime(topo::Topology topology, Options options = {})
       : pools_(std::move(topology), options.num_workers, options.pin_policy),
-        driver_(pools_, engine::DriverOptions{options.task_size,
-                                              options.split_distribution}) {}
+        driver_(pools_,
+                engine::DriverOptions{
+                    options.task_size, options.split_distribution,
+                    options.max_task_retries, options.deadline_ms,
+                    options.stall_timeout_ms, options.fault_spec}) {}
 
   std::size_t num_workers() const { return pools_.num_mappers(); }
 

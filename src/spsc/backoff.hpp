@@ -6,8 +6,20 @@
 // mapper facing a full queue must wait. The paper found that sleeping after
 // a failed trial beats busy-waiting — the sleeping mapper frees the
 // (SMT-shared) core for the combiner that must drain the queue.
+//
+// Every policy exposes the same surface:
+//
+//   bool wait()      — block/spin once; returns false when a bound stop
+//                      flag is raised (cooperative cancellation), so a
+//                      waiter never sleeps through a peer failure;
+//   void reset()     — a successful operation happened, restart the ladder;
+//   void bind(flag)  — observe a cancellation flag (usually
+//                      CancellationToken::flag()); nullptr = never stop;
+//   sleep_count()    — actual sleeps performed (instrumentation for the
+//                      backoff ablation bench; busy-wait reports 0).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <thread>
@@ -24,21 +36,32 @@ inline void cpu_relax() {
 #endif
 }
 
+namespace detail {
+inline bool stop_raised(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_acquire);
+}
+}  // namespace detail
+
 // Busy-wait: pure spinning with a periodic yield so that oversubscribed
 // hosts (more threads than cores — always true for the modelled platforms
 // run on a laptop) still make progress within a scheduling quantum.
 class BusyWaitBackoff {
  public:
-  void wait() {
+  bool wait() {
+    if (detail::stop_raised(stop_)) return false;
     if ((++spins_ & 0x3ffU) == 0) {
       std::this_thread::yield();
     } else {
       cpu_relax();
     }
+    return true;
   }
   void reset() { spins_ = 0; }
+  void bind(const std::atomic<bool>* stop) { stop_ = stop; }
+  std::size_t sleep_count() const { return 0; }
 
  private:
+  const std::atomic<bool>* stop_ = nullptr;
   unsigned spins_ = 0;
 };
 
@@ -51,7 +74,8 @@ class SleepBackoff {
                         unsigned spin_limit = 64)
       : sleep_period_(sleep_period), spin_limit_(spin_limit) {}
 
-  void wait() {
+  bool wait() {
+    if (detail::stop_raised(stop_)) return false;
     if (spins_ < spin_limit_) {
       ++spins_;
       cpu_relax();
@@ -59,8 +83,10 @@ class SleepBackoff {
       ++sleeps_;
       std::this_thread::sleep_for(sleep_period_);
     }
+    return true;
   }
   void reset() { spins_ = 0; }
+  void bind(const std::atomic<bool>* stop) { stop_ = stop; }
 
   // Number of actual sleeps performed since construction (instrumentation
   // for the backoff ablation bench).
@@ -69,6 +95,53 @@ class SleepBackoff {
  private:
   std::chrono::microseconds sleep_period_;
   unsigned spin_limit_;
+  const std::atomic<bool>* stop_ = nullptr;
+  unsigned spins_ = 0;
+  std::size_t sleeps_ = 0;
+};
+
+// Exponential, capped variant: spin briefly, then sleep starting at
+// `initial` and doubling after every consecutive sleep up to `cap`. Long
+// combiner outages cost far fewer wakeups than the fixed-period policy
+// (each wakeup of a blocked producer steals issue slots from the SMT
+// sibling the combiner needs), while short stalls still resolve at the
+// initial period. reset() returns to the spin stage and the initial
+// period. Selectable via RuntimeConfig::backoff / RAMR_BACKOFF=exp.
+class ExponentialSleepBackoff {
+ public:
+  ExponentialSleepBackoff(std::chrono::microseconds initial,
+                          std::chrono::microseconds cap,
+                          unsigned spin_limit = 64)
+      : initial_(initial), cap_(cap), current_(initial),
+        spin_limit_(spin_limit) {}
+
+  bool wait() {
+    if (detail::stop_raised(stop_)) return false;
+    if (spins_ < spin_limit_) {
+      ++spins_;
+      cpu_relax();
+      return true;
+    }
+    ++sleeps_;
+    std::this_thread::sleep_for(current_);
+    current_ = current_ * 2 > cap_ ? cap_ : current_ * 2;
+    return true;
+  }
+  void reset() {
+    spins_ = 0;
+    current_ = initial_;
+  }
+  void bind(const std::atomic<bool>* stop) { stop_ = stop; }
+
+  std::size_t sleep_count() const { return sleeps_; }
+  std::chrono::microseconds current_period() const { return current_; }
+
+ private:
+  std::chrono::microseconds initial_;
+  std::chrono::microseconds cap_;
+  std::chrono::microseconds current_;
+  unsigned spin_limit_;
+  const std::atomic<bool>* stop_ = nullptr;
   unsigned spins_ = 0;
   std::size_t sleeps_ = 0;
 };

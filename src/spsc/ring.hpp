@@ -108,12 +108,16 @@ class Ring {
 
   // Enqueues, waiting with `backoff` while the ring is full. Elements are
   // never dropped (paper: "Pushing elements in the queue always succeed[s]").
+  // Returns false — with `value` discarded — only when the backoff's bound
+  // cancellation flag stops the wait; an unbound backoff never stops, so
+  // plain callers may ignore the result.
   template <typename Backoff>
-  void push(T value, Backoff& backoff) {
+  bool push(T value, Backoff& backoff) {
     while (!try_push(std::move(value))) {
-      backoff.wait();
+      if (!backoff.wait()) return false;
     }
     backoff.reset();
+    return true;
   }
 
   // Marks the stream complete. Must be called by the producer after its last

@@ -49,7 +49,9 @@ class RingSet {
   }
 
   // Drain loop: sweeps until every queue is closed and empty, idling with
-  // `backoff` on empty sweeps. `f` is invoked with std::span<T> blocks.
+  // `backoff` on empty sweeps; exits early when the backoff's bound
+  // cancellation flag stops the wait. `f` is invoked with std::span<T>
+  // blocks.
   template <typename F, typename Backoff>
   std::size_t drain(F&& f, std::size_t batch, Backoff& backoff) {
     std::size_t total = 0;
@@ -58,7 +60,7 @@ class RingSet {
       total += got;
       if (got == 0) {
         if (finished()) break;
-        backoff.wait();
+        if (!backoff.wait()) break;
       } else {
         backoff.reset();
       }

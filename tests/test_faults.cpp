@@ -1,0 +1,437 @@
+// Fault-injection matrix for the execution engine (docs/ARCHITECTURE.md §6):
+// injected mapper/combiner/allocation failures across all three coupling
+// strategies, transient-fault retry, watchdog verdicts (stall + deadline),
+// the join protocol's suppressed-error accounting, and the FaultPlan spec
+// parser. Time bounds are deliberately generous — this suite runs under
+// ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.hpp"
+#include "common/config.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "containers/atomic_array_container.hpp"
+#include "core/runtime.hpp"
+#include "engine/phase_driver.hpp"
+#include "engine/pool_set.hpp"
+#include "engine/strategy_pipelined.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
+#include "mini_apps.hpp"
+#include "mrphi/runtime.hpp"
+#include "phoenix/runtime.hpp"
+#include "sched/thread_pool.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr {
+namespace {
+
+using testing::make_numbers;
+using testing::ModCountApp;
+using testing::pairs_match;
+
+RuntimeConfig ramr_config(std::size_t mappers, std::size_t combiners) {
+  RuntimeConfig cfg;
+  cfg.num_mappers = mappers;
+  cfg.num_combiners = combiners;
+  cfg.pin_policy = PinPolicy::kOsDefault;  // host may be tiny
+  cfg.queue_capacity = 512;
+  cfg.batch_size = 32;
+  return cfg;
+}
+
+phoenix::Options phoenix_options(std::size_t workers) {
+  phoenix::Options o;
+  o.num_workers = workers;
+  o.pin_policy = PinPolicy::kOsDefault;
+  return o;
+}
+
+// Minimal MRPhi-shape app (GlobalAppSpec) for the atomic strategy column.
+struct ModCountGlobalApp {
+  using input_type = std::vector<std::uint64_t>;
+  using container_type = containers::AtomicArrayContainer<std::uint64_t>;
+
+  std::size_t buckets = 16;
+  std::size_t chunk = 64;
+
+  std::size_t num_splits(const input_type& in) const {
+    return (in.size() + chunk - 1) / chunk;
+  }
+  container_type make_global_container() const {
+    return container_type(buckets);
+  }
+  template <typename Emit>
+  void map(const input_type& in, std::size_t split, Emit&& emit) const {
+    const std::size_t begin = split * chunk;
+    const std::size_t end = std::min(begin + chunk, in.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      emit(in[i] % buckets, std::uint64_t{1});
+    }
+  }
+};
+
+// ---------- FaultPlan spec parsing ------------------------------------------
+
+TEST(FaultPlan, EmptySpecDisabled) {
+  const auto plan = faults::FaultPlan::parse("");
+  EXPECT_FALSE(plan.enabled);
+  EXPECT_EQ(plan.map_task, -1);
+  EXPECT_EQ(plan.combiner_batch, -1);
+  EXPECT_EQ(plan.stall_emit, 0u);
+  EXPECT_EQ(plan.alloc, -1);
+}
+
+TEST(FaultPlan, ParsesMapSiteFields) {
+  const auto plan =
+      faults::FaultPlan::parse("map_task=5,map_transient=1,map_fires=2");
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_EQ(plan.map_task, 5);
+  EXPECT_TRUE(plan.map_transient);
+  EXPECT_EQ(plan.map_fires, 2u);
+}
+
+TEST(FaultPlan, ParsesAllSites) {
+  const auto plan = faults::FaultPlan::parse(
+      "combiner_batch=3,combiner=1,stall_emit=10,stall_ms=500,alloc=2,"
+      "map_p=0.25,seed=7");
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_EQ(plan.combiner_batch, 3);
+  EXPECT_EQ(plan.combiner, 1u);
+  EXPECT_EQ(plan.stall_emit, 10u);
+  EXPECT_EQ(plan.stall_ms, 500u);
+  EXPECT_EQ(plan.alloc, 2);
+  EXPECT_DOUBLE_EQ(plan.map_p, 0.25);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_FALSE(plan.summary().empty());
+}
+
+TEST(FaultPlan, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(faults::FaultPlan::parse("bogus=1"), ConfigError);
+  EXPECT_THROW(faults::FaultPlan::parse("map_task=abc"), ConfigError);
+  EXPECT_THROW(faults::FaultPlan::parse("map_p=1.5"), ConfigError);
+  EXPECT_THROW(faults::FaultPlan::parse("map_task"), ConfigError);
+}
+
+// ---------- Injector unit behaviour -----------------------------------------
+
+TEST(Injector, DisabledInjectorNeverFires) {
+  faults::Injector injector;  // default: disabled
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NO_THROW(injector.on_map_task(i % 3));
+    EXPECT_NO_THROW(injector.on_combiner_batch(0, i));
+    EXPECT_NO_THROW(injector.on_emit(0));
+    EXPECT_NO_THROW(injector.on_container_alloc());
+  }
+  EXPECT_EQ(injector.injected(), 0u);
+}
+
+TEST(Injector, MapSiteFiresBoundedTimes) {
+  faults::Injector injector(
+      faults::FaultPlan::parse("map_task=0,map_fires=2"));
+  EXPECT_THROW(injector.on_map_task(0), faults::InjectedFault);
+  EXPECT_THROW(injector.on_map_task(1), faults::InjectedFault);
+  EXPECT_NO_THROW(injector.on_map_task(2));  // budget exhausted
+  EXPECT_EQ(injector.injected(), 2u);
+}
+
+TEST(Injector, TransientFaultIsRetryClassified) {
+  faults::Injector injector(
+      faults::FaultPlan::parse("map_task=0,map_transient=1"));
+  EXPECT_THROW(injector.on_map_task(0), TransientError);
+}
+
+// ---------- injected failures across the three strategies -------------------
+
+TEST(FaultMatrix, PipelinedMapperFaultSurfacesWithAttribution) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 1);
+  RuntimeConfig cfg = ramr_config(3, 2);
+  cfg.fault_spec = "map_task=0";
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  try {
+    rt.run(app, input);
+    FAIL() << "expected an injected fault";
+  } catch (const faults::InjectedFault& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("injected fault: map task"), std::string::npos);
+    EXPECT_NE(what.find("mapper-"), std::string::npos);
+    EXPECT_NE(what.find("map-combine"), std::string::npos);
+  }
+}
+
+TEST(FaultMatrix, FusedMapperFaultSurfaces) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 2);
+  phoenix::Options o = phoenix_options(3);
+  o.fault_spec = "map_task=0";
+  phoenix::Runtime<ModCountApp> rt(topo::host(), o);
+  EXPECT_THROW(rt.run(app, input), faults::InjectedFault);
+}
+
+TEST(FaultMatrix, AtomicMapperFaultSurfaces) {
+  const ModCountGlobalApp app;
+  const auto input = make_numbers(10000, 3);
+  mrphi::Options o;
+  o.num_workers = 3;
+  o.pin_policy = PinPolicy::kOsDefault;
+  o.fault_spec = "map_task=0";
+  mrphi::Runtime<ModCountGlobalApp> rt(topo::host(), o);
+  EXPECT_THROW(rt.run(app, input), faults::InjectedFault);
+}
+
+TEST(FaultMatrix, PipelinedCombinerFaultSurfacesWithAttribution) {
+  const ModCountApp app;
+  const auto input = make_numbers(20000, 4);
+  RuntimeConfig cfg = ramr_config(3, 2);
+  cfg.fault_spec = "combiner_batch=1,combiner=0";
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  try {
+    rt.run(app, input);
+    FAIL() << "expected an injected fault";
+  } catch (const faults::InjectedFault& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("combiner-0"), std::string::npos);
+  }
+}
+
+TEST(FaultMatrix, BothPoolsFailingStillTerminates) {
+  // The join protocol must report one root cause and *suppress* (not hang
+  // on, not drop silently) the other pool's failure.
+  const ModCountApp app;
+  const auto input = make_numbers(20000, 5);
+  RuntimeConfig cfg = ramr_config(2, 2);
+  cfg.fault_spec = "map_task=0,combiner_batch=1";
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  EXPECT_THROW(rt.run(app, input), faults::InjectedFault);
+}
+
+TEST(FaultMatrix, ContainerAllocationFaultSurfaces) {
+  const ModCountApp app;
+  const auto input = make_numbers(1000, 6);
+  RuntimeConfig cfg = ramr_config(2, 1);
+  cfg.fault_spec = "alloc=0";
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  try {
+    rt.run(app, input);
+    FAIL() << "expected an injected fault";
+  } catch (const faults::InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("container allocation"),
+              std::string::npos);
+  }
+
+  phoenix::Options o = phoenix_options(2);
+  o.fault_spec = "alloc=1";
+  phoenix::Runtime<ModCountApp> baseline(topo::host(), o);
+  EXPECT_THROW(baseline.run(app, input), faults::InjectedFault);
+}
+
+// ---------- task-level retry -------------------------------------------------
+
+TEST(TaskRetry, TransientFaultsRetriedToSuccessPipelined) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 7);
+  RuntimeConfig cfg = ramr_config(2, 1);
+  cfg.fault_spec = "map_task=0,map_transient=1,map_fires=2";
+  cfg.max_task_retries = 3;
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
+  EXPECT_EQ(result.task_retries, 2u);  // one retry per injected fire
+  EXPECT_EQ(result.task_aborts, 0u);
+}
+
+TEST(TaskRetry, TransientFaultsRetriedToSuccessFused) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 8);
+  phoenix::Options o = phoenix_options(2);
+  o.fault_spec = "map_task=0,map_transient=1,map_fires=2";
+  o.max_task_retries = 3;
+  phoenix::Runtime<ModCountApp> rt(topo::host(), o);
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
+  EXPECT_EQ(result.task_retries, 2u);
+  EXPECT_EQ(result.task_aborts, 0u);
+}
+
+TEST(TaskRetry, ExhaustedBudgetAborts) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 9);
+  RuntimeConfig cfg = ramr_config(2, 1);
+  // Far more fires than the budget of 1 retry can absorb.
+  cfg.fault_spec = "map_task=0,map_transient=1,map_fires=100";
+  cfg.max_task_retries = 1;
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  EXPECT_THROW(rt.run(app, input), TransientError);
+}
+
+TEST(TaskRetry, NoRetryBudgetFailsImmediately) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 10);
+  RuntimeConfig cfg = ramr_config(2, 1);
+  cfg.fault_spec = "map_task=0,map_transient=1";
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);  // max_task_retries = 0
+  EXPECT_THROW(rt.run(app, input), TransientError);
+}
+
+// ---------- watchdog: stall + deadline ---------------------------------------
+
+TEST(Watchdog, InjectedStallTripsStallVerdict) {
+  const ModCountApp app;
+  const auto input = make_numbers(40000, 11);
+  RuntimeConfig cfg = ramr_config(2, 1);
+  // Emission #100 hangs "forever"; the watchdog must cut the run loose long
+  // before the stall would naturally end.
+  cfg.fault_spec = "stall_emit=100,stall_ms=60000";
+  cfg.stall_timeout_ms = 250;
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    rt.run(app, input);
+    FAIL() << "expected an AbortError";
+  } catch (const common::AbortError& e) {
+    EXPECT_EQ(e.cause(), common::CancelCause::kStall);
+    EXPECT_EQ(e.phase(), "map-combine");
+    EXPECT_NE(e.worker().find("mapper-"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("stall"), std::string::npos);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Generous bound (TSan): but far below the 60 s injected stall.
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(Watchdog, DeadlineVerdictAbortsRun) {
+  const ModCountApp app;
+  const auto input = make_numbers(40000, 12);
+  RuntimeConfig cfg = ramr_config(2, 1);
+  cfg.fault_spec = "stall_emit=100,stall_ms=60000";
+  cfg.deadline_ms = 200;
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    rt.run(app, input);
+    FAIL() << "expected an AbortError";
+  } catch (const common::AbortError& e) {
+    EXPECT_EQ(e.cause(), common::CancelCause::kDeadline);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(30));
+}
+
+TEST(Watchdog, CleanRunUnaffectedByWatchdog) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 13);
+  RuntimeConfig cfg = ramr_config(2, 1);
+  cfg.deadline_ms = 120000;  // plenty
+  cfg.stall_timeout_ms = 60000;
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
+  EXPECT_EQ(result.task_retries, 0u);
+}
+
+// ---------- configuration validation -----------------------------------------
+
+TEST(Config, PipelinedRejectsSinglePoolShape) {
+  // The zero-combiner crash class: driving the pipelined strategy from a
+  // single-pool PoolSet must be a structured ConfigError, not a crash in
+  // collect().
+  const ModCountApp app;
+  const auto input = make_numbers(100, 14);
+  engine::PoolSet pools(topo::host(), 2, PinPolicy::kOsDefault);
+  engine::PhaseDriver driver(pools);
+  engine::PipelinedSpsc<ModCountApp> strategy;
+  EXPECT_THROW(driver.run(strategy, app, input), ConfigError);
+}
+
+TEST(Config, ResolvedRejectsCombinerHeavyShape) {
+  RuntimeConfig cfg = ramr_config(1, 2);
+  EXPECT_THROW(cfg.resolved(8), ConfigError);
+}
+
+TEST(Config, RobustnessKnobsReadFromEnv) {
+  env::ScopedOverride faults(kEnvFaults, "map_task=3");
+  env::ScopedOverride retries(kEnvTaskRetries, "2");
+  env::ScopedOverride backoff(kEnvBackoff, "exp");
+  env::ScopedOverride cap(kEnvSleepCapMicros, "4000");
+  env::ScopedOverride deadline(kEnvDeadlineMs, "9000");
+  env::ScopedOverride stall(kEnvStallMs, "700");
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.fault_spec, "map_task=3");
+  EXPECT_EQ(cfg.max_task_retries, 2u);
+  EXPECT_EQ(cfg.backoff, BackoffKind::kExponential);
+  EXPECT_EQ(cfg.sleep_cap_micros, 4000u);
+  EXPECT_EQ(cfg.deadline_ms, 9000u);
+  EXPECT_EQ(cfg.stall_timeout_ms, 700u);
+}
+
+TEST(Config, ExponentialBackoffRunStaysCorrect) {
+  const ModCountApp app;
+  const auto input = make_numbers(30000, 15);
+  RuntimeConfig cfg = ramr_config(3, 1);
+  cfg.backoff = BackoffKind::kExponential;
+  cfg.sleep_micros = 10;
+  cfg.sleep_cap_micros = 500;
+  cfg.queue_capacity = 8;  // force backpressure through the ladder
+  cfg.batch_size = 4;
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
+  EXPECT_GT(result.queue_failed_pushes, 0u);
+}
+
+// ---------- the join protocol ------------------------------------------------
+
+TEST(JoinProtocol, CollectRecordsSuppressedSecondError) {
+  sched::ThreadPool a(1);
+  sched::ThreadPool b(1);
+  a.start([](std::size_t) { throw Error("first pool failure"); });
+  b.start([](std::size_t) { throw Error("second pool failure"); });
+  const engine::JoinOutcome outcome = engine::join_pools_collect(a, b);
+  ASSERT_TRUE(outcome.first_error);
+  EXPECT_EQ(outcome.suppressed, 1u);
+  EXPECT_EQ(outcome.suppressed_message, "second pool failure");
+  try {
+    std::rethrow_exception(outcome.first_error);
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "first pool failure");
+  }
+}
+
+TEST(JoinProtocol, CleanJoinReportsNothing) {
+  sched::ThreadPool a(1);
+  sched::ThreadPool b(1);
+  a.start([](std::size_t) {});
+  b.start([](std::size_t) {});
+  const engine::JoinOutcome outcome = engine::join_pools_collect(a, b);
+  EXPECT_FALSE(outcome.first_error);
+  EXPECT_EQ(outcome.suppressed, 0u);
+}
+
+// ---------- pools survive a failed run ---------------------------------------
+
+TEST(Recovery, PoolsReusableAfterInjectedFailure) {
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 16);
+  // A transient plan whose budget empties during run #1: run #2 on the SAME
+  // runtime re-parses the plan (fresh Injector) and fails identically — but
+  // critically the pools must still join and execute cleanly in between.
+  RuntimeConfig cfg = ramr_config(2, 1);
+  cfg.fault_spec = "map_task=0,map_transient=1,map_fires=2";
+  cfg.max_task_retries = 3;
+  core::Runtime<ModCountApp> rt(topo::host(), cfg);
+  const auto first = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(first.pairs, app.reference(input)));
+  const auto second = rt.run(app, input);
+  EXPECT_TRUE(pairs_match(second.pairs, app.reference(input)));
+  EXPECT_EQ(second.task_retries, 2u);  // fresh injector per run()
+}
+
+}  // namespace
+}  // namespace ramr

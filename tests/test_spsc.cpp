@@ -436,5 +436,63 @@ TEST(Backoff, SleepBackoffSpinsBeforeSleeping) {
   EXPECT_EQ(b.sleep_count(), 1u);
 }
 
+TEST(Backoff, ExponentialDoublesUpToCapAndResets) {
+  ExponentialSleepBackoff b(std::chrono::microseconds(2),
+                            std::chrono::microseconds(16),
+                            /*spin_limit=*/0);
+  EXPECT_EQ(b.current_period(), std::chrono::microseconds(2));
+  b.wait();  // sleeps 2us, ladder moves to 4
+  EXPECT_EQ(b.current_period(), std::chrono::microseconds(4));
+  b.wait();
+  b.wait();
+  EXPECT_EQ(b.current_period(), std::chrono::microseconds(16));
+  b.wait();  // capped: stays at 16
+  EXPECT_EQ(b.current_period(), std::chrono::microseconds(16));
+  EXPECT_EQ(b.sleep_count(), 4u);
+  b.reset();
+  EXPECT_EQ(b.current_period(), std::chrono::microseconds(2));
+  EXPECT_EQ(b.sleep_count(), 4u);  // counter is cumulative
+}
+
+TEST(Backoff, ExponentialSpinsBeforeFirstSleep) {
+  ExponentialSleepBackoff b(std::chrono::microseconds(1),
+                            std::chrono::microseconds(8),
+                            /*spin_limit=*/3);
+  for (int i = 0; i < 3; ++i) b.wait();
+  EXPECT_EQ(b.sleep_count(), 0u);
+  b.wait();
+  EXPECT_EQ(b.sleep_count(), 1u);
+}
+
+TEST(Backoff, AllPoliciesStopWhenBoundFlagRaised) {
+  std::atomic<bool> stop{false};
+  BusyWaitBackoff busy;
+  SleepBackoff sleep(std::chrono::microseconds(1), 0);
+  ExponentialSleepBackoff expo(std::chrono::microseconds(1),
+                               std::chrono::microseconds(8), 0);
+  busy.bind(&stop);
+  sleep.bind(&stop);
+  expo.bind(&stop);
+  EXPECT_TRUE(busy.wait());
+  EXPECT_TRUE(sleep.wait());
+  EXPECT_TRUE(expo.wait());
+  stop.store(true);
+  EXPECT_FALSE(busy.wait());
+  EXPECT_FALSE(sleep.wait());
+  EXPECT_FALSE(expo.wait());
+  // A stopped wait performs no sleep.
+  EXPECT_EQ(sleep.sleep_count(), 1u);
+  EXPECT_EQ(expo.sleep_count(), 1u);
+}
+
+TEST(Backoff, UnboundPoliciesNeverStop) {
+  BusyWaitBackoff busy;
+  SleepBackoff sleep(std::chrono::microseconds(1), 4);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(busy.wait());
+    EXPECT_TRUE(sleep.wait());
+  }
+}
+
 }  // namespace
 }  // namespace ramr::spsc
