@@ -66,7 +66,8 @@ void native_policy_row(stats::Table& table, const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "ablation_backoff");
   bench::banner("Sleep-on-failed-push vs busy-wait (combiner-limited "
                 "workloads, Haswell model)",
                 "Sec. III-A design claim");

@@ -9,7 +9,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "ablation_capacity");
   bench::banner("SPSC queue capacity sweep (Haswell model, default "
                 "containers, large inputs; times in ms)",
                 "Sec. III-A design claim");

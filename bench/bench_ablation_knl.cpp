@@ -11,7 +11,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "ablation_knl");
   bench::banner("Generation study: KNC (paper) vs KNL (what-if) — RAMR vs "
                 "Phoenix++ speedup, default containers, large inputs",
                 "extension beyond the paper's platforms");

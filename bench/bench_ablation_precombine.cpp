@@ -43,7 +43,8 @@ void run_row(stats::Table& table, const char* name, const App& app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "ablation_precombine");
   const std::uint64_t scale = apps::bench_scale_from_env() * 256;
   bench::banner("Mapper-side pre-combining: records pipelined vs buffer "
                 "size (native runtime, Table I small / " +

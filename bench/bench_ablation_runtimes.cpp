@@ -60,7 +60,8 @@ void compare(stats::Table& table, const char* name, const App& app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "ablation_runtimes");
   const std::uint64_t scale = bench_scale_from_env() * 1024;
   const std::size_t reps = 3;
   bench::banner("Three architectures on identical inputs (native, Table I "

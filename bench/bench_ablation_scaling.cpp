@@ -12,7 +12,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "ablation_scaling");
   bench::banner("Core-density scaling study (Haswell-class machine, large "
                 "inputs, default containers)",
                 "extension of the paper's Sec. I motivation");

@@ -11,7 +11,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "ablation_transient");
   bench::banner("Transient pipeline dynamics (Haswell model, default "
                 "containers, small inputs, tuned ratio)",
                 "Sec. III architecture, played out in time");

@@ -8,7 +8,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig01_breakdown");
   bench::banner("Run-time breakdown of the Phoenix++ baseline (large inputs, "
                 "Haswell model)",
                 "Fig. 1");

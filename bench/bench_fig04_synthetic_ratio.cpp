@@ -10,7 +10,8 @@
 
 using namespace ramr;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig04_synthetic_ratio");
   bench::banner(
       "Synthetic suite: combine-intensity sweep, CPU map x memory combine "
       "(Haswell model; run time in ms, lower is better)",

@@ -27,7 +27,8 @@ void print_fig3_example() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig05_pinning_policy");
   bench::banner("Thread-pinning policies: RAMR vs round-robin vs OS "
                 "scheduler (default containers, large inputs)",
                 "Fig. 5 (+ Fig. 3)");

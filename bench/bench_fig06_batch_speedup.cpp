@@ -9,7 +9,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig06_batch_speedup");
   bench::banner("Batched consume vs element-wise consume (default "
                 "containers, large inputs)",
                 "Fig. 6");

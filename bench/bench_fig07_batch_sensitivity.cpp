@@ -9,7 +9,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig07_batch_sensitivity");
   bench::banner("Batch-size sensitivity (execution time normalised to the "
                 "first point of each curve; lower is better)",
                 "Fig. 7");

@@ -39,7 +39,8 @@ void run_flavor(PlatformId platform, ContainerFlavor flavor,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig08_haswell");
   bench::banner("RAMR vs Phoenix++ on the Haswell server model "
                 "(speedup > 1 means RAMR is faster)",
                 "Fig. 8a / Fig. 8b");

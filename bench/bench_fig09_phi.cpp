@@ -40,7 +40,8 @@ void run_flavor(ContainerFlavor flavor, const char* figure,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig09_phi");
   bench::banner("RAMR vs Phoenix++ on the Xeon Phi co-processor model "
                 "(speedup > 1 means RAMR is faster)",
                 "Fig. 9a / Fig. 9b");

@@ -30,7 +30,8 @@ void run_flavor(ContainerFlavor flavor, const char* figure) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "fig10_suitability");
   bench::banner("Suitability metrics: instructions per input byte, memory "
                 "stalls and resource stalls per instruction",
                 "Fig. 10a / Fig. 10b");

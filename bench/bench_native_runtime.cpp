@@ -72,7 +72,8 @@ void report(stats::Table& table, const char* name, const Measurement& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "native_runtime");
   const std::uint64_t scale = env::get_uint("RAMR_BENCH_SCALE", 4096);
   const std::size_t reps =
       static_cast<std::size_t>(env::get_uint("RAMR_BENCH_REPS", 3));

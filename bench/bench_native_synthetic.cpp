@@ -16,7 +16,8 @@
 
 using namespace ramr;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "native_synthetic");
   const std::uint64_t elements =
       env::get_uint("RAMR_SYNTH_ELEMENTS", 20000);
   bench::banner("Native synthetic sweep: CPU map x memory combine on this "

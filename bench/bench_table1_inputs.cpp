@@ -10,7 +10,8 @@
 using namespace ramr;
 using namespace ramr::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "table1_inputs");
   bench::banner("Input sizes per application, platform and size class",
                 "Table I");
 

@@ -4,17 +4,28 @@
 // reports. Figure benches are driven by the platform simulator (the paper's
 // machines are modelled, not assumed — see DESIGN.md); bench_native_runtime
 // measures real wall-clock on the host.
+//
+// Structured output: a bench that calls init(argc, argv, "<name>") first
+// thing in main() accepts `--json[=path]` — the banner/print/print_series
+// calls are then mirrored into a machine-readable report written to
+// BENCH_<name>.json (or the given path) at exit, so CI and plotting scripts
+// consume the same numbers the terminal shows without scraping tables.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.hpp"
 #include "sim/machine.hpp"
 #include "sim/model.hpp"
 #include "sim/workload.hpp"
 #include "stats/table.hpp"
+#include "telemetry/json.hpp"
 
 namespace ramr::bench {
 
@@ -24,7 +35,169 @@ inline bool csv_mode() {
   return on;
 }
 
+// Mirror of the bench's printed output, grouped by banner() section and
+// serialised as `{"schema": "ramr-bench-v1", "sections": [...]}` with one
+// JSON table/series entry per print()/print_series() call.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  // Enables capture and registers the atexit writer (once). `path` is where
+  // write() puts the report.
+  void enable(std::string bench, std::string path) {
+    bench_ = std::move(bench);
+    path_ = std::move(path);
+    if (!enabled_) {
+      enabled_ = true;
+      std::atexit([] { JsonReport::instance().write(); });
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  void add_banner(const std::string& title, const std::string& paper_ref) {
+    if (!enabled_) return;
+    sections_.push_back(Section{title, paper_ref, {}, {}});
+  }
+
+  void add_table(const stats::Table& table) {
+    if (!enabled_) return;
+    TableDump dump;
+    dump.header = table.header();
+    dump.rows.reserve(table.rows());
+    for (std::size_t i = 0; i < table.rows(); ++i) {
+      dump.rows.push_back(table.row(i));
+    }
+    current().tables.push_back(std::move(dump));
+  }
+
+  void add_series(const std::string& x_label,
+                  const std::vector<stats::Series>& series) {
+    if (!enabled_) return;
+    current().series.push_back(SeriesDump{x_label, series});
+  }
+
+  // Idempotent; normally invoked by the atexit hook enable() registered.
+  void write() {
+    if (!enabled_ || written_) return;
+    written_ = true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   path_.c_str());
+      return;
+    }
+    telemetry::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", "ramr-bench-v1");
+    w.field("bench", bench_);
+    w.begin_array("sections");
+    for (const Section& section : sections_) {
+      write_section(w, section);
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+  }
+
+ private:
+  struct TableDump {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct SeriesDump {
+    std::string x_label;
+    std::vector<stats::Series> series;
+  };
+  struct Section {
+    std::string title;
+    std::string paper_ref;
+    std::vector<TableDump> tables;
+    std::vector<SeriesDump> series;
+  };
+
+  JsonReport() = default;
+
+  // Output printed before the first banner() lands in an untitled section.
+  Section& current() {
+    if (sections_.empty()) sections_.push_back(Section{});
+    return sections_.back();
+  }
+
+  static void write_section(telemetry::JsonWriter& w, const Section& section) {
+    w.begin_object();
+    w.field("title", section.title);
+    w.field("paper_ref", section.paper_ref);
+    w.begin_array("tables");
+    for (const TableDump& table : section.tables) {
+      w.begin_object();
+      w.begin_array("header");
+      for (const std::string& cell : table.header) w.element(cell);
+      w.end_array();
+      w.begin_array("rows");
+      for (const std::vector<std::string>& row : table.rows) {
+        w.begin_array();
+        for (const std::string& cell : row) w.element(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.begin_array("series");
+    for (const SeriesDump& group : section.series) {
+      w.begin_object();
+      w.field("x_label", group.x_label);
+      w.begin_array("series");
+      for (const stats::Series& s : group.series) {
+        w.begin_object();
+        w.field("name", s.name);
+        w.begin_array("points");
+        const std::size_t n = s.x.size() < s.y.size() ? s.x.size()
+                                                      : s.y.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          w.begin_array();
+          w.element(s.x[i]);
+          w.element(s.y[i]);
+          w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  bool enabled_ = false;
+  bool written_ = false;
+  std::string bench_;
+  std::string path_;
+  std::vector<Section> sections_;
+};
+
+// Parses `--json[=path]`; call first thing in main(). Other arguments are
+// left alone so benches stay usable under wrappers that pass extra flags.
+inline void init(int argc, char** argv, const std::string& name) {
+  const std::string kFlag = "--json";
+  const std::string kPrefix = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == kFlag) {
+      JsonReport::instance().enable(name, "BENCH_" + name + ".json");
+    } else if (arg.rfind(kPrefix, 0) == 0) {
+      JsonReport::instance().enable(name, arg.substr(kPrefix.size()));
+    }
+  }
+}
+
 inline void print(const stats::Table& table) {
+  JsonReport::instance().add_table(table);
   if (csv_mode()) {
     table.print_csv(std::cout);
   } else {
@@ -35,6 +208,7 @@ inline void print(const stats::Table& table) {
 inline void print_series(const std::string& x_label,
                          const std::vector<stats::Series>& series,
                          int precision = 3) {
+  JsonReport::instance().add_series(x_label, series);
   if (csv_mode()) {
     stats::Table t([&] {
       std::vector<std::string> header{x_label};
@@ -58,6 +232,7 @@ inline void print_series(const std::string& x_label,
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
+  JsonReport::instance().add_banner(title, paper_ref);
   std::cout << "\n================================================================\n"
             << title << "\n"
             << "(reproduces " << paper_ref << ")\n"

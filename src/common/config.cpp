@@ -81,6 +81,10 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   base.deadline_ms = env::get_uint(kEnvDeadlineMs, base.deadline_ms);
   base.stall_timeout_ms = env::get_uint(kEnvStallMs, base.stall_timeout_ms);
   base.fault_spec = env::get_string(kEnvFaults, base.fault_spec);
+  base.telemetry = env::get_bool(kEnvTelemetry, base.telemetry);
+  base.pmu_mode = env::get_string(kEnvPmu, base.pmu_mode);
+  base.sample_interval_us =
+      env::get_uint(kEnvSampleMicros, base.sample_interval_us);
   if (auto policy = env::get(kEnvPinPolicy)) {
     base.pin_policy = parse_pin_policy(*policy);
   }
@@ -167,6 +171,10 @@ std::string RuntimeConfig::summary() const {
   if (deadline_ms > 0) os << " deadline_ms=" << deadline_ms;
   if (stall_timeout_ms > 0) os << " stall_ms=" << stall_timeout_ms;
   if (!fault_spec.empty()) os << " faults=" << fault_spec;
+  if (telemetry) {
+    os << " telemetry=on pmu=" << pmu_mode;
+    if (sample_interval_us > 0) os << " sample_us=" << sample_interval_us;
+  }
   return os.str();
 }
 

@@ -64,6 +64,9 @@ inline constexpr const char* kEnvTaskRetries = "RAMR_TASK_RETRIES";
 inline constexpr const char* kEnvDeadlineMs = "RAMR_DEADLINE_MS";
 inline constexpr const char* kEnvStallMs = "RAMR_STALL_MS";
 inline constexpr const char* kEnvFaults = "RAMR_FAULTS";
+inline constexpr const char* kEnvTelemetry = "RAMR_TELEMETRY";
+inline constexpr const char* kEnvPmu = "RAMR_PMU";
+inline constexpr const char* kEnvSampleMicros = "RAMR_SAMPLE_US";
 
 struct RuntimeConfig {
   // Worker counts. 0 means "derive from the machine": mappers default to the
@@ -130,6 +133,22 @@ struct RuntimeConfig {
   // Fault-injection spec (see faults::FaultPlan::parse; "" = disabled,
   // zero-cost). Test/chaos-only knob.
   std::string fault_spec;
+
+  // ---- observability knobs (see src/telemetry/, docs/OBSERVABILITY.md) ---
+
+  // Master switch for the telemetry subsystem (metric registry, PMU phase
+  // counters, sampler, exporters). Off = zero cost: the engine carries a
+  // null session pointer and each instrumentation site is one check.
+  bool telemetry = false;
+
+  // PMU backend mode, validated by telemetry::parse_pmu_mode at session
+  // creation: "auto" (hardware counters when available, analytic model
+  // otherwise), "on" (same, but explicitly requested), "off" (always model).
+  std::string pmu_mode = "auto";
+
+  // Sampler cadence in microseconds (0 = no sampler thread). Snapshots ring
+  // occupancy and worker heartbeats into time-series during runs.
+  std::size_t sample_interval_us = 0;
 
   // Build a config taking every RAMR_* env knob into account, starting from
   // the given base (defaults if omitted). Throws ConfigError on bad values.

@@ -10,12 +10,14 @@
 // and failure protocols.
 #pragma once
 
+#include <memory>
 #include <utility>
 
 #include "common/config.hpp"
 #include "engine/phase_driver.hpp"
 #include "engine/pool_set.hpp"
 #include "engine/strategy_pipelined.hpp"
+#include "telemetry/session.hpp"
 #include "topology/topology.hpp"
 #include "trace/trace.hpp"
 
@@ -35,7 +37,10 @@ class Runtime {
   // start-up "throughout the MR invocation" (paper Sec. III-B).
   Runtime(topo::Topology topology, RuntimeConfig config)
       : pools_(std::move(topology), config),
-        driver_(pools_, engine::driver_options_from(pools_.config())) {}
+        telemetry_(telemetry::Session::from_config(pools_.config())),
+        driver_(pools_, engine::driver_options_from(pools_.config())) {
+    driver_.set_telemetry(telemetry_.get());
+  }
 
   const RuntimeConfig& config() const { return pools_.config(); }
   const topo::PinningPlan& plan() const { return pools_.plan(); }
@@ -47,6 +52,12 @@ class Runtime {
     driver_.set_recorder(recorder);
   }
 
+  // The telemetry session created from the config's observability knobs
+  // (RAMR_TELEMETRY et al.); nullptr when telemetry is off. Exporters read
+  // phase counters / metrics / series from it after run() (see
+  // telemetry/export.hpp).
+  telemetry::Session* telemetry() { return telemetry_.get(); }
+
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
     engine::PipelinedSpsc<S> strategy;
     return driver_.run(strategy, app, input);
@@ -54,6 +65,7 @@ class Runtime {
 
  private:
   engine::PoolSet pools_;
+  std::unique_ptr<telemetry::Session> telemetry_;
   engine::PhaseDriver driver_;
 };
 

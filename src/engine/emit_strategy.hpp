@@ -41,6 +41,7 @@
 #include "engine/pool_set.hpp"
 #include "faults/injector.hpp"
 #include "sched/task_queue.hpp"
+#include "telemetry/session.hpp"
 #include "trace/trace.hpp"
 
 namespace ramr::engine {
@@ -89,6 +90,13 @@ struct MapCombineContext {
   faults::Injector& injector;
   Heartbeats& beats;
   RetryState& retry;
+  // Telemetry session, null when disabled (every site is one check). Slot
+  // convention: mapper m -> slot m, combiner j -> combiner_slot(j).
+  telemetry::Session* telemetry = nullptr;
+
+  telemetry::EngineMetrics* metrics() const {
+    return telemetry != nullptr ? telemetry->engine_metrics() : nullptr;
+  }
 };
 
 // Per-worker control block for drain_map_tasks, bundling the scheduling
@@ -103,6 +111,7 @@ struct TaskLoopControl {
   Heartbeats::Slot& beat;
   RetryState& retry;
   std::size_t worker;
+  telemetry::EngineMetrics* metrics;  // null when telemetry is off
 
   static TaskLoopControl create(MapCombineContext& ctx, std::size_t worker) {
     return TaskLoopControl{ctx.queues,
@@ -113,7 +122,8 @@ struct TaskLoopControl {
                            ctx.injector,
                            ctx.beats.mapper(worker),
                            ctx.retry,
-                           worker};
+                           worker,
+                           ctx.metrics()};
   }
 };
 
@@ -157,10 +167,20 @@ std::size_t drain_map_tasks(const TaskLoopControl& ctl, const App& app,
       } catch (const TransientError&) {
         if (attempt >= ctl.retry.max_retries || ctl.cancel.cancelled()) {
           ctl.retry.aborts.fetch_add(1, std::memory_order_relaxed);
+          if (ctl.metrics != nullptr) {
+            ctl.metrics->task_aborts->increment(ctl.worker);
+          }
           throw;
         }
         ++attempt;
         ctl.retry.retries.fetch_add(1, std::memory_order_relaxed);
+        if (ctl.lane != nullptr) {
+          ctl.lane->record(ctl.epoch, trace::EventKind::kTaskRetry,
+                           task->begin);
+        }
+        if (ctl.metrics != nullptr) {
+          ctl.metrics->task_retries->increment(ctl.worker);
+        }
         ctl.beat.bump();
       }
     }
@@ -169,6 +189,9 @@ std::size_t drain_map_tasks(const TaskLoopControl& ctl, const App& app,
     }
     ctl.beat.bump();
     ++executed;
+    if (ctl.metrics != nullptr) {
+      ctl.metrics->tasks_executed->increment(ctl.worker);
+    }
   }
   return executed;
 }

@@ -27,8 +27,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/cancellation.hpp"
 #include "common/config.hpp"
@@ -42,6 +44,8 @@
 #include "faults/plan.hpp"
 #include "sched/parallel_sort.hpp"
 #include "sched/task_queue.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/session.hpp"
 #include "trace/trace.hpp"
 
 namespace ramr::engine {
@@ -76,6 +80,11 @@ class PhaseDriver {
   // events, phase marks. The recorder must outlive every run(); pass
   // nullptr to disable (the default).
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
+  // Optional telemetry session (metric registry, PMU phase counters,
+  // sampler); must outlive every run(); nullptr disables (the default, and
+  // then every instrumentation site in the engine is one pointer check).
+  void set_telemetry(telemetry::Session* session) { telemetry_ = session; }
 
   template <EmitStrategy St, typename App>
   RunResult<typename St::key_type, typename St::value_type> run(
@@ -113,8 +122,61 @@ class PhaseDriver {
       }
     };
 
+    // ---- trace + telemetry setup (before any event is recorded) ---------
+    // Every lane must exist before the first record() seals the recorder:
+    // the driver's own phase-mark lane first, then one lane per worker.
+    trace::Lane* driver_lane =
+        recorder_ != nullptr ? &recorder_->lane("driver") : nullptr;
+    TraceLanes lanes = TraceLanes::create(recorder_, pools_);
+    if (telemetry_ != nullptr) {
+      telemetry_->attach_pools(pools_.mapper_pool().os_tids(),
+                               pools_.dual()
+                                   ? pools_.combiner_pool().os_tids()
+                                   : std::vector<std::int64_t>{});
+      telemetry_->begin_run(recorder_ != nullptr ? recorder_->epoch()
+                                                 : now());
+    }
+    // end_run (sampler stop) on every exit path, including aborts.
+    struct TelemetryRunScope {
+      telemetry::Session* session;
+      ~TelemetryRunScope() {
+        if (session != nullptr) session->end_run();
+      }
+    } run_scope{telemetry_};
+    // Heartbeat time-series; handles must die before `beats` (they do:
+    // declared after it, and removal is safe while the sampler runs).
+    std::vector<telemetry::Sampler::ProbeHandle> beat_probes;
+    if (telemetry_ != nullptr && telemetry_->sampler() != nullptr) {
+      beat_probes.reserve(beats.size());
+      for (std::size_t i = 0; i < beats.size(); ++i) {
+        Heartbeats::Slot& slot = beats.slot(i);
+        beat_probes.push_back(telemetry_->sampler()->scoped_probe(
+            "heartbeat/" + beats.worker_name(i), [&slot] {
+              return static_cast<double>(
+                  slot.beats.load(std::memory_order_relaxed));
+            }));
+      }
+    }
+    const auto phase_begin = [&](Phase phase) {
+      mark_phase(phase);
+      if (telemetry_ != nullptr) telemetry_->begin_phase(phase);
+      if (driver_lane != nullptr) {
+        driver_lane->record(lanes.epoch, trace::EventKind::kPhaseStart,
+                            static_cast<std::uint64_t>(phase));
+      }
+    };
+    const auto phase_end = [&](Phase phase) {
+      if (driver_lane != nullptr) {
+        driver_lane->record(lanes.epoch, trace::EventKind::kPhaseEnd,
+                            static_cast<std::uint64_t>(phase));
+      }
+      if (telemetry_ != nullptr) {
+        telemetry_->end_phase(phase, result.timers.seconds(phase));
+      }
+    };
+
     // ---- split ----------------------------------------------------------
-    mark_phase(Phase::kSplit);
+    phase_begin(Phase::kSplit);
     sched::TaskQueues queues(pools_.num_groups());
     {
       ScopedPhase t(result.timers, Phase::kSplit);
@@ -124,16 +186,17 @@ class PhaseDriver {
         queues.distribute(app.num_splits(input), options_.task_size);
       }
     }
+    phase_end(Phase::kSplit);
 
     // ---- map-combine (one timed phase, strategy-defined coupling) -------
-    mark_phase(Phase::kMapCombine);
-    TraceLanes lanes = TraceLanes::create(recorder_, pools_);
-    MapCombineContext ctx{pools_, queues, lanes, cancel,
-                          injector, beats, retry};
+    phase_begin(Phase::kMapCombine);
+    MapCombineContext ctx{pools_, queues, lanes,  cancel,
+                          injector, beats, retry, telemetry_};
     {
       ScopedPhase t(result.timers, Phase::kMapCombine);
       strategy.map_combine(ctx, app, input, result);
     }
+    phase_end(Phase::kMapCombine);
     result.local_pops = queues.local_pops();
     result.steals = queues.steals();
     result.task_retries = retry.retries.load();
@@ -142,14 +205,17 @@ class PhaseDriver {
 
     // ---- reduce ---------------------------------------------------------
     if constexpr (St::kHasReduce) {
-      mark_phase(Phase::kReduce);
-      ScopedPhase t(result.timers, Phase::kReduce);
-      strategy.reduce(pools_);
+      phase_begin(Phase::kReduce);
+      {
+        ScopedPhase t(result.timers, Phase::kReduce);
+        strategy.reduce(pools_);
+      }
+      phase_end(Phase::kReduce);
       throw_if_aborted();
     }
 
     // ---- merge: collect + optional reducer + parallel key sort ----------
-    mark_phase(Phase::kMerge);
+    phase_begin(Phase::kMerge);
     {
       ScopedPhase t(result.timers, Phase::kMerge);
       strategy.collect(result);
@@ -158,6 +224,7 @@ class PhaseDriver {
           pools_.mapper_pool(), result.pairs,
           [](const auto& a, const auto& b) { return a.first < b.first; });
     }
+    phase_end(Phase::kMerge);
     throw_if_aborted();
     return result;
   }
@@ -166,6 +233,7 @@ class PhaseDriver {
   PoolSet& pools_;
   DriverOptions options_;
   trace::Recorder* recorder_ = nullptr;
+  telemetry::Session* telemetry_ = nullptr;
 };
 
 }  // namespace ramr::engine

@@ -48,6 +48,17 @@ struct RunResult {
   std::string summary() const {
     std::string s = timers.summary();
     s += " pairs=" + std::to_string(pairs.size());
+    // Pipeline diagnostics, suppressed when zero (the non-queue strategies
+    // and an uncontended pipelined run stay terse).
+    if (queue_pushes > 0) s += " qpush=" + std::to_string(queue_pushes);
+    if (queue_failed_pushes > 0) {
+      s += " qfail=" + std::to_string(queue_failed_pushes);
+    }
+    if (queue_batches > 0) s += " qbatch=" + std::to_string(queue_batches);
+    if (queue_max_occupancy > 0) {
+      s += " qmax=" + std::to_string(queue_max_occupancy);
+    }
+    if (backoff_sleeps > 0) s += " sleeps=" + std::to_string(backoff_sleeps);
     if (task_retries > 0) s += " retries=" + std::to_string(task_retries);
     if (task_aborts > 0) s += " aborts=" + std::to_string(task_aborts);
     return s;

@@ -87,6 +87,20 @@ class PipelinedSpsc {
     std::atomic<std::size_t> tasks_executed{0};
     std::atomic<std::size_t> backoff_sleeps{0};
 
+    // Ring-occupancy time-series: total elements queued across all rings,
+    // snapshotted by the sampler thread (Ring::size() is a cross-thread-safe
+    // approximation). Removed before map_combine returns, so the probe
+    // never outlives the rings it reads.
+    telemetry::Sampler::ProbeHandle occupancy_probe;
+    if (ctx.telemetry != nullptr && ctx.telemetry->sampler() != nullptr) {
+      occupancy_probe = ctx.telemetry->sampler()->scoped_probe(
+          "queue_occupancy_total", [this] {
+            std::size_t total = 0;
+            for (const auto& ring : rings_) total += ring->size();
+            return static_cast<double>(total);
+          });
+    }
+
     const auto combiner_job = [&](std::size_t j) {
       Heartbeats::Slot& beat = ctx.beats.combiner(j);
       ActiveScope live(beat);
@@ -97,12 +111,33 @@ class PipelinedSpsc {
       spsc::RingSet<Record> set(std::move(mine));
       Container& container = combiner_containers_[j];
       trace::Lane* lane = ctx.lanes.combiner[j];
+      telemetry::EngineMetrics* tm = ctx.metrics();
+      const std::size_t slot = tm != nullptr ? tm->combiner_slot(j) : 0;
       auto idle = make_consumer_backoff(cfg);
       idle.bind(&ctx.cancel.flag());
       const auto consume = [&container](std::span<Record> block) {
         for (Record& r : block) {
           container.emit(r.key, r.value);
         }
+      };
+      // Flushes sleep/batch accounting into metrics and the shared counter;
+      // runs on success and on the failure paths alike (the consumer-side
+      // ring stats are safe to read here: this thread is the consumer).
+      const auto account = [&] {
+        backoff_sleeps.fetch_add(idle.sleep_count(),
+                                 std::memory_order_relaxed);
+        if (tm == nullptr) return;
+        tm->backoff_sleeps->add(slot, idle.sleep_count());
+        std::uint64_t batch_total = 0;
+        std::size_t max_occupancy = 0;
+        for (std::size_t m : plan.mappers_of_combiner[j]) {
+          const auto& cs = rings_[m]->consumer_stats();
+          batch_total += cs.batches;
+          max_occupancy = std::max(max_occupancy, cs.max_occupancy);
+        }
+        tm->queue_batches->add(slot, batch_total);
+        tm->queue_max_occupancy->set(slot,
+                                     static_cast<double>(max_occupancy));
       };
       std::size_t batches = 0;
       try {
@@ -118,8 +153,15 @@ class PipelinedSpsc {
           }
           if (got == 0) {
             if (set.finished()) break;
+            const std::size_t before = idle.sleep_count();
             idle.wait();
+            const std::size_t slept = idle.sleep_count() - before;
+            if (slept > 0 && lane != nullptr) {
+              lane->record(ctx.lanes.epoch, trace::EventKind::kBackoffSleep,
+                           slept);
+            }
           } else {
+            if (tm != nullptr) tm->batch_sizes->record(slot, got);
             ctx.injector.on_combiner_batch(j, ++batches);
             idle.reset();
           }
@@ -127,11 +169,10 @@ class PipelinedSpsc {
       } catch (const std::exception& e) {
         ctx.cancel.cancel(common::CancelCause::kWorkerFailed, "map-combine",
                           "combiner-" + std::to_string(j), e.what());
-        backoff_sleeps.fetch_add(idle.sleep_count(),
-                                 std::memory_order_relaxed);
+        account();
         throw;
       }
-      backoff_sleeps.fetch_add(idle.sleep_count(), std::memory_order_relaxed);
+      account();
       if (lane != nullptr) {
         lane->record(ctx.lanes.epoch, trace::EventKind::kDrainDone, j);
       }
@@ -142,6 +183,7 @@ class PipelinedSpsc {
       TaskLoopControl ctl = TaskLoopControl::create(ctx, m);
       ActiveScope live(ctl.beat);
       trace::Lane* lane = ctl.lane;
+      telemetry::EngineMetrics* tm = ctl.metrics;
       std::size_t executed = 0;
       // `emit` feeds records toward the ring; the per-task hook flushes the
       // pre-combining buffer (when enabled) so the combiners keep receiving
@@ -159,7 +201,13 @@ class PipelinedSpsc {
                   ": run cancelled while blocked on a full ring");
             }
             ctl.beat.bump();
+            const std::size_t before = backoff.sleep_count();
             backoff.wait();
+            const std::size_t slept = backoff.sleep_count() - before;
+            if (slept > 0 && lane != nullptr) {
+              lane->record(ctx.lanes.epoch, trace::EventKind::kBackoffSleep,
+                           slept);
+            }
           }
           backoff.reset();
         };
@@ -184,6 +232,9 @@ class PipelinedSpsc {
         }
         backoff_sleeps.fetch_add(backoff.sleep_count(),
                                  std::memory_order_relaxed);
+        if (tm != nullptr) {
+          tm->backoff_sleeps->add(m, backoff.sleep_count());
+        }
       };
       try {
         switch (cfg.backoff) {
@@ -224,6 +275,12 @@ class PipelinedSpsc {
         lane->record(ctx.lanes.epoch, trace::EventKind::kStreamClose, m);
       }
       tasks_executed.fetch_add(executed, std::memory_order_relaxed);
+      if (tm != nullptr) {
+        // Producer-side ring stats, read by their single writer (this
+        // thread) after it stopped pushing.
+        tm->queue_pushes->add(m, ring.producer_stats().pushes);
+        tm->queue_failed_pushes->add(m, ring.producer_stats().failed_pushes);
+      }
     };
 
     ctx.pools.combiner_pool().start(combiner_job);

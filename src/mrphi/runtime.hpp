@@ -64,6 +64,12 @@ class Runtime {
     driver_.set_recorder(recorder);
   }
 
+  // Optional telemetry session (see src/telemetry/); caller-owned, must
+  // outlive every run(); nullptr disables (the default).
+  void set_telemetry(telemetry::Session* session) {
+    driver_.set_telemetry(session);
+  }
+
   Result run(const S& app, const typename S::input_type& input) {
     engine::AtomicGlobal<S> strategy;
     return driver_.run(strategy, app, input);

@@ -61,6 +61,12 @@ class Runtime {
     driver_.set_recorder(recorder);
   }
 
+  // Optional telemetry session (see src/telemetry/); caller-owned, must
+  // outlive every run(); nullptr disables (the default).
+  void set_telemetry(telemetry::Session* session) {
+    driver_.set_telemetry(session);
+  }
+
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
     engine::FusedCombine<S> strategy;
     return driver_.run(strategy, app, input);

@@ -3,13 +3,31 @@
 #include "common/affinity.hpp"
 #include "common/error.hpp"
 
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace ramr::sched {
+
+namespace {
+
+std::int64_t current_os_tid() {
+#if defined(__linux__)
+  return static_cast<std::int64_t>(syscall(SYS_gettid));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_workers,
                        std::vector<std::optional<std::size_t>> pin_cpu) {
   if (num_workers == 0) {
     throw ConfigError("ThreadPool needs at least one worker");
   }
+  os_tids_.resize(num_workers, 0);
   threads_.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) {
     std::optional<std::size_t> cpu;
@@ -51,13 +69,20 @@ void ThreadPool::wait() {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+std::vector<std::int64_t> ThreadPool::os_tids() const {
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [&] { return tids_recorded_ == os_tids_.size(); });
+  return os_tids_;
+}
+
 void ThreadPool::worker_main(std::size_t index,
                              std::optional<std::size_t> cpu) {
-  if (cpu) {
-    if (affinity::pin_current_thread(*cpu)) {
-      std::lock_guard lock(mutex_);
-      ++pinned_count_;
-    }
+  const bool pinned = cpu && affinity::pin_current_thread(*cpu);
+  {
+    std::lock_guard lock(mutex_);
+    if (pinned) ++pinned_count_;
+    os_tids_[index] = current_os_tid();
+    if (++tids_recorded_ == os_tids_.size()) work_done_.notify_all();
   }
   std::size_t seen_generation = 0;
   for (;;) {

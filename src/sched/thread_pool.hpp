@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -49,20 +50,29 @@ class ThreadPool {
   // How many workers ended up actually pinned (for tests/logging).
   std::size_t pinned_count() const { return pinned_count_; }
 
+  // OS thread ids (gettid) of the workers, indexed by worker index — the
+  // handles the telemetry PMU backend needs to open per-thread counters.
+  // Blocks until every worker has recorded its id (workers do so before
+  // their first region, so this returns promptly after construction).
+  // Entries are 0 on platforms without gettid.
+  std::vector<std::int64_t> os_tids() const;
+
  private:
   void worker_main(std::size_t index, std::optional<std::size_t> cpu);
 
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable work_ready_;
+  mutable std::condition_variable work_done_;
   std::function<void(std::size_t)> job_;
   std::size_t generation_ = 0;      // bumped per run_on_all call
   std::size_t remaining_ = 0;       // workers yet to finish current job
   bool shutting_down_ = false;
   std::exception_ptr first_error_;
   std::size_t pinned_count_ = 0;
+  std::vector<std::int64_t> os_tids_;  // pre-sized before workers launch
+  std::size_t tids_recorded_ = 0;
 };
 
 }  // namespace ramr::sched

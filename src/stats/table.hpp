@@ -22,6 +22,7 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
   std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
   const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
 
   // Aligned, boxed-with-dashes rendering.

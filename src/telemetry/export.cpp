@@ -1,0 +1,299 @@
+#include "telemetry/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace ramr::telemetry {
+
+namespace {
+
+// Trace-event timestamps are microseconds.
+double micros(double seconds) { return seconds * 1e6; }
+
+void event_common(JsonWriter& w, const char* ph, double ts,
+                  std::uint64_t tid) {
+  w.field("ph", ph);
+  w.field("ts", ts);
+  w.field("pid", std::uint64_t{1});
+  w.field("tid", tid);
+}
+
+}  // namespace
+
+std::vector<LaneView> lane_views(const trace::Recorder& recorder) {
+  std::vector<LaneView> views;
+  views.reserve(recorder.lane_count());
+  for (std::size_t i = 0; i < recorder.lane_count(); ++i) {
+    const trace::Lane& lane = recorder.lane_at(i);
+    views.push_back(LaneView{lane.name(), lane.events()});
+  }
+  return views;
+}
+
+void chrome_trace_json(std::ostream& out, const std::vector<LaneView>& lanes,
+                       const std::vector<Sampler::Series>& series,
+                       const std::string& process_name) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.begin_array("traceEvents");
+
+  // Metadata: process name and one thread_name entry per lane.
+  w.begin_object();
+  w.field("ph", "M");
+  w.field("name", "process_name");
+  w.field("pid", std::uint64_t{1});
+  w.begin_object("args");
+  w.field("name", process_name);
+  w.end_object();
+  w.end_object();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("name", "thread_name");
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", static_cast<std::uint64_t>(i));
+    w.begin_object("args");
+    w.field("name", lanes[i].name);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const auto tid = static_cast<std::uint64_t>(i);
+    for (const trace::Event& e : lanes[i].events) {
+      w.begin_object();
+      switch (e.kind) {
+        case trace::EventKind::kTaskStart:
+          w.field("name", "task");
+          event_common(w, "B", micros(e.seconds), tid);
+          w.begin_object("args");
+          w.field("first_split", e.arg);
+          w.end_object();
+          break;
+        case trace::EventKind::kTaskEnd:
+          w.field("name", "task");
+          event_common(w, "E", micros(e.seconds), tid);
+          break;
+        case trace::EventKind::kPhaseStart:
+          w.field("name",
+                  phase_name(static_cast<Phase>(e.arg)));
+          event_common(w, "B", micros(e.seconds), tid);
+          break;
+        case trace::EventKind::kPhaseEnd:
+          w.field("name",
+                  phase_name(static_cast<Phase>(e.arg)));
+          event_common(w, "E", micros(e.seconds), tid);
+          break;
+        default:
+          // Instant event named after the kind; arg carried for reference.
+          w.field("name", trace::to_string(e.kind));
+          event_common(w, "i", micros(e.seconds), tid);
+          w.field("s", "t");  // thread-scoped instant
+          w.begin_object("args");
+          w.field("arg", e.arg);
+          w.end_object();
+          break;
+      }
+      w.end_object();
+    }
+  }
+
+  // Sampler series as counter tracks on their own tids (after the lanes).
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto tid = static_cast<std::uint64_t>(lanes.size() + s);
+    for (const auto& [t, v] : series[s].points) {
+      w.begin_object();
+      w.field("name", series[s].name);
+      event_common(w, "C", micros(t), tid);
+      w.begin_object("args");
+      w.field("value", v);
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  out << "\n";
+}
+
+void fill_from_session(RunReport& report, const Session& session) {
+  report.pmu_mode = to_string(session.pmu_mode());
+  report.pmu_available = pmu_probe().available;
+  report.pmu_reason = pmu_probe().reason;
+  report.pmu_active = session.pmu_active();
+  report.input_bytes = session.input_bytes();
+  report.phases.clear();
+  for (std::size_t ph = 0; ph < kPhaseCount; ++ph) {
+    const auto phase = static_cast<Phase>(ph);
+    for (std::size_t pl = 0; pl < kPoolKinds; ++pl) {
+      const auto pool = static_cast<PoolKind>(pl);
+      const PhaseCounters pc = session.phase_counters(phase, pool);
+      if (pc.source == CounterSource::kNone) continue;
+      PhaseEntry entry;
+      entry.phase = phase_name(phase);
+      entry.pool = to_string(pool);
+      entry.source = to_string(pc.source);
+      entry.seconds = session.phase_seconds(phase);
+      entry.counters = pc.counters;
+      entry.cycles = pc.cycles;
+      entry.cycles_measured = pc.cycles_measured;
+      entry.mem_stall_measured = pc.mem_stall_measured;
+      entry.resource_stall_measured = pc.resource_stall_measured;
+      report.phases.push_back(std::move(entry));
+    }
+  }
+  report.metrics = session.metrics();
+  report.series = session.series();
+}
+
+void run_report_json(std::ostream& out, const RunReport& report) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "ramr-run-report-v1");
+  w.field("app", report.app);
+  w.field("runtime", report.runtime);
+  w.field("config", report.config_summary);
+
+  w.begin_object("pmu");
+  w.field("mode", report.pmu_mode);
+  w.field("available", report.pmu_available);
+  if (!report.pmu_available) w.field("reason", report.pmu_reason);
+  w.field("active", report.pmu_active);
+  w.end_object();
+
+  w.field("input_bytes", report.input_bytes);
+
+  w.begin_object("result");
+  w.field("split_seconds", report.result.split_seconds);
+  w.field("map_combine_seconds", report.result.map_combine_seconds);
+  w.field("reduce_seconds", report.result.reduce_seconds);
+  w.field("merge_seconds", report.result.merge_seconds);
+  w.field("pairs", static_cast<std::uint64_t>(report.result.pairs));
+  w.field("tasks_executed",
+          static_cast<std::uint64_t>(report.result.tasks_executed));
+  w.field("local_pops", static_cast<std::uint64_t>(report.result.local_pops));
+  w.field("steals", static_cast<std::uint64_t>(report.result.steals));
+  w.field("queue_pushes",
+          static_cast<std::uint64_t>(report.result.queue_pushes));
+  w.field("queue_failed_pushes",
+          static_cast<std::uint64_t>(report.result.queue_failed_pushes));
+  w.field("queue_batches",
+          static_cast<std::uint64_t>(report.result.queue_batches));
+  w.field("queue_max_occupancy",
+          static_cast<std::uint64_t>(report.result.queue_max_occupancy));
+  w.field("backoff_sleeps",
+          static_cast<std::uint64_t>(report.result.backoff_sleeps));
+  w.field("task_retries",
+          static_cast<std::uint64_t>(report.result.task_retries));
+  w.field("task_aborts",
+          static_cast<std::uint64_t>(report.result.task_aborts));
+  w.end_object();
+
+  w.begin_array("phases");
+  for (const PhaseEntry& p : report.phases) {
+    w.begin_object();
+    w.field("phase", p.phase);
+    w.field("pool", p.pool);
+    w.field("source", p.source);
+    w.field("seconds", p.seconds);
+    w.field("instructions", p.counters.instructions);
+    w.field("mem_stall_cycles", p.counters.mem_stall_cycles);
+    w.field("resource_stall_cycles", p.counters.resource_stall_cycles);
+    w.field("input_bytes", p.counters.input_bytes);
+    w.field("ipb", p.counters.ipb());
+    w.field("mspi", p.counters.mspi());
+    w.field("rspi", p.counters.rspi());
+    if (p.source == "pmu") {
+      w.field("cycles", p.cycles);
+      w.field("cycles_measured", p.cycles_measured);
+      w.field("mem_stall_measured", p.mem_stall_measured);
+      w.field("resource_stall_measured", p.resource_stall_measured);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.begin_object("metrics");
+  w.begin_array("counters");
+  for (const CounterSnapshot& c : report.metrics.counters) {
+    w.begin_object();
+    w.field("name", c.name);
+    w.field("total", c.total);
+    w.begin_array("per_slot");
+    for (std::uint64_t v : c.per_slot) w.element(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("gauges");
+  for (const GaugeSnapshot& g : report.metrics.gauges) {
+    w.begin_object();
+    w.field("name", g.name);
+    w.field("max", g.max);
+    w.begin_array("per_slot");
+    for (double v : g.per_slot) w.element(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("histograms");
+  for (const HistogramSnapshot& h : report.metrics.histograms) {
+    w.begin_object();
+    w.field("name", h.name);
+    w.field("count", h.count);
+    w.field("p50", h.quantile(0.50));
+    w.field("p90", h.quantile(0.90));
+    w.field("p99", h.quantile(0.99));
+    w.field("max", h.quantile(1.0));
+    // Sparse bucket listing: [bucket_index, count] for nonzero buckets.
+    w.begin_array("buckets");
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      w.begin_array();
+      w.element(static_cast<std::uint64_t>(b));
+      w.element(h.buckets[b]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.begin_array("series");
+  for (const Sampler::Series& s : report.series) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("dropped", static_cast<std::uint64_t>(s.dropped));
+    w.begin_array("points");
+    for (const auto& [t, v] : s.points) {
+      w.begin_array();
+      w.element(t);
+      w.element(v);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  out << "\n";
+}
+
+void write_json_file(
+    const std::string& path,
+    const std::function<void(std::ostream&)>& content_writer) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  content_writer(out);
+  out.flush();
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+}  // namespace ramr::telemetry

@@ -1,0 +1,132 @@
+// Structured exporters: Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing) and a machine-readable run report.
+//
+// Both exporters are pure functions over plain view structs so tests can
+// feed hand-built, deterministic inputs and compare against goldens; the
+// convenience overloads snapshot a live Recorder / Session.
+//
+// Chrome trace mapping (docs/OBSERVABILITY.md has the full table):
+//   kTaskStart/kTaskEnd     ->  "B"/"E" duration pairs (one per task)
+//   kPhaseStart/kPhaseEnd   ->  "B"/"E" pairs on the driver lane
+//   every other event kind  ->  "i" instants named after the kind
+//   sampler series          ->  "C" counter events (graphed as area tracks)
+//   lane names              ->  "M" thread_name metadata
+// Timestamps are microseconds relative to the recorder epoch; the sampler
+// shares that epoch so counter tracks line up with the event tracks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/result.hpp"
+#include "perf/counters.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/session.hpp"
+#include "trace/trace.hpp"
+
+namespace ramr::telemetry {
+
+// ---- chrome trace ----------------------------------------------------------
+
+// One thread timeline: a lane name plus its (time-ordered) events.
+struct LaneView {
+  std::string name;
+  std::vector<trace::Event> events;
+};
+
+std::vector<LaneView> lane_views(const trace::Recorder& recorder);
+
+// Writes {"traceEvents": [...], "displayTimeUnit": "ms"}. Series may be
+// empty. process_name labels the single pid used for all tracks.
+void chrome_trace_json(std::ostream& out, const std::vector<LaneView>& lanes,
+                       const std::vector<Sampler::Series>& series,
+                       const std::string& process_name = "ramr");
+
+// ---- run report ------------------------------------------------------------
+
+// Scalar run outcome, decoupled from the RunResult template parameters.
+struct RunInfo {
+  double split_seconds = 0.0;
+  double map_combine_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double merge_seconds = 0.0;
+  std::size_t pairs = 0;
+  std::size_t tasks_executed = 0;
+  std::size_t local_pops = 0;
+  std::size_t steals = 0;
+  std::size_t queue_pushes = 0;
+  std::size_t queue_failed_pushes = 0;
+  std::size_t queue_batches = 0;
+  std::size_t queue_max_occupancy = 0;
+  std::size_t backoff_sleeps = 0;
+  std::size_t task_retries = 0;
+  std::size_t task_aborts = 0;
+};
+
+template <typename K, typename V>
+RunInfo make_run_info(const engine::RunResult<K, V>& r) {
+  RunInfo info;
+  info.split_seconds = r.timers.seconds(Phase::kSplit);
+  info.map_combine_seconds = r.timers.seconds(Phase::kMapCombine);
+  info.reduce_seconds = r.timers.seconds(Phase::kReduce);
+  info.merge_seconds = r.timers.seconds(Phase::kMerge);
+  info.pairs = r.pairs.size();
+  info.tasks_executed = r.tasks_executed;
+  info.local_pops = r.local_pops;
+  info.steals = r.steals;
+  info.queue_pushes = r.queue_pushes;
+  info.queue_failed_pushes = r.queue_failed_pushes;
+  info.queue_batches = r.queue_batches;
+  info.queue_max_occupancy = r.queue_max_occupancy;
+  info.backoff_sleeps = r.backoff_sleeps;
+  info.task_retries = r.task_retries;
+  info.task_aborts = r.task_aborts;
+  return info;
+}
+
+// One (phase, pool) row of suitability-metric inputs, source-labeled
+// ("pmu" = hardware counters, "model" = analytic stall model).
+struct PhaseEntry {
+  std::string phase;
+  std::string pool;
+  std::string source;
+  double seconds = 0.0;
+  perf::Counters counters;
+  std::uint64_t cycles = 0;
+  bool cycles_measured = false;
+  bool mem_stall_measured = false;
+  bool resource_stall_measured = false;
+};
+
+struct RunReport {
+  std::string app;
+  std::string runtime;
+  std::string config_summary;
+  std::string pmu_mode = "off";
+  bool pmu_available = false;
+  std::string pmu_reason;
+  bool pmu_active = false;
+  double input_bytes = 0.0;
+  RunInfo result;
+  std::vector<PhaseEntry> phases;
+  MetricsSnapshot metrics;
+  std::vector<Sampler::Series> series;
+};
+
+// Fills the telemetry-derived report fields (pmu status, input bytes,
+// per-phase counters with their active source, metrics snapshot, sampler
+// series) from a live session; the caller sets app/runtime/config/result.
+void fill_from_session(RunReport& report, const Session& session);
+
+void run_report_json(std::ostream& out, const RunReport& report);
+
+// Writes `content_writer(stream)` to `path`; throws Error on failure.
+void write_json_file(const std::string& path,
+                     const std::function<void(std::ostream&)>& content_writer);
+
+}  // namespace ramr::telemetry

@@ -19,6 +19,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kDrainDone: return "drain-done";
     case EventKind::kPhaseStart: return "phase-start";
     case EventKind::kPhaseEnd: return "phase-end";
+    case EventKind::kBackoffSleep: return "backoff-sleep";
+    case EventKind::kTaskRetry: return "task-retry";
   }
   return "?";
 }
@@ -30,6 +32,10 @@ Lane::Lane(std::string name, std::size_t capacity)
 
 void Lane::record(Clock::time_point epoch, EventKind kind,
                   std::uint64_t arg) {
+  if (!recording_marked_) {
+    recording_marked_ = true;
+    if (seal_ != nullptr) seal_->store(true, std::memory_order_release);
+  }
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -44,8 +50,14 @@ Lane& Recorder::lane(const std::string& name) {
   for (auto& l : lanes_) {
     if (l->name() == name) return *l;
   }
+  if (sealed()) {
+    throw Error("trace::Recorder::lane: cannot create lane '" + name +
+                "' after recording has started (lanes are setup-only; "
+                "create every lane before the traced region runs)");
+  }
   lanes_.push_back(std::make_unique<Lane>(name, per_lane_capacity_));
   lanes_.back()->set_index(static_cast<std::uint32_t>(lanes_.size() - 1));
+  lanes_.back()->bind_seal(&sealed_);
   return *lanes_.back();
 }
 

@@ -8,6 +8,7 @@
 // overlap is visible (see examples/pipeline_trace.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -24,9 +25,12 @@ enum class EventKind : std::uint8_t {
   kStreamClose,  // mapper closed its ring      (arg = mapper index)
   kDrainActive,  // combiner consumed a batch   (arg = elements consumed)
   kDrainIdle,    // combiner found all queues empty (arg unused)
-  kDrainDone,    // combiner observed all queues closed+drained
-  kPhaseStart,   // arg = Phase enum value
-  kPhaseEnd,     // arg = Phase enum value
+  kDrainDone,     // combiner observed all queues closed+drained
+  kPhaseStart,    // arg = Phase enum value
+  kPhaseEnd,      // arg = Phase enum value
+  kBackoffSleep,  // a backoff wait actually slept (arg = sleeps performed)
+  kTaskRetry,     // a map task is re-executed after a transient failure
+                  // (arg = first split of the retried task)
 };
 
 const char* to_string(EventKind kind);
@@ -50,12 +54,18 @@ class Lane {
   std::size_t dropped() const { return dropped_; }
   void set_index(std::uint32_t index) { index_ = index; }
 
+  // Recorder wiring: the lane's first record() seals its recorder against
+  // further lane creation (one release store per lane, then free).
+  void bind_seal(std::atomic<bool>* seal) { seal_ = seal; }
+
  private:
   std::string name_;
   std::size_t capacity_;
   std::uint32_t index_ = 0;
   std::vector<Event> events_;
   std::size_t dropped_ = 0;
+  std::atomic<bool>* seal_ = nullptr;
+  bool recording_marked_ = false;
 };
 
 // The recorder owns the lanes. Thread-safety contract: lanes are created
@@ -66,8 +76,13 @@ class Recorder {
   explicit Recorder(std::size_t per_lane_capacity = 1 << 16);
 
   // Creates (or returns) the lane with this name. Not thread-safe; call
-  // during setup only.
+  // during setup only — the contract is enforced: once any lane has
+  // recorded an event the recorder is sealed, and creating a NEW lane
+  // throws Error (looking up an existing lane stays valid, so long-lived
+  // recorders work across run() calls).
   Lane& lane(const std::string& name);
+
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
 
   std::size_t lane_count() const { return lanes_.size(); }
   const Lane& lane_at(std::size_t i) const { return *lanes_[i]; }
@@ -83,6 +98,7 @@ class Recorder {
   Clock::time_point epoch_;
   std::size_t per_lane_capacity_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<bool> sealed_{false};
 };
 
 // ASCII Gantt chart: one row per lane, `width` time buckets; a bucket

@@ -282,7 +282,7 @@ TEST(Engine, TracedFusedRunProducesNonEmptyWorkerLanes) {
   const auto result = driver.run(strategy, app, input);
   EXPECT_TRUE(pairs_match(result.pairs, app.reference(input)));
 
-  ASSERT_EQ(rec.lane_count(), 2u);  // one lane per worker
+  ASSERT_EQ(rec.lane_count(), 3u);  // driver phase lane + one per worker
   std::size_t task_starts = 0;
   std::size_t task_ends = 0;
   for (const trace::Event& e : rec.collect()) {
@@ -306,7 +306,7 @@ TEST(Engine, TracedAtomicGlobalRunProducesNonEmptyWorkerLanes) {
   AtomicGlobal<ModCountGlobalApp> strategy;
   const auto result = driver.run(strategy, app, input);
   EXPECT_GT(result.tasks_executed, 0u);
-  EXPECT_EQ(rec.lane_count(), 2u);
+  EXPECT_EQ(rec.lane_count(), 3u);  // driver phase lane + one per worker
   EXPECT_GT(rec.collect().size(), 0u);
 }
 

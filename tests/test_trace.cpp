@@ -43,6 +43,25 @@ TEST(Recorder, LaneLookupIsIdempotent) {
   EXPECT_EQ(rec.lane_count(), 2u);
 }
 
+TEST(Recorder, SealsAgainstNewLanesOnceRecordingStarts) {
+  Recorder rec;
+  Lane& lane = rec.lane("setup");
+  EXPECT_FALSE(rec.sealed());
+  lane.record(rec.epoch(), EventKind::kTaskStart, 0);
+  EXPECT_TRUE(rec.sealed());
+  // Looking up an existing lane stays valid (long-lived recorders span
+  // several run() calls)...
+  EXPECT_EQ(&rec.lane("setup"), &lane);
+  // ...but creating a NEW lane violates the setup-only contract.
+  EXPECT_THROW(rec.lane("late"), Error);
+  EXPECT_EQ(rec.lane_count(), 1u);
+}
+
+TEST(EventKinds, NewKindsHaveNames) {
+  EXPECT_STREQ(to_string(EventKind::kBackoffSleep), "backoff-sleep");
+  EXPECT_STREQ(to_string(EventKind::kTaskRetry), "task-retry");
+}
+
 TEST(Recorder, CollectMergesAndSortsAcrossLanes) {
   Recorder rec;
   Lane& a = rec.lane("a");
@@ -93,8 +112,8 @@ TEST(RuntimeIntegration, RamrRunProducesCoherentTrace) {
   const auto result = rt.run(app, input);
   EXPECT_TRUE(testing::pairs_match(result.pairs, app.reference(input)));
 
-  // Lanes: 2 mappers + 1 combiner.
-  EXPECT_EQ(rec.lane_count(), 3u);
+  // Lanes: the driver's phase-mark lane + 2 mappers + 1 combiner.
+  EXPECT_EQ(rec.lane_count(), 4u);
   std::size_t task_starts = 0;
   std::size_t task_ends = 0;
   std::size_t closes = 0;
@@ -121,6 +140,65 @@ TEST(RuntimeIntegration, RamrRunProducesCoherentTrace) {
   EXPECT_NE(timeline.find("mapper-0"), std::string::npos);
   EXPECT_NE(timeline.find("combiner-0"), std::string::npos);
   EXPECT_FALSE(summarize(rec).empty());
+}
+
+TEST(RuntimeIntegration, BackoffSleepEventsMatchTheResultCounter) {
+  // Tiny ring + tiny batches force backpressure, so the sleep-backoff paths
+  // actually fire. Each backoff wait() sleeps at most once and the event is
+  // recorded with the per-wait delta, so the sum of kBackoffSleep args must
+  // equal the aggregate the result reports — regardless of scheduling.
+  const testing::ModCountApp app;
+  const auto input = testing::make_numbers(20000, 3);
+  RuntimeConfig cfg;
+  cfg.num_mappers = 2;
+  cfg.num_combiners = 1;
+  cfg.pin_policy = PinPolicy::kOsDefault;
+  cfg.queue_capacity = 8;
+  cfg.batch_size = 4;
+  core::Runtime<testing::ModCountApp> rt(topo::host(), cfg);
+  // Idle combiners record one drain-idle event per sweep, so the lanes need
+  // room well beyond the default: the invariant only holds when no lane
+  // dropped events (asserted below).
+  Recorder rec(/*per_lane_capacity=*/1 << 22);
+  rt.set_recorder(&rec);
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(testing::pairs_match(result.pairs, app.reference(input)));
+
+  std::size_t slept = 0;
+  for (const Event& e : rec.collect()) {
+    if (e.kind == EventKind::kBackoffSleep) slept += e.arg;
+  }
+  for (std::size_t i = 0; i < rec.lane_count(); ++i) {
+    ASSERT_EQ(rec.lane_at(i).dropped(), 0u) << rec.lane_at(i).name();
+  }
+  EXPECT_EQ(slept, result.backoff_sleeps);
+}
+
+TEST(RuntimeIntegration, TaskRetryEventsMatchTheResultCounter) {
+  // One injected transient failure on the first map task; with a retry
+  // budget the task re-executes exactly once and the retry is traced.
+  const testing::ModCountApp app;
+  const auto input = testing::make_numbers(2000, 3);
+  RuntimeConfig cfg;
+  cfg.num_mappers = 2;
+  cfg.num_combiners = 1;
+  cfg.pin_policy = PinPolicy::kOsDefault;
+  cfg.queue_capacity = 256;
+  cfg.batch_size = 32;
+  cfg.max_task_retries = 1;
+  cfg.fault_spec = "map_task=0,map_transient=1,map_fires=1";
+  core::Runtime<testing::ModCountApp> rt(topo::host(), cfg);
+  Recorder rec;
+  rt.set_recorder(&rec);
+  const auto result = rt.run(app, input);
+  EXPECT_TRUE(testing::pairs_match(result.pairs, app.reference(input)));
+  EXPECT_EQ(result.task_retries, 1u);
+
+  std::size_t retries = 0;
+  for (const Event& e : rec.collect()) {
+    if (e.kind == EventKind::kTaskRetry) ++retries;
+  }
+  EXPECT_EQ(retries, result.task_retries);
 }
 
 TEST(RuntimeIntegration, TracingIsOptIn) {
