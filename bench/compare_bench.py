@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compare two sets of ramr-bench-v1 JSON reports and flag regressions.
+
+Usage:
+    compare_bench.py BASELINE CANDIDATE [--tolerance 0.10]
+
+BASELINE and CANDIDATE are either two BENCH_*.json files or two
+directories containing them (files are matched by name). The tool walks
+every table cell and series point present in both sides, computes the
+relative change of each numeric value, and decides the "worse" direction
+from the column/series label:
+
+  * time-like labels (time, ms, sec, latency, stall) regress when the
+    candidate is LARGER than baseline;
+  * rate-like labels (speedup, throughput, ops, ipc) regress when the
+    candidate is SMALLER;
+  * anything else is reported as informational only and never fails.
+
+Exit status is 1 when any regression exceeds the tolerance (default 10%),
+0 otherwise. CI runs this as an advisory job: it annotates the PR but the
+tier-1 gate stays the repo's own test suite.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIME_HINTS = ("time", "ms", "sec", "latency", "stall", "sleep")
+RATE_HINTS = ("speedup", "throughput", "ops", "ipc", "rate")
+
+
+def direction_of(label):
+    """Return 'up-is-worse', 'down-is-worse', or None (informational)."""
+    low = label.lower()
+    if any(h in low for h in RATE_HINTS):
+        return "down-is-worse"
+    if any(h in low for h in TIME_HINTS):
+        return "up-is-worse"
+    return None
+
+
+def as_number(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ramr-bench-v1":
+        raise ValueError(f"{path}: not a ramr-bench-v1 report")
+    return doc
+
+
+def collect_values(doc):
+    """Flatten a report into {metric_id: (label, value)}.
+
+    Table cells are keyed by (section, table header column, first-cell row
+    key); series points by (section, series name, x value). Only numeric
+    values are kept.
+    """
+    out = {}
+    for section in doc.get("sections", []):
+        sec = section.get("title", "")
+        for t_idx, table in enumerate(section.get("tables", [])):
+            header = table.get("header", [])
+            for row in table.get("rows", []):
+                if not row:
+                    continue
+                row_key = row[0]
+                for col, cell in enumerate(row[1:], start=1):
+                    value = as_number(cell)
+                    if value is None:
+                        continue
+                    label = header[col] if col < len(header) else f"col{col}"
+                    out[(sec, t_idx, label, row_key)] = (label, value)
+        for g_idx, group in enumerate(section.get("series", [])):
+            for series in group.get("series", []):
+                name = series.get("name", "")
+                for point in series.get("points", []):
+                    if len(point) != 2:
+                        continue
+                    value = as_number(point[1])
+                    if value is None:
+                        continue
+                    key = (sec, f"s{g_idx}", name, str(point[0]))
+                    out[key] = (name, value)
+    return out
+
+
+def pair_files(base, cand):
+    if os.path.isfile(base) and os.path.isfile(cand):
+        return [(base, cand)]
+    if os.path.isdir(base) and os.path.isdir(cand):
+        names = sorted(
+            set(n for n in os.listdir(base) if n.endswith(".json"))
+            & set(n for n in os.listdir(cand) if n.endswith(".json")))
+        if not names:
+            sys.exit("compare_bench: no common BENCH_*.json files")
+        return [(os.path.join(base, n), os.path.join(cand, n)) for n in names]
+    sys.exit("compare_bench: arguments must be two files or two directories")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative regression threshold (default 0.10)")
+    args = ap.parse_args()
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for base_path, cand_path in pair_files(args.baseline, args.candidate):
+        base = collect_values(load(base_path))
+        cand = collect_values(load(cand_path))
+        bench = os.path.basename(cand_path)
+        for key, (label, new) in sorted(cand.items()):
+            if key not in base:
+                continue
+            _, old = base[key]
+            compared += 1
+            if old == 0:
+                continue
+            change = (new - old) / abs(old)
+            sense = direction_of(label)
+            worse = (sense == "up-is-worse" and change > args.tolerance) or \
+                    (sense == "down-is-worse" and change < -args.tolerance)
+            if worse:
+                regressions.append(
+                    f"{bench}: {key[0] or '(untitled)'} / {label} / {key[3]}: "
+                    f"{old:g} -> {new:g} ({change:+.1%})")
+            elif sense is not None and abs(change) > args.tolerance:
+                improvements += 1
+
+    print(f"compare_bench: {compared} metrics compared, "
+          f"{len(regressions)} regression(s), "
+          f"{improvements} improvement(s) beyond {args.tolerance:.0%}")
+    for line in regressions:
+        print("  REGRESSION " + line)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,9 @@ int main() {
   params.combine_intensity = 4;
   params.elements = 50000;
   params.keys = 64;
-  params.split_elements = 1000;
+  // 200 splits: enough for the adaptive controller's calibration budget
+  // when the CI smoke step re-runs this example under RAMR_ADAPT=full.
+  params.split_elements = 250;
   params.arena_bytes = 1 << 20;
 
   // --- 1. explore ratios on the modelled Haswell server -------------------
@@ -47,12 +49,17 @@ int main() {
   std::cout << "chosen ratio: " << best_ratio << ":1\n\n";
 
   // --- 2. run the real runtime with the chosen ratio ----------------------
+  // Env knobs (RAMR_ADAPT, RAMR_RATIO, ...) layer on top of the modelled
+  // choice, so `RAMR_ADAPT=full ./synthetic_tuning` hands the decision to
+  // the online controller instead (the CI adaptive-smoke step does this and
+  // validates the RAMR_ADAPT_REPORT JSON it emits).
   synth::SynthApp app;
   app.container_keys = params.keys;
   RuntimeConfig config;
   config.mapper_combiner_ratio = best_ratio;
   config.pin_policy = PinPolicy::kOsDefault;
   config.batch_size = 256;
+  config = RuntimeConfig::from_env(config);
   core::Runtime<synth::SynthApp> runtime(topo::host(), config);
   const auto result = runtime.run(app, params);
 
@@ -63,6 +70,7 @@ int main() {
   std::cout << "real run: " << result.timers.summary() << '\n'
             << "mappers=" << runtime.config().num_mappers
             << " combiners=" << runtime.config().num_combiners << '\n'
+            << result.plan.summary() << '\n'
             << "payload invariant: " << (ok ? "OK" : "VIOLATED") << '\n';
   return ok ? 0 : 1;
 }

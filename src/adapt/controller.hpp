@@ -1,0 +1,416 @@
+// The adaptive runtime controller — closes the paper's resource-aware loop.
+//
+// The paper reads Fig. 10 offline: a human compares IPB/MSPI/RSPI across
+// apps and decides which ones deserve the decoupled architecture. This
+// controller makes that decision online, per run:
+//
+//   probe   Burn a bounded calibration slice of the *real* input under the
+//           candidate plans (fused, pipelined at 1-2 ratios). Probe output
+//           is real work — partial results are kept and stitched into the
+//           final result, so probing costs overhead, never correctness.
+//   score   Per-pool thread CPU time (workload-intrinsic, stable even when
+//           the probe time-slices on an oversubscribed host) through the
+//           suitability model (adapt/suitability.hpp).
+//   commit  The winner runs the rest of the input. Explicit env knobs are
+//           never overridden: precedence is env > cache > probe > defaults.
+//   govern  (RAMR_ADAPT=full, pipelined winner) a Governor thread retunes
+//           batch size and backoff cap within safe bounds while the phase
+//           runs (adapt/governor.hpp).
+//   cache   The committed plan persists per (app, input bucket, topology),
+//           so the next run skips the probe entirely.
+//
+// Entry point: run_adaptive(), called by the runtime front-ends when
+// RAMR_ADAPT != off. Everything here is additive — with the knob off, no
+// code in this header runs.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "adapt/governor.hpp"
+#include "adapt/plan.hpp"
+#include "adapt/plan_cache.hpp"
+#include "adapt/suitability.hpp"
+#include "common/config.hpp"
+#include "common/env.hpp"
+#include "common/timing.hpp"
+#include "containers/container_traits.hpp"
+#include "engine/phase_driver.hpp"
+#include "engine/pool_set.hpp"
+#include "engine/strategy_fused.hpp"
+#include "engine/strategy_pipelined.hpp"
+#include "telemetry/session.hpp"
+#include "topology/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace ramr::adapt {
+
+struct ControllerOptions {
+  // Calibration budget: tasks per candidate (splits = tasks * task_size),
+  // and the hard ceiling on the input fraction probing may consume. When
+  // the input is too small to afford every candidate, probing is skipped
+  // outright and the run proceeds under the static plan.
+  std::size_t probe_tasks_per_candidate = 4;
+  double max_probe_fraction = 0.5;
+
+  SuitabilityModel model;
+
+  // Where to write the ramr-adapt-plan-v1 JSON ("" = $RAMR_ADAPT_REPORT,
+  // and no report when that is unset too).
+  std::string report_path;
+
+  std::chrono::microseconds governor_interval{5000};
+};
+
+// Cache identity of the app: its declared kName when present, the mangled
+// type name otherwise (stable within a build, which is all a local plan
+// cache needs).
+template <typename S>
+std::string app_label() {
+  if constexpr (requires { S::kName; }) {
+    return S::kName;
+  } else {
+    return typeid(S).name();
+  }
+}
+
+// A window of [offset, offset+count) splits of the wrapped app. Satisfies
+// AppSpec but deliberately does NOT forward the optional reducer: slices
+// produce *partial* aggregates, and the reducer (e.g. divide-by-count) is
+// only correct once, on the fully merged pairs — the controller applies it
+// after stitching.
+template <mr::AppSpec S>
+struct SliceView {
+  using input_type = typename S::input_type;
+  using container_type = typename S::container_type;
+
+  const S* app = nullptr;
+  std::size_t offset = 0;
+  std::size_t count = 0;
+
+  std::size_t num_splits(const input_type&) const { return count; }
+  container_type make_container() const { return app->make_container(); }
+
+  template <typename Emit>
+  void map(const input_type& input, std::size_t split, Emit&& emit) const {
+    app->map(input, offset + split, std::forward<Emit>(emit));
+  }
+};
+
+namespace detail {
+
+// Folds a probe run's timers and diagnostics into the final result so the
+// reported totals cover the whole input, not just the post-probe slice.
+template <typename K, typename V>
+void accumulate_run(engine::RunResult<K, V>& into,
+                    const engine::RunResult<K, V>& part) {
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    into.timers.add(phase, part.timers.seconds(phase));
+  }
+  into.tasks_executed += part.tasks_executed;
+  into.local_pops += part.local_pops;
+  into.steals += part.steals;
+  into.queue_pushes += part.queue_pushes;
+  into.queue_failed_pushes += part.queue_failed_pushes;
+  into.queue_batches += part.queue_batches;
+  into.queue_max_occupancy =
+      std::max(into.queue_max_occupancy, part.queue_max_occupancy);
+  into.backoff_sleeps += part.backoff_sleeps;
+  into.task_retries += part.task_retries;
+  into.task_aborts += part.task_aborts;
+}
+
+}  // namespace detail
+
+// Runs `app` over `input` under the adaptive controller. `recorder` may be
+// null (no tracing); `policy` may be null (DefaultTuningPolicy). The base
+// config's adapt_mode selects probe-only vs probe+governor; callers should
+// not invoke this with AdaptMode::kOff (it would still work — one probe-less
+// default run — but the static path is cheaper).
+template <mr::AppSpec S>
+mr::result_of<S> run_adaptive(const topo::Topology& topology,
+                              const RuntimeConfig& base, const S& app,
+                              const typename S::input_type& input,
+                              trace::Recorder* recorder = nullptr,
+                              engine::TuningPolicy* policy = nullptr,
+                              ControllerOptions options = {}) {
+  if (options.report_path.empty()) {
+    options.report_path = env::get(kEnvAdaptReport).value_or("");
+  }
+  const RuntimeConfig cfg = base.resolved(topology.num_logical());
+  const std::size_t total_splits = app.num_splits(input);
+
+  const PlanKey key{app_label<S>(), input_size_bucket(total_splits),
+                    topology_hash(topology)};
+  PlanCache cache(cfg.plan_cache_path);
+
+  PlanDecision decision;
+  engine::PlanInfo plan;  // empty strategy = nothing decided yet
+  std::size_t probe_used = 0;
+  std::vector<mr::result_of<S>> partials;
+
+  // ---- cache lookup, then probe ------------------------------------------
+  if (auto hit = cache.lookup(key)) {
+    plan = *hit;
+    // Env-pinned knobs beat the cache; unset cached fields fall back to the
+    // config so old cache entries stay usable.
+    if (cfg.env_overrides.ratio || cfg.env_overrides.workers ||
+        plan.ratio == 0) {
+      plan.ratio = cfg.mapper_combiner_ratio;
+    }
+    if (cfg.env_overrides.batch_size || plan.batch_size == 0) {
+      plan.batch_size = cfg.batch_size;
+    }
+    if (cfg.env_overrides.queue_capacity || plan.queue_capacity == 0) {
+      plan.queue_capacity = cfg.queue_capacity;
+    }
+    if (cfg.env_overrides.pin_policy || plan.pin_policy.empty()) {
+      plan.pin_policy = to_string(cfg.pin_policy);
+    }
+  } else {
+    const std::size_t per = options.probe_tasks_per_candidate * cfg.task_size;
+    const bool ratio_pinned =
+        cfg.env_overrides.ratio || cfg.env_overrides.workers;
+    const std::size_t planned_candidates = ratio_pinned ? 2 : 3;
+    const bool budget_ok =
+        per > 0 && total_splits > 0 &&
+        static_cast<double>(planned_candidates * per) <=
+            options.max_probe_fraction * static_cast<double>(total_splits);
+    if (budget_ok) {
+      const engine::DriverOptions probe_opts = engine::driver_options_from(cfg);
+
+      // Fused candidate: one general-purpose pool sized like the dual
+      // shape's total. Its slice contributes work and a wall-clock
+      // reference; the verdict itself comes from the pipelined probe.
+      double fused_wall = 0.0;
+      {
+        engine::PoolSet pools(topology, cfg.num_mappers + cfg.num_combiners,
+                              cfg.pin_policy);
+        engine::PhaseDriver driver(pools, probe_opts);
+        engine::FusedCombine<SliceView<S>> strategy;
+        const SliceView<S> slice{&app, probe_used, per};
+        const auto t0 = now();
+        partials.push_back(driver.run(strategy, slice, input));
+        fused_wall = seconds_between(t0, now());
+        probe_used += per;
+      }
+      decision.candidates.push_back({"fused", "fused",
+                                     cfg.mapper_combiner_ratio, fused_wall,
+                                     0.0, false, "baseline calibration slice"});
+
+      const auto probe_pipelined =
+          [&](std::size_t ratio) -> std::pair<EmpiricalSample, double> {
+        RuntimeConfig pcfg = cfg;
+        if (ratio != cfg.mapper_combiner_ratio) {
+          pcfg.mapper_combiner_ratio = ratio;
+          pcfg.num_mappers = 0;  // re-derive the pool split from the ratio
+          pcfg.num_combiners = 0;
+        }
+        engine::PoolSet pools(topology, pcfg);
+        engine::PhaseDriver driver(pools, probe_opts);
+        engine::PipelinedSpsc<SliceView<S>> strategy;
+        const SliceView<S> slice{&app, probe_used, per};
+        const double map_cpu0 = pools.mapper_pool().cpu_seconds();
+        const double combine_cpu0 = pools.combiner_pool().cpu_seconds();
+        const auto t0 = now();
+        auto res = driver.run(strategy, slice, input);
+        const double wall = seconds_between(t0, now());
+        EmpiricalSample sample;
+        sample.map_cpu_seconds = pools.mapper_pool().cpu_seconds() - map_cpu0;
+        sample.combine_cpu_seconds =
+            pools.combiner_pool().cpu_seconds() - combine_cpu0;
+        sample.records = res.queue_pushes;
+        sample.wall_seconds = wall;
+        probe_used += per;
+        partials.push_back(std::move(res));
+        return {sample, wall};
+      };
+
+      std::size_t ratio = cfg.mapper_combiner_ratio;
+      const auto [base_sample, base_wall] = probe_pipelined(ratio);
+      const Verdict verdict = judge_empirical(options.model, base_sample);
+      decision.candidates.push_back(
+          {"pipelined@" + std::to_string(ratio), "pipelined", ratio, base_wall,
+           verdict.score, verdict.pipelined, verdict.reason});
+
+      if (verdict.pipelined && !ratio_pinned &&
+          base_sample.combine_cpu_seconds > 0.0) {
+        // The balanced ratio equalizes per-thread load across the pools:
+        // each combiner keeps up with `ratio` mappers when map is `ratio`
+        // times the CPU of combine (paper Sec. III-B).
+        const std::size_t suggested = std::clamp<std::size_t>(
+            static_cast<std::size_t>(
+                std::lround(base_sample.map_cpu_seconds /
+                            base_sample.combine_cpu_seconds)),
+            1, 8);
+        if (suggested != ratio) {
+          const auto [alt_sample, alt_wall] = probe_pipelined(suggested);
+          const Verdict alt = judge_empirical(options.model, alt_sample);
+          decision.candidates.push_back({"pipelined@" +
+                                             std::to_string(suggested),
+                                         "pipelined", suggested, alt_wall,
+                                         alt.score, alt.pipelined, alt.reason});
+          if (alt_wall < base_wall) ratio = suggested;
+        }
+      }
+
+      plan.strategy = verdict.pipelined ? "pipelined" : "fused";
+      plan.ratio = ratio;
+      plan.batch_size = cfg.batch_size;
+      plan.queue_capacity = cfg.queue_capacity;
+      plan.pin_policy = to_string(cfg.pin_policy);
+      plan.source = "probe";
+      cache.store(key, plan);
+    }
+    // Budget too small: leave `plan` undecided — the main run below uses
+    // the static config and the driver stamps env/default provenance.
+  }
+  decision.probe_splits_used = probe_used;
+
+  // ---- commit: build the main-run config from the plan -------------------
+  const bool decided = !plan.strategy.empty();
+  RuntimeConfig mcfg = cfg;
+  if (decided && plan.strategy == "pipelined") {
+    if (!cfg.env_overrides.ratio && !cfg.env_overrides.workers &&
+        plan.ratio != cfg.mapper_combiner_ratio) {
+      mcfg.mapper_combiner_ratio = plan.ratio;
+      mcfg.num_mappers = 0;
+      mcfg.num_combiners = 0;
+    }
+    if (!cfg.env_overrides.batch_size && plan.batch_size > 0) {
+      mcfg.batch_size = plan.batch_size;
+    }
+    if (!cfg.env_overrides.queue_capacity && plan.queue_capacity > 0) {
+      mcfg.queue_capacity = plan.queue_capacity;
+    }
+    if (!cfg.env_overrides.pin_policy && !plan.pin_policy.empty()) {
+      mcfg.pin_policy = parse_pin_policy(plan.pin_policy);
+    }
+  }
+
+  // Runs the committed plan, wiring telemetry, tracing and (full mode,
+  // pipelined) the governor around the driver.
+  const auto run_main = [&](auto& strategy, engine::PoolSet& pools,
+                            const auto& main_app) -> mr::result_of<S> {
+    engine::DriverOptions dopts = engine::driver_options_from(mcfg);
+    if (decided) dopts.plan_source = plan.source;
+    engine::PhaseDriver driver(pools, dopts);
+    driver.set_recorder(recorder);
+
+    const bool want_governor =
+        cfg.adapt_mode == AdaptMode::kFull && pools.dual();
+    std::unique_ptr<telemetry::Session> session;
+    if (cfg.telemetry || want_governor) {
+      // The governor needs live engine metrics even when the user left
+      // telemetry off; a metrics-only session (no PMU, no sampler) is the
+      // cheapest way to get them.
+      telemetry::SessionOptions so;
+      so.pmu = cfg.telemetry ? telemetry::parse_pmu_mode(cfg.pmu_mode)
+                             : telemetry::PmuMode::kOff;
+      so.sample_interval_us = cfg.telemetry ? cfg.sample_interval_us : 0;
+      so.num_mappers = pools.num_mappers();
+      so.num_combiners = pools.num_combiners();
+      session = std::make_unique<telemetry::Session>(so);
+    }
+    driver.set_telemetry(session.get());
+
+    engine::TuningControl control(mcfg.batch_size, mcfg.sleep_cap_micros);
+    DefaultTuningPolicy default_policy;
+    std::unique_ptr<Governor> governor;
+    if (want_governor) {
+      driver.set_tuning(&control);
+      trace::Lane* governor_lane = nullptr;
+      if (recorder != nullptr) {
+        // The governor thread may record before the driver finishes its
+        // lane setup, and the first record seals the recorder — so create
+        // every lane the driver will ask for, plus the governor's, now.
+        recorder->lane("driver");
+        engine::TraceLanes::create(recorder, pools);
+        governor_lane = &recorder->lane("governor");
+      }
+      GovernorOptions gopts;
+      gopts.interval = options.governor_interval;
+      gopts.queue_capacity = mcfg.queue_capacity;
+      gopts.sleep_cap_floor = std::max<std::size_t>(1, mcfg.sleep_micros);
+      governor = std::make_unique<Governor>(
+          control, policy != nullptr ? *policy : default_policy,
+          session->registry(), gopts, governor_lane,
+          recorder != nullptr ? recorder->epoch() : now());
+      governor->start();
+    }
+
+    auto res = driver.run(strategy, main_app, input);
+    if (governor != nullptr) {
+      governor->stop();
+      res.governor_actions = governor->actions();
+    }
+    return res;
+  };
+
+  mr::result_of<S> result;
+  if (probe_used > 0) {
+    // The probes consumed a prefix; the main run covers the rest through a
+    // SliceView (no reducer — it is applied once, after stitching).
+    const SliceView<S> rest{&app, probe_used, total_splits - probe_used};
+    if (plan.strategy == "fused") {
+      engine::PoolSet pools(topology, mcfg.num_mappers + mcfg.num_combiners,
+                            mcfg.pin_policy);
+      engine::FusedCombine<SliceView<S>> strategy;
+      result = run_main(strategy, pools, rest);
+    } else {
+      engine::PoolSet pools(topology, mcfg);
+      engine::PipelinedSpsc<SliceView<S>> strategy;
+      result = run_main(strategy, pools, rest);
+    }
+    // Stitch: partial aggregates re-combine through a fresh container
+    // (associative combiners make emitting partials equivalent to the
+    // tree-merge the strategies do), then the reducer, then the key sort.
+    auto merged = app.make_container();
+    for (const auto& part : partials) {
+      for (const auto& [k, v] : part.pairs) merged.emit(k, v);
+    }
+    for (const auto& [k, v] : result.pairs) merged.emit(k, v);
+    result.pairs = containers::to_pairs(merged);
+    mr::apply_reducer(app, result.pairs);
+    std::sort(result.pairs.begin(), result.pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& part : partials) detail::accumulate_run(result, part);
+  } else if (decided && plan.strategy == "fused") {
+    engine::PoolSet pools(topology, mcfg.num_mappers + mcfg.num_combiners,
+                          mcfg.pin_policy);
+    engine::FusedCombine<S> strategy;
+    result = run_main(strategy, pools, app);
+  } else {
+    engine::PoolSet pools(topology, mcfg);
+    engine::PipelinedSpsc<S> strategy;
+    result = run_main(strategy, pools, app);
+  }
+
+  // The single-pool shape synthesizes a default config, so a fused run's
+  // stamped knob fields describe the wrong thing — restore the plan's.
+  if (decided && plan.strategy == "fused") {
+    result.plan.ratio = plan.ratio;
+    result.plan.batch_size = plan.batch_size;
+    result.plan.queue_capacity = plan.queue_capacity;
+    result.plan.pin_policy = plan.pin_policy;
+  }
+
+  decision.plan = result.plan;
+  decision.governor_actions = result.governor_actions.size();
+  if (!options.report_path.empty()) {
+    std::ofstream out(options.report_path, std::ios::trunc);
+    if (out) write_plan_report(out, key, decision);
+  }
+  return result;
+}
+
+}  // namespace ramr::adapt

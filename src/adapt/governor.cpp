@@ -1,0 +1,165 @@
+#include "adapt/governor.hpp"
+
+#include <algorithm>
+
+namespace ramr::adapt {
+
+namespace {
+
+// Approximate number of elements a batch-size histogram delta represents:
+// samples weighted by their bucket midpoint (the histogram stores powers
+// of two; exact counts are not needed — this feeds a rate in [0,1]).
+double approx_elements(const telemetry::HistogramSnapshot& h) {
+  double total = 0.0;
+  for (std::size_t b = 0; b < telemetry::Histogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    const double hi = static_cast<double>(telemetry::Histogram::upper_bound(b));
+    const double lo = b == 0 ? 0.0 : hi / 2.0;
+    total += static_cast<double>(h.buckets[b]) * (lo + hi) / 2.0;
+  }
+  return total;
+}
+
+}  // namespace
+
+engine::TuningDecision DefaultTuningPolicy::on_observation(
+    const engine::TuningObservation& obs) {
+  engine::TuningDecision d;
+  if (obs.failed_push_rate > 0.05) {
+    d.batch_size = obs.batch_size * 2;
+    d.sleep_cap_us = obs.sleep_cap_us * 2;
+  } else if (obs.failed_push_rate == 0.0 && obs.occupancy_fraction < 0.10 &&
+             obs.batch_p50 > 0 &&
+             obs.batch_size > 2 * static_cast<std::size_t>(obs.batch_p50)) {
+    d.batch_size = obs.batch_size / 2;
+  }
+  return d;
+}
+
+Governor::Governor(engine::TuningControl& control,
+                   engine::TuningPolicy& policy,
+                   telemetry::MetricRegistry& registry,
+                   GovernorOptions options, trace::Lane* lane,
+                   Clock::time_point epoch)
+    : control_(control),
+      policy_(policy),
+      registry_(registry),
+      options_(options),
+      lane_(lane),
+      epoch_(epoch) {}
+
+Governor::~Governor() { stop(); }
+
+void Governor::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = false;
+  }
+  previous_ = registry_.collect();
+  thread_ = std::thread([this] { run(); });
+}
+
+void Governor::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::vector<engine::GovernorAction> Governor::actions() const {
+  std::lock_guard lock(actions_mutex_);
+  return actions_;
+}
+
+void Governor::run() {
+  std::unique_lock lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+void Governor::tick() {
+  const telemetry::MetricsSnapshot current = registry_.collect();
+  const telemetry::MetricsSnapshot delta =
+      telemetry::snapshot_delta(current, previous_);
+  previous_ = current;
+
+  engine::TuningObservation obs;
+  obs.seconds = seconds_between(epoch_, now());
+  obs.batch_size = control_.batch_size();
+  obs.sleep_cap_us = control_.sleep_cap_us();
+  obs.queue_capacity = options_.queue_capacity;
+
+  double failed = 0.0;
+  if (const auto* c = delta.find_counter("queue_failed_pushes")) {
+    failed = static_cast<double>(c->total);
+  }
+  double drained = 0.0;
+  if (const auto* h = delta.find_histogram("batch_sizes")) {
+    drained = approx_elements(*h);
+    obs.batch_p50 = h->quantile(0.5);
+  }
+  // Drained elements stand in for successful pushes (producers and
+  // consumers move the same records; the success counter is only flushed
+  // at pool join, too late for a live window).
+  const double attempts = failed + drained;
+  obs.failed_push_rate = attempts > 0.0 ? failed / attempts : 0.0;
+  if (options_.queue_capacity > 0) {
+    if (const auto* g = delta.find_gauge("queue_max_occupancy")) {
+      obs.occupancy_fraction =
+          g->max / static_cast<double>(options_.queue_capacity);
+    }
+  }
+
+  // Nothing moved this window (e.g. the run is in a non-pipelined phase):
+  // leave the knobs alone rather than react to silence.
+  if (attempts == 0.0) return;
+
+  const engine::TuningDecision decision = policy_.on_observation(obs);
+
+  if (decision.batch_size) {
+    const std::size_t upper =
+        std::max<std::size_t>(1, options_.queue_capacity / 2);
+    const std::size_t target =
+        std::clamp<std::size_t>(*decision.batch_size, 1, upper);
+    if (target != obs.batch_size) {
+      control_.set_batch_size(target);
+      engine::GovernorAction action{obs.seconds, "batch_size",
+                                    static_cast<std::uint64_t>(obs.batch_size),
+                                    static_cast<std::uint64_t>(target)};
+      if (lane_ != nullptr) {
+        lane_->record(epoch_, trace::EventKind::kGovernorAction, action.to);
+      }
+      std::lock_guard lock(actions_mutex_);
+      actions_.push_back(std::move(action));
+    }
+  }
+  if (decision.sleep_cap_us) {
+    const std::size_t target = std::clamp<std::size_t>(
+        *decision.sleep_cap_us, options_.sleep_cap_floor, 10'000'000);
+    if (target != obs.sleep_cap_us) {
+      control_.set_sleep_cap_us(target);
+      engine::GovernorAction action{
+          obs.seconds, "sleep_cap_us",
+          static_cast<std::uint64_t>(obs.sleep_cap_us),
+          static_cast<std::uint64_t>(target)};
+      if (lane_ != nullptr) {
+        lane_->record(epoch_, trace::EventKind::kGovernorAction, action.to);
+      }
+      std::lock_guard lock(actions_mutex_);
+      actions_.push_back(std::move(action));
+    }
+  }
+}
+
+}  // namespace ramr::adapt

@@ -1,0 +1,101 @@
+#include "adapt/suitability.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ramr::adapt {
+
+namespace {
+
+// Rule component: value relative to its floor, clamped to [0, 4] so one
+// extreme axis cannot buy a verdict on its own.
+double component(double value, double floor) {
+  if (floor <= 0.0) return 0.0;
+  return std::clamp(value / floor, 0.0, 4.0);
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Verdict judge_counters(const SuitabilityModel& model,
+                       const perf::Counters& map_combine) {
+  const double ipb = map_combine.ipb();
+  const double stalls = map_combine.mspi() + map_combine.rspi();
+  Verdict v;
+  v.pipelined = ipb >= model.ipb_floor && stalls >= model.stall_floor;
+  v.score = component(ipb, model.ipb_floor) *
+            component(stalls, model.stall_floor);
+  std::ostringstream os;
+  os << "ipb=" << fmt(ipb) << (ipb >= model.ipb_floor ? ">=" : "<")
+     << fmt(model.ipb_floor) << " mspi+rspi=" << fmt(stalls)
+     << (stalls >= model.stall_floor ? ">=" : "<") << fmt(model.stall_floor);
+  if (!v.pipelined) {
+    os << (ipb < model.ipb_floor ? " (too light to amortize queue traffic)"
+                                 : " (stall-free; decoupling buys nothing)");
+  }
+  v.reason = os.str();
+  return v;
+}
+
+Verdict judge_split_counters(const SuitabilityModel& model,
+                             const perf::Counters& map_side,
+                             const perf::Counters& combine_side) {
+  // Phase totals feed the Fig. 10 rule. input_bytes describes the same
+  // input for both pools, so take the larger, not the sum.
+  perf::Counters total;
+  total.instructions = map_side.instructions + combine_side.instructions;
+  total.mem_stall_cycles =
+      map_side.mem_stall_cycles + combine_side.mem_stall_cycles;
+  total.resource_stall_cycles =
+      map_side.resource_stall_cycles + combine_side.resource_stall_cycles;
+  total.input_bytes = std::max(map_side.input_bytes, combine_side.input_bytes);
+  Verdict v = judge_counters(model, total);
+
+  // MSPI/RSPI complementarity of map vs. combine: stalls concentrated on
+  // the combine side are exactly the cycles the decoupled pool overlaps
+  // with useful map work, so they strengthen the pipelined score.
+  const double map_stalls = map_side.mspi() + map_side.rspi();
+  const double combine_stalls = combine_side.mspi() + combine_side.rspi();
+  if (combine_stalls > map_stalls && combine_stalls > 0.0) {
+    v.score *= 1.5;
+    v.reason += " combine-side stalls dominate (" + fmt(combine_stalls) +
+                " vs " + fmt(map_stalls) + "/instr): complementary";
+  }
+  return v;
+}
+
+Verdict judge_empirical(const SuitabilityModel& model,
+                        const EmpiricalSample& sample) {
+  const double total_cpu = sample.map_cpu_seconds + sample.combine_cpu_seconds;
+  const double share =
+      total_cpu > 0.0 ? sample.combine_cpu_seconds / total_cpu : 0.0;
+  const double per_record_ns =
+      sample.records > 0 ? total_cpu / static_cast<double>(sample.records) * 1e9
+                         : 0.0;
+  Verdict v;
+  v.pipelined = per_record_ns >= model.cpu_per_record_floor_ns &&
+                share >= model.combine_share_floor;
+  v.score = component(per_record_ns, model.cpu_per_record_floor_ns) *
+            component(share, model.combine_share_floor);
+  std::ostringstream os;
+  os << "cpu/record=" << fmt(per_record_ns) << "ns"
+     << (per_record_ns >= model.cpu_per_record_floor_ns ? ">=" : "<")
+     << fmt(model.cpu_per_record_floor_ns) << "ns combine_share="
+     << fmt(share) << (share >= model.combine_share_floor ? ">=" : "<")
+     << fmt(model.combine_share_floor);
+  if (!v.pipelined) {
+    os << (per_record_ns < model.cpu_per_record_floor_ns
+               ? " (records too cheap to amortize queue traffic)"
+               : " (combine too light to deserve its own pool)");
+  }
+  v.reason = os.str();
+  return v;
+}
+
+}  // namespace ramr::adapt

@@ -63,6 +63,43 @@ std::string to_string(BackoffKind kind) {
   return "?";
 }
 
+AdaptMode parse_adapt_mode(const std::string& name) {
+  if (name == "off" || name == "0" || name == "no") return AdaptMode::kOff;
+  if (name == "probe") return AdaptMode::kProbe;
+  if (name == "full" || name == "on") return AdaptMode::kFull;
+  throw ConfigError("env knob RAMR_ADAPT: unknown mode '" + name +
+                    "' (expected off|probe|full)");
+}
+
+std::string to_string(AdaptMode mode) {
+  switch (mode) {
+    case AdaptMode::kOff:
+      return "off";
+    case AdaptMode::kProbe:
+      return "probe";
+    case AdaptMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+// Rejects an env knob whose value parsed but is outside the sane range,
+// with an error that names the variable (the paper's knobs are easy to
+// fat-finger from shell scripts; a silently-accepted absurd value turns
+// into a mysterious hang or OOM much later).
+void check_env_range(const char* name, std::size_t value, std::size_t lo,
+                     std::size_t hi) {
+  if (value < lo || value > hi) {
+    throw ConfigError("env knob " + std::string(name) + "=" +
+                      std::to_string(value) + " is out of range [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+}
+
+}  // namespace
+
 RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   base.num_mappers = env::get_uint(kEnvMappers, base.num_mappers);
   base.num_combiners = env::get_uint(kEnvCombiners, base.num_combiners);
@@ -94,6 +131,33 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   if (auto kind = env::get(kEnvBackoff)) {
     base.backoff = parse_backoff_kind(*kind);
   }
+  if (auto mode = env::get(kEnvAdapt)) {
+    base.adapt_mode = parse_adapt_mode(*mode);
+  }
+  base.plan_cache_path = env::get_string(kEnvPlanCache, base.plan_cache_path);
+
+  // Range checks for the knobs where a parseable-but-absurd value would
+  // otherwise fail far from its source (or not at all).
+  if (env::get(kEnvRatio)) {
+    check_env_range(kEnvRatio, base.mapper_combiner_ratio, 1, 1024);
+  }
+  if (env::get(kEnvSleepCapMicros)) {
+    check_env_range(kEnvSleepCapMicros, base.sleep_cap_micros, 1, 10'000'000);
+  }
+  if (env::get(kEnvSampleMicros)) {
+    check_env_range(kEnvSampleMicros, base.sample_interval_us, 0, 60'000'000);
+  }
+
+  // Remember which plan-relevant knobs the user pinned explicitly so the
+  // adaptive controller never overrides them (env > cache > probe > defaults).
+  base.env_overrides.workers =
+      env::get(kEnvMappers).has_value() || env::get(kEnvCombiners).has_value();
+  base.env_overrides.ratio = env::get(kEnvRatio).has_value();
+  base.env_overrides.batch_size = env::get(kEnvBatchSize).has_value();
+  base.env_overrides.queue_capacity =
+      env::get(kEnvQueueCapacity).has_value();
+  base.env_overrides.pin_policy = env::get(kEnvPinPolicy).has_value();
+  base.env_overrides.sleep_cap = env::get(kEnvSleepCapMicros).has_value();
   return base;
 }
 
@@ -174,6 +238,9 @@ std::string RuntimeConfig::summary() const {
   if (telemetry) {
     os << " telemetry=on pmu=" << pmu_mode;
     if (sample_interval_us > 0) os << " sample_us=" << sample_interval_us;
+  }
+  if (adapt_mode != AdaptMode::kOff) {
+    os << " adapt=" << to_string(adapt_mode);
   }
   return os.str();
 }

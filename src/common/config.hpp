@@ -45,6 +45,19 @@ enum class BackoffKind {
 BackoffKind parse_backoff_kind(const std::string& name);
 std::string to_string(BackoffKind kind);
 
+// Adaptive-controller mode (src/adapt/): off = static knobs only (the
+// historical behaviour), probe = calibrate a plan on a bounded input slice
+// (and cache it) but leave the steady state alone, full = probe + the
+// steady-state governor that retunes batch size / backoff cap online.
+enum class AdaptMode {
+  kOff,
+  kProbe,
+  kFull,
+};
+
+AdaptMode parse_adapt_mode(const std::string& name);
+std::string to_string(AdaptMode mode);
+
 // Env-knob names (all optional; see RuntimeConfig::from_env).
 inline constexpr const char* kEnvMappers = "RAMR_MAPPERS";
 inline constexpr const char* kEnvCombiners = "RAMR_COMBINERS";
@@ -67,6 +80,27 @@ inline constexpr const char* kEnvFaults = "RAMR_FAULTS";
 inline constexpr const char* kEnvTelemetry = "RAMR_TELEMETRY";
 inline constexpr const char* kEnvPmu = "RAMR_PMU";
 inline constexpr const char* kEnvSampleMicros = "RAMR_SAMPLE_US";
+inline constexpr const char* kEnvAdapt = "RAMR_ADAPT";
+inline constexpr const char* kEnvPlanCache = "RAMR_PLAN_CACHE";
+inline constexpr const char* kEnvAdaptReport = "RAMR_ADAPT_REPORT";
+
+// Which plan-relevant knobs were set explicitly via the environment.
+// from_env() fills this so the adaptive controller can honour the
+// precedence rule "explicit env > cache > probe > defaults": a knob the
+// user pinned is never overridden by a cached or probed plan.
+struct EnvOverrides {
+  bool workers = false;  // RAMR_MAPPERS and/or RAMR_COMBINERS
+  bool ratio = false;
+  bool batch_size = false;
+  bool queue_capacity = false;
+  bool pin_policy = false;
+  bool sleep_cap = false;
+
+  // True when any knob an execution plan would decide is pinned by env.
+  bool any_plan_knob() const {
+    return workers || ratio || batch_size || queue_capacity || pin_policy;
+  }
+};
 
 struct RuntimeConfig {
   // Worker counts. 0 means "derive from the machine": mappers default to the
@@ -149,6 +183,20 @@ struct RuntimeConfig {
   // Sampler cadence in microseconds (0 = no sampler thread). Snapshots ring
   // occupancy and worker heartbeats into time-series during runs.
   std::size_t sample_interval_us = 0;
+
+  // ---- adaptive-controller knobs (see src/adapt/, docs/TUNING.md) --------
+
+  // RAMR_ADAPT=off|probe|full. Off keeps every existing code path
+  // byte-identical; probe/full route core::Runtime::run through the
+  // adapt::Controller.
+  AdaptMode adapt_mode = AdaptMode::kOff;
+
+  // Plan-cache file (RAMR_PLAN_CACHE). Empty = the default location,
+  // $XDG_CACHE_HOME/ramr/plans.json or ~/.cache/ramr/plans.json.
+  std::string plan_cache_path;
+
+  // Filled by from_env(); defaults mean "nothing pinned".
+  EnvOverrides env_overrides;
 
   // Build a config taking every RAMR_* env knob into account, starting from
   // the given base (defaults if omitted). Throws ConfigError on bad values.

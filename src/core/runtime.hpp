@@ -13,6 +13,7 @@
 #include <memory>
 #include <utility>
 
+#include "adapt/controller.hpp"
 #include "common/config.hpp"
 #include "engine/phase_driver.hpp"
 #include "engine/pool_set.hpp"
@@ -49,7 +50,15 @@ class Runtime {
   // combiner, task/drain events, phase marks. The recorder must outlive
   // every run(); pass nullptr to disable (the default).
   void set_recorder(trace::Recorder* recorder) {
+    recorder_ = recorder;
     driver_.set_recorder(recorder);
+  }
+
+  // Optional custom steady-state tuning policy for the adaptive controller
+  // (RAMR_ADAPT=full; see adapt/governor.hpp). Null = the built-in
+  // DefaultTuningPolicy. Must outlive every run().
+  void set_tuning_policy(engine::TuningPolicy* policy) {
+    tuning_policy_ = policy;
   }
 
   // The telemetry session created from the config's observability knobs
@@ -59,6 +68,13 @@ class Runtime {
   telemetry::Session* telemetry() { return telemetry_.get(); }
 
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
+    // RAMR_ADAPT=probe|full routes through the adaptive controller, which
+    // builds its own pools (the probed plan may change the pool shape) and
+    // its own telemetry session sized to them.
+    if (pools_.config().adapt_mode != AdaptMode::kOff) {
+      return adapt::run_adaptive(pools_.topology(), pools_.config(), app,
+                                 input, recorder_, tuning_policy_);
+    }
     engine::PipelinedSpsc<S> strategy;
     return driver_.run(strategy, app, input);
   }
@@ -67,6 +83,8 @@ class Runtime {
   engine::PoolSet pools_;
   std::unique_ptr<telemetry::Session> telemetry_;
   engine::PhaseDriver driver_;
+  trace::Recorder* recorder_ = nullptr;
+  engine::TuningPolicy* tuning_policy_ = nullptr;
 };
 
 // Convenience: run an app once on the host topology. Worker counts default

@@ -39,6 +39,7 @@
 #include "common/timing.hpp"
 #include "engine/health.hpp"
 #include "engine/pool_set.hpp"
+#include "engine/tuning.hpp"
 #include "faults/injector.hpp"
 #include "sched/task_queue.hpp"
 #include "telemetry/session.hpp"
@@ -93,6 +94,10 @@ struct MapCombineContext {
   // Telemetry session, null when disabled (every site is one check). Slot
   // convention: mapper m -> slot m, combiner j -> combiner_slot(j).
   telemetry::Session* telemetry = nullptr;
+  // Live tuning knobs, null when no governor is attached (the strategy
+  // then uses the static config values). Combiners re-read the batch size
+  // per sweep; producer backoffs bind the sleep-cap cell.
+  TuningControl* tuning = nullptr;
 
   telemetry::EngineMetrics* metrics() const {
     return telemetry != nullptr ? telemetry->engine_metrics() : nullptr;

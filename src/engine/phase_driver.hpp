@@ -63,12 +63,19 @@ struct DriverOptions {
   std::size_t deadline_ms = 0;
   std::size_t stall_timeout_ms = 0;
   std::string fault_spec;
+
+  // Provenance of the plan this driver executes, stamped into
+  // RunResult::plan: "default" | "env" | "cache" | "probe". The adaptive
+  // controller sets cache/probe on the drivers it builds for committed
+  // plans; driver_options_from derives env/default from the config.
+  std::string plan_source = "default";
 };
 
 inline DriverOptions driver_options_from(const RuntimeConfig& cfg) {
-  return DriverOptions{cfg.task_size,       cfg.split_distribution,
+  return DriverOptions{cfg.task_size,        cfg.split_distribution,
                        cfg.max_task_retries, cfg.deadline_ms,
-                       cfg.stall_timeout_ms, cfg.fault_spec};
+                       cfg.stall_timeout_ms, cfg.fault_spec,
+                       cfg.env_overrides.any_plan_knob() ? "env" : "default"};
 }
 
 class PhaseDriver {
@@ -85,6 +92,12 @@ class PhaseDriver {
   // sampler); must outlive every run(); nullptr disables (the default, and
   // then every instrumentation site in the engine is one pointer check).
   void set_telemetry(telemetry::Session* session) { telemetry_ = session; }
+
+  // Optional live tuning knobs written by an external governor thread (see
+  // engine/tuning.hpp and src/adapt/governor.hpp); must outlive every
+  // run(); nullptr disables (the default — strategies then read the static
+  // config values).
+  void set_tuning(TuningControl* tuning) { tuning_ = tuning; }
 
   template <EmitStrategy St, typename App>
   RunResult<typename St::key_type, typename St::value_type> run(
@@ -190,8 +203,8 @@ class PhaseDriver {
 
     // ---- map-combine (one timed phase, strategy-defined coupling) -------
     phase_begin(Phase::kMapCombine);
-    MapCombineContext ctx{pools_, queues, lanes,  cancel,
-                          injector, beats, retry, telemetry_};
+    MapCombineContext ctx{pools_, queues, lanes,      cancel,  injector,
+                          beats,  retry,  telemetry_, tuning_};
     {
       ScopedPhase t(result.timers, Phase::kMapCombine);
       strategy.map_combine(ctx, app, input, result);
@@ -226,6 +239,21 @@ class PhaseDriver {
     }
     phase_end(Phase::kMerge);
     throw_if_aborted();
+
+    // Stamp the plan this run executed under (satellite of the adaptive
+    // controller: every result now records strategy + knobs + provenance).
+    {
+      const RuntimeConfig& cfg = pools_.config();
+      if constexpr (requires { St::kName; }) {
+        result.plan.strategy = St::kName;
+      }
+      result.plan.ratio = cfg.mapper_combiner_ratio;
+      result.plan.batch_size =
+          tuning_ != nullptr ? tuning_->batch_size() : cfg.batch_size;
+      result.plan.queue_capacity = cfg.queue_capacity;
+      result.plan.pin_policy = to_string(cfg.pin_policy);
+      result.plan.source = options_.plan_source;
+    }
     return result;
   }
 
@@ -234,6 +262,7 @@ class PhaseDriver {
   DriverOptions options_;
   trace::Recorder* recorder_ = nullptr;
   telemetry::Session* telemetry_ = nullptr;
+  TuningControl* tuning_ = nullptr;
 };
 
 }  // namespace ramr::engine

@@ -13,8 +13,37 @@
 #include <vector>
 
 #include "common/timing.hpp"
+#include "engine/tuning.hpp"
 
 namespace ramr::engine {
+
+// The execution plan a run actually used, and where it came from. Stamped
+// by PhaseDriver::run from the resolved config + strategy; the adaptive
+// controller overwrites `source` with "probe" or "cache" when it decided.
+struct PlanInfo {
+  std::string strategy;  // "fused" | "pipelined" | "atomic-global"
+  std::size_t ratio = 0;
+  std::size_t batch_size = 0;
+  std::size_t queue_capacity = 0;
+  std::string pin_policy;
+  std::string source;  // "env" | "cache" | "probe" | "default"
+
+  // True when something other than the built-in defaults chose the plan —
+  // the summary() line only mentions the plan then, so default runs keep
+  // their historical output byte-for-byte.
+  bool decided() const { return !source.empty() && source != "default"; }
+
+  std::string summary() const {
+    std::string s = "plan=" + strategy + " src=" + source +
+                    " ratio=" + std::to_string(ratio) +
+                    " batch=" + std::to_string(batch_size);
+    if (queue_capacity > 0) {
+      s += " qcap=" + std::to_string(queue_capacity);
+    }
+    if (!pin_policy.empty()) s += " pin=" + pin_policy;
+    return s;
+  }
+};
 
 template <typename K, typename V>
 struct RunResult {
@@ -45,6 +74,12 @@ struct RunResult {
   std::size_t task_retries = 0;
   std::size_t task_aborts = 0;
 
+  // The plan this run executed under (see PlanInfo) and the knob changes
+  // the steady-state governor applied during it (empty unless
+  // RAMR_ADAPT=full engaged the governor).
+  PlanInfo plan;
+  std::vector<GovernorAction> governor_actions;
+
   std::string summary() const {
     std::string s = timers.summary();
     s += " pairs=" + std::to_string(pairs.size());
@@ -61,6 +96,12 @@ struct RunResult {
     if (backoff_sleeps > 0) s += " sleeps=" + std::to_string(backoff_sleeps);
     if (task_retries > 0) s += " retries=" + std::to_string(task_retries);
     if (task_aborts > 0) s += " aborts=" + std::to_string(task_aborts);
+    // Plan provenance, suppressed for default-sourced plans so existing
+    // bench/test output is unchanged when the controller never ran.
+    if (plan.decided()) s += " " + plan.summary();
+    if (!governor_actions.empty()) {
+      s += " governor=" + std::to_string(governor_actions.size());
+    }
     return s;
   }
 };

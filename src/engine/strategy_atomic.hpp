@@ -38,6 +38,7 @@ class AtomicGlobal {
   using key_type = typename Container::key_type;
   using value_type = typename Container::value_type;
   static constexpr bool kHasReduce = false;  // the container is already global
+  static constexpr const char* kName = "atomic-global";
 
   void map_combine(MapCombineContext& ctx, const App& app,
                    const typename App::input_type& input,

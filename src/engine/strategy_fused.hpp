@@ -33,6 +33,7 @@ class FusedCombine {
   using key_type = mr::key_type_of<App>;
   using value_type = mr::value_type_of<App>;
   static constexpr bool kHasReduce = true;
+  static constexpr const char* kName = "fused";
 
   void map_combine(MapCombineContext& ctx, const App& app,
                    const typename App::input_type& input,

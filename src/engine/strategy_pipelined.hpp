@@ -58,6 +58,7 @@ class PipelinedSpsc {
   using value_type = mr::value_type_of<App>;
   using Record = containers::KeyValue<key_type, value_type>;
   static constexpr bool kHasReduce = true;
+  static constexpr const char* kName = "pipelined";
 
   void map_combine(MapCombineContext& ctx, const App& app,
                    const typename App::input_type& input,
@@ -115,6 +116,9 @@ class PipelinedSpsc {
       const std::size_t slot = tm != nullptr ? tm->combiner_slot(j) : 0;
       auto idle = make_consumer_backoff(cfg);
       idle.bind(&ctx.cancel.flag());
+      if (ctx.tuning != nullptr) {
+        idle.bind_cap(ctx.tuning->sleep_cap_cell());
+      }
       const auto consume = [&container](std::span<Record> block) {
         for (Record& r : block) {
           container.emit(r.key, r.value);
@@ -143,7 +147,13 @@ class PipelinedSpsc {
       try {
         for (;;) {
           if (ctx.cancel.cancelled()) break;
-          const std::size_t got = set.sweep(consume, cfg.batch_size);
+          // The batch size is re-read per sweep so the governor can retune
+          // it mid-phase; a sweep in flight always completes at the size it
+          // started with (changes are never applied mid-batch).
+          const std::size_t batch = ctx.tuning != nullptr
+                                        ? ctx.tuning->batch_size()
+                                        : cfg.batch_size;
+          const std::size_t got = set.sweep(consume, batch);
           beat.bump();
           if (lane != nullptr) {
             lane->record(ctx.lanes.epoch,
@@ -163,6 +173,16 @@ class PipelinedSpsc {
           } else {
             if (tm != nullptr) tm->batch_sizes->record(slot, got);
             ctx.injector.on_combiner_batch(j, ++batches);
+            // Periodic live occupancy sample for the governor (the final
+            // value still lands via account()); every 32nd batch keeps the
+            // sweep loop lean.
+            if (tm != nullptr && (batches & 31U) == 0) {
+              std::size_t occ = 0;
+              for (std::size_t m : plan.mappers_of_combiner[j]) {
+                occ = std::max(occ, rings_[m]->consumer_stats().max_occupancy);
+              }
+              tm->queue_max_occupancy->set(slot, static_cast<double>(occ));
+            }
             idle.reset();
           }
         }
@@ -190,9 +210,19 @@ class PipelinedSpsc {
       // data at task granularity.
       auto run_with = [&](auto backoff) {
         backoff.bind(&ctx.cancel.flag());
+        if constexpr (requires { backoff.bind_cap(nullptr); }) {
+          if (ctx.tuning != nullptr) {
+            backoff.bind_cap(ctx.tuning->sleep_cap_cell());
+          }
+        }
         auto push_record = [&](Record&& r) {
           ctx.injector.on_emit(m);
           while (!ring.try_push(std::move(r))) {
+            // Live mirror of the ring's failed-push count (the governor's
+            // congestion signal must be visible mid-phase, not at join).
+            // This is the slow path — the ring was full and we are about
+            // to back off anyway.
+            if (tm != nullptr) tm->queue_failed_pushes->increment(m);
             if (ctx.cancel.cancelled()) {
               // Unwind out of app.map; the wrapper below exits quietly
               // (the peer that caused the cancel reports the error).
@@ -277,9 +307,9 @@ class PipelinedSpsc {
       tasks_executed.fetch_add(executed, std::memory_order_relaxed);
       if (tm != nullptr) {
         // Producer-side ring stats, read by their single writer (this
-        // thread) after it stopped pushing.
+        // thread) after it stopped pushing. Failed pushes were already
+        // mirrored live on the full-ring path above.
         tm->queue_pushes->add(m, ring.producer_stats().pushes);
-        tm->queue_failed_pushes->add(m, ring.producer_stats().failed_pushes);
       }
     };
 

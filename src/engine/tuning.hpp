@@ -1,0 +1,99 @@
+// Online-tuning surface of the engine: the shared control block the
+// adaptive governor writes and the pipelined strategy reads, plus the
+// TuningPolicy hook library users implement to drive it.
+//
+// Ownership/threading model (see docs/TUNING.md): exactly one writer — the
+// governor thread run by adapt::Controller around PhaseDriver::run — and
+// many readers (combiners re-read the batch size once per sweep, producer
+// backoffs re-read the sleep cap once per sleep). Values are plain relaxed
+// atomics: a worker acting on a one-sweep-stale knob is harmless, which is
+// what lets retuning happen mid-phase without any synchronisation on the
+// hot path. The knobs the governor may touch are deliberately the two that
+// are safe to change mid-phase; strategy, ratio and pinning are committed
+// before the pools start and stay fixed (repinning live threads is not).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ramr::engine {
+
+// Mutable steady-state knobs. Constructed with the plan's committed values;
+// bounds are enforced by the governor (batch in [1, queue_capacity/2]), not
+// here — the control block is a dumb mailbox.
+class TuningControl {
+ public:
+  TuningControl(std::size_t batch_size, std::size_t sleep_cap_us)
+      : batch_size_(batch_size), sleep_cap_us_(sleep_cap_us) {}
+
+  std::size_t batch_size() const {
+    return static_cast<std::size_t>(
+        batch_size_.load(std::memory_order_relaxed));
+  }
+  void set_batch_size(std::size_t value) {
+    batch_size_.store(static_cast<std::uint64_t>(value),
+                      std::memory_order_relaxed);
+  }
+
+  std::size_t sleep_cap_us() const {
+    return static_cast<std::size_t>(
+        sleep_cap_us_.load(std::memory_order_relaxed));
+  }
+  void set_sleep_cap_us(std::size_t value) {
+    sleep_cap_us_.store(static_cast<std::uint64_t>(value),
+                        std::memory_order_relaxed);
+  }
+
+  // For ExponentialSleepBackoff::bind_cap: the backoff re-reads the cap
+  // cell before each sleep so a governor adjustment takes effect on the
+  // very next sleep, not the next run.
+  const std::atomic<std::uint64_t>* sleep_cap_cell() const {
+    return &sleep_cap_us_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> batch_size_;
+  std::atomic<std::uint64_t> sleep_cap_us_;
+};
+
+// One governor observation window, distilled from MetricRegistry deltas.
+struct TuningObservation {
+  double seconds = 0.0;            // since the governor started
+  double failed_push_rate = 0.0;   // failed pushes / attempts this window
+  double occupancy_fraction = 0.0; // max ring occupancy / queue capacity
+  std::uint64_t batch_p50 = 0;     // median sweep batch so far (elements)
+  std::size_t batch_size = 0;      // current control values …
+  std::size_t sleep_cap_us = 0;
+  std::size_t queue_capacity = 0;  // … and the bound they live under
+};
+
+// What the policy wants changed this window (empty optionals = no change).
+// The governor clamps decisions to the safe bounds before applying them.
+struct TuningDecision {
+  std::optional<std::size_t> batch_size;
+  std::optional<std::size_t> sleep_cap_us;
+};
+
+// User hook: called once per governor tick with the latest window. The
+// default implementation lives in adapt/governor.hpp; pass a custom policy
+// to core::Runtime::set_tuning_policy to drive the knobs yourself.
+class TuningPolicy {
+ public:
+  virtual ~TuningPolicy() = default;
+  virtual TuningDecision on_observation(const TuningObservation& obs) = 0;
+};
+
+// A knob change the governor actually applied (after clamping), surfaced
+// in RunResult::governor_actions, the run report and the governor trace
+// lane.
+struct GovernorAction {
+  double seconds = 0.0;  // run-relative timestamp
+  std::string knob;      // "batch_size" | "sleep_cap_us"
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+};
+
+}  // namespace ramr::engine

@@ -54,7 +54,10 @@ class Runtime {
                 engine::DriverOptions{
                     options.task_size, SplitDistribution::kRoundRobin,
                     options.max_task_retries, options.deadline_ms,
-                    options.stall_timeout_ms, options.fault_spec}) {}
+                    options.stall_timeout_ms, options.fault_spec,
+                    // Static single-strategy runtime: the plan is always the
+                    // built-in default (RunResult::plan records it).
+                    "default"}) {}
 
   std::size_t num_workers() const { return pools_.num_mappers(); }
 

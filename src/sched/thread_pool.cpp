@@ -8,6 +8,11 @@
 #include <unistd.h>
 #endif
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#include <time.h>
+#endif
+
 namespace ramr::sched {
 
 namespace {
@@ -67,6 +72,28 @@ void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   work_done_.wait(lock, [&] { return remaining_ == 0; });
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+double ThreadPool::cpu_seconds() const {
+#if defined(__unix__) && !defined(__APPLE__)
+  // Per-thread CPU clocks need the native handles; the threads_ vector is
+  // immutable after construction and the workers stay alive until the
+  // destructor joins them, so reading the handles without the mutex is
+  // safe from any caller that outlives the pool.
+  double total = 0.0;
+  for (const std::thread& t : threads_) {
+    clockid_t clock_id;
+    auto handle = const_cast<std::thread&>(t).native_handle();
+    if (pthread_getcpuclockid(handle, &clock_id) != 0) continue;
+    timespec ts{};
+    if (clock_gettime(clock_id, &ts) != 0) continue;
+    total += static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  return total;
+#else
+  return 0.0;
+#endif
 }
 
 std::vector<std::int64_t> ThreadPool::os_tids() const {

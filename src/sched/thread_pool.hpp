@@ -57,6 +57,15 @@ class ThreadPool {
   // Entries are 0 on platforms without gettid.
   std::vector<std::int64_t> os_tids() const;
 
+  // Total CPU time (seconds) consumed by the pool's workers so far, via
+  // each worker's per-thread CPU clock. Unlike wall-clock, this is a
+  // workload-intrinsic cost measure — on an oversubscribed host (fewer
+  // cores than workers) concurrent pools time-slice, but the CPU seconds
+  // each pool burns still reflect its share of the work. The adaptive
+  // probe scores map-vs-combine intensity with this when PMU counters are
+  // unavailable. Returns 0.0 on platforms without pthread_getcpuclockid.
+  double cpu_seconds() const;
+
  private:
   void worker_main(std::size_t index, std::optional<std::size_t> cpu);
 

@@ -194,6 +194,33 @@ void run_report_json(std::ostream& out, const RunReport& report) {
           static_cast<std::uint64_t>(report.result.task_aborts));
   w.end_object();
 
+  // Plan provenance (ISSUE 4 satellite); only emitted when the result was
+  // actually stamped so hand-built reports (and their goldens) stay as-is.
+  if (!report.result.plan.strategy.empty()) {
+    const engine::PlanInfo& plan = report.result.plan;
+    w.begin_object("plan");
+    w.field("strategy", plan.strategy);
+    w.field("ratio", static_cast<std::uint64_t>(plan.ratio));
+    w.field("batch_size", static_cast<std::uint64_t>(plan.batch_size));
+    w.field("queue_capacity",
+            static_cast<std::uint64_t>(plan.queue_capacity));
+    w.field("pin_policy", plan.pin_policy);
+    w.field("source", plan.source);
+    w.end_object();
+  }
+  if (!report.result.governor_actions.empty()) {
+    w.begin_array("governor_actions");
+    for (const engine::GovernorAction& a : report.result.governor_actions) {
+      w.begin_object();
+      w.field("seconds", a.seconds);
+      w.field("knob", a.knob);
+      w.field("from", a.from);
+      w.field("to", a.to);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
   w.begin_array("phases");
   for (const PhaseEntry& p : report.phases) {
     w.begin_object();

@@ -66,6 +66,11 @@ struct RunInfo {
   std::size_t backoff_sleeps = 0;
   std::size_t task_retries = 0;
   std::size_t task_aborts = 0;
+
+  // Execution-plan provenance (empty strategy = not stamped, e.g. a
+  // hand-built report) and the governor's applied knob changes.
+  engine::PlanInfo plan;
+  std::vector<engine::GovernorAction> governor_actions;
 };
 
 template <typename K, typename V>
@@ -86,6 +91,8 @@ RunInfo make_run_info(const engine::RunResult<K, V>& r) {
   info.backoff_sleeps = r.backoff_sleeps;
   info.task_retries = r.task_retries;
   info.task_aborts = r.task_aborts;
+  info.plan = r.plan;
+  info.governor_actions = r.governor_actions;
   return info;
 }
 

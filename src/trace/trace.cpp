@@ -21,6 +21,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kPhaseEnd: return "phase-end";
     case EventKind::kBackoffSleep: return "backoff-sleep";
     case EventKind::kTaskRetry: return "task-retry";
+    case EventKind::kGovernorAction: return "governor-action";
   }
   return "?";
 }

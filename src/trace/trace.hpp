@@ -31,6 +31,9 @@ enum class EventKind : std::uint8_t {
   kBackoffSleep,  // a backoff wait actually slept (arg = sleeps performed)
   kTaskRetry,     // a map task is re-executed after a transient failure
                   // (arg = first split of the retried task)
+  kGovernorAction,  // the adaptive governor applied a knob change
+                    // (arg = the new value; see RunResult::governor_actions
+                    // for which knob and the old value)
 };
 
 const char* to_string(EventKind kind);

@@ -1,0 +1,489 @@
+// Tests for the adaptive runtime controller (src/adapt/): the suitability
+// model against the repo's Fig. 10a reproduction, the plan cache (round
+// trip + corrupt-file recovery), env-knob validation, the governor policy
+// and thread, and end-to-end probe/commit/cache runs on real inputs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/governor.hpp"
+#include "adapt/plan.hpp"
+#include "adapt/plan_cache.hpp"
+#include "adapt/suitability.hpp"
+#include "apps/flavor.hpp"
+#include "apps/suite.hpp"
+#include "common/config.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "core/runtime.hpp"
+#include "mini_apps.hpp"
+#include "sim/machine.hpp"
+#include "sim/model.hpp"
+#include "sim/workload.hpp"
+#include "synth/synth_app.hpp"
+#include "telemetry/metrics.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::adapt {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "ramr_" + name;
+}
+
+// ---- suitability model ----------------------------------------------------
+
+// The default floors must reproduce the paper's Fig. 10a verdicts on the
+// repo's own reproduction of the figure (Haswell model, default
+// containers): WC/KM/MM profit from decoupling, HG/LR are too light, PCA
+// is heavy but stall-free.
+TEST(Suitability, Fig10aVerdictsMatchPaper) {
+  const auto machine = sim::haswell();
+  const SuitabilityModel model;
+  const struct {
+    apps::AppId id;
+    bool pipelined;
+  } expected[] = {
+      {apps::AppId::kWordCount, true},
+      {apps::AppId::kKMeans, true},
+      {apps::AppId::kHistogram, false},
+      {apps::AppId::kPca, false},
+      {apps::AppId::kMatrixMultiply, true},
+      {apps::AppId::kLinearRegression, false},
+  };
+  for (const auto& e : expected) {
+    const auto workload =
+        sim::suite_workload(e.id, apps::ContainerFlavor::kDefault,
+                            apps::PlatformId::kHaswell, apps::SizeClass::kLarge);
+    const auto counters = sim::simulate_phoenix(machine, workload).counters;
+    const Verdict v = judge_counters(model, counters);
+    EXPECT_EQ(v.pipelined, e.pipelined)
+        << apps::app_full_name(e.id) << ": " << v.reason;
+  }
+}
+
+TEST(Suitability, SplitCountersComplementarityStrengthensScore) {
+  const SuitabilityModel model;
+  perf::Counters map_side;
+  map_side.instructions = 1000;
+  map_side.mem_stall_cycles = 10;
+  map_side.resource_stall_cycles = 5;
+  map_side.input_bytes = 50;
+  perf::Counters combine_side;
+  combine_side.instructions = 500;
+  combine_side.mem_stall_cycles = 150;
+  combine_side.resource_stall_cycles = 100;
+  combine_side.input_bytes = 50;
+
+  const Verdict split = judge_split_counters(model, map_side, combine_side);
+  EXPECT_TRUE(split.pipelined);
+  EXPECT_NE(split.reason.find("complementary"), std::string::npos);
+
+  // Same totals with the stalls on the map side: verdict holds (the Fig. 10
+  // rule sees identical totals) but the complementarity bump is gone.
+  const Verdict swapped = judge_split_counters(model, combine_side, map_side);
+  EXPECT_TRUE(swapped.pipelined);
+  EXPECT_GT(split.score, swapped.score);
+}
+
+TEST(Suitability, EmpiricalRuleNeedsBothIntensityAndCombineShare) {
+  const SuitabilityModel model;
+  EmpiricalSample heavy;
+  heavy.map_cpu_seconds = 0.6;
+  heavy.combine_cpu_seconds = 0.4;
+  heavy.records = 1'000'000;  // 1000 ns/record
+  EXPECT_TRUE(judge_empirical(model, heavy).pipelined);
+
+  EmpiricalSample cheap = heavy;
+  cheap.records = 100'000'000;  // 10 ns/record: too light
+  const Verdict light = judge_empirical(model, cheap);
+  EXPECT_FALSE(light.pipelined);
+  EXPECT_NE(light.reason.find("too cheap"), std::string::npos);
+
+  EmpiricalSample map_bound = heavy;
+  map_bound.map_cpu_seconds = 0.95;
+  map_bound.combine_cpu_seconds = 0.05;  // combine share 5%
+  EXPECT_FALSE(judge_empirical(model, map_bound).pipelined);
+
+  EXPECT_FALSE(judge_empirical(model, EmpiricalSample{}).pipelined);
+}
+
+// ---- plan identity + cache ------------------------------------------------
+
+TEST(Plan, SizeBucketAndCacheKeyAreStable)
+{
+  EXPECT_EQ(input_size_bucket(0), 0u);
+  EXPECT_EQ(input_size_bucket(1), 1u);
+  EXPECT_EQ(input_size_bucket(1023), 10u);
+  EXPECT_EQ(input_size_bucket(1024), 11u);
+
+  const PlanKey key{"wc", 11, 0xabcULL};
+  EXPECT_EQ(key.cache_key(), "wc/b11/tabc");
+
+  const auto host = topo::host();
+  EXPECT_EQ(topology_hash(host), topology_hash(host));
+}
+
+TEST(PlanCache, RoundTripAcrossInstances) {
+  const std::string path = temp_path("plan_cache_roundtrip.json");
+  std::remove(path.c_str());
+
+  PlanCache cache(path);
+  EXPECT_FALSE(cache.corrupt());
+  EXPECT_EQ(cache.size(), 0u);
+
+  const PlanKey key{"synth", 8, 0x1234ULL};
+  engine::PlanInfo plan;
+  plan.strategy = "pipelined";
+  plan.ratio = 3;
+  plan.batch_size = 512;
+  plan.queue_capacity = 4096;
+  plan.pin_policy = "os-default";
+  plan.source = "probe";
+  cache.store(key, plan);
+
+  PlanCache reloaded(path);
+  EXPECT_FALSE(reloaded.corrupt());
+  EXPECT_EQ(reloaded.size(), 1u);
+  const auto hit = reloaded.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->strategy, "pipelined");
+  EXPECT_EQ(hit->ratio, 3u);
+  EXPECT_EQ(hit->batch_size, 512u);
+  EXPECT_EQ(hit->queue_capacity, 4096u);
+  EXPECT_EQ(hit->pin_policy, "os-default");
+  EXPECT_EQ(hit->source, "cache");  // provenance reflects this run, not store
+
+  const PlanKey other{"synth", 9, 0x1234ULL};
+  EXPECT_FALSE(reloaded.lookup(other).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PlanCache, CorruptFileDegradesAndStoreRecovers) {
+  const std::string path = temp_path("plan_cache_corrupt.json");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"plans\": [this is not json";
+  }
+  PlanCache cache(path);
+  EXPECT_TRUE(cache.corrupt());
+  EXPECT_EQ(cache.size(), 0u);
+
+  const PlanKey key{"wc", 4, 0x9ULL};
+  engine::PlanInfo plan;
+  plan.strategy = "fused";
+  plan.ratio = 2;
+  plan.batch_size = 256;
+  plan.queue_capacity = 5000;
+  plan.pin_policy = "paired";
+  cache.store(key, plan);  // whole-file rewrite is the recovery path
+  EXPECT_FALSE(cache.corrupt());
+
+  PlanCache reloaded(path);
+  EXPECT_FALSE(reloaded.corrupt());
+  ASSERT_TRUE(reloaded.lookup(key).has_value());
+  EXPECT_EQ(reloaded.lookup(key)->strategy, "fused");
+  std::remove(path.c_str());
+}
+
+TEST(PlanCache, MissingFileIsEmptyNotCorrupt) {
+  const std::string path = temp_path("plan_cache_missing.json");
+  std::remove(path.c_str());
+  PlanCache cache(path);
+  EXPECT_FALSE(cache.corrupt());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- env-knob validation --------------------------------------------------
+
+TEST(EnvValidation, OutOfRangeKnobsNameTheVariable) {
+  const struct {
+    const char* name;
+    const char* value;
+  } bad[] = {
+      {kEnvRatio, "0"},
+      {kEnvRatio, "4096"},
+      {kEnvSleepCapMicros, "0"},
+      {kEnvSampleMicros, "70000000"},
+  };
+  for (const auto& b : bad) {
+    env::ScopedOverride guard(b.name, b.value);
+    try {
+      (void)RuntimeConfig::from_env();
+      FAIL() << b.name << "=" << b.value << " was accepted";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(b.name), std::string::npos)
+          << "error does not name the variable: " << e.what();
+    }
+  }
+}
+
+TEST(EnvValidation, InRangeKnobsStillParse) {
+  env::ScopedOverride ratio(kEnvRatio, "3");
+  env::ScopedOverride cap(kEnvSleepCapMicros, "2000");
+  env::ScopedOverride sample(kEnvSampleMicros, "500");
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.mapper_combiner_ratio, 3u);
+  EXPECT_EQ(cfg.sleep_cap_micros, 2000u);
+  EXPECT_EQ(cfg.sample_interval_us, 500u);
+  EXPECT_TRUE(cfg.env_overrides.ratio);
+  EXPECT_TRUE(cfg.env_overrides.sleep_cap);
+  EXPECT_TRUE(cfg.env_overrides.any_plan_knob());
+}
+
+TEST(EnvValidation, AdaptModeParsesAndRejects) {
+  EXPECT_EQ(parse_adapt_mode("off"), AdaptMode::kOff);
+  EXPECT_EQ(parse_adapt_mode("probe"), AdaptMode::kProbe);
+  EXPECT_EQ(parse_adapt_mode("full"), AdaptMode::kFull);
+  EXPECT_THROW(parse_adapt_mode("bogus"), ConfigError);
+
+  env::ScopedOverride mode(kEnvAdapt, "full");
+  env::ScopedOverride cache(kEnvPlanCache, "/tmp/x.json");
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.adapt_mode, AdaptMode::kFull);
+  EXPECT_EQ(cfg.plan_cache_path, "/tmp/x.json");
+}
+
+// ---- governor -------------------------------------------------------------
+
+TEST(Governor, DefaultPolicyDoublesUnderCongestion) {
+  DefaultTuningPolicy policy;
+  engine::TuningObservation obs;
+  obs.failed_push_rate = 0.20;
+  obs.batch_size = 64;
+  obs.sleep_cap_us = 100;
+  const engine::TuningDecision d = policy.on_observation(obs);
+  ASSERT_TRUE(d.batch_size.has_value());
+  EXPECT_EQ(*d.batch_size, 128u);
+  ASSERT_TRUE(d.sleep_cap_us.has_value());
+  EXPECT_EQ(*d.sleep_cap_us, 200u);
+}
+
+TEST(Governor, DefaultPolicyHalvesOnClearUnderrun) {
+  DefaultTuningPolicy policy;
+  engine::TuningObservation obs;
+  obs.failed_push_rate = 0.0;
+  obs.occupancy_fraction = 0.02;
+  obs.batch_p50 = 10;
+  obs.batch_size = 64;
+  obs.sleep_cap_us = 100;
+  const engine::TuningDecision d = policy.on_observation(obs);
+  ASSERT_TRUE(d.batch_size.has_value());
+  EXPECT_EQ(*d.batch_size, 32u);
+  EXPECT_FALSE(d.sleep_cap_us.has_value());
+}
+
+TEST(Governor, DefaultPolicyLeavesHealthySteadyStateAlone) {
+  DefaultTuningPolicy policy;
+  engine::TuningObservation obs;
+  obs.failed_push_rate = 0.01;
+  obs.occupancy_fraction = 0.5;
+  obs.batch_p50 = 60;
+  obs.batch_size = 64;
+  const engine::TuningDecision d = policy.on_observation(obs);
+  EXPECT_FALSE(d.batch_size.has_value());
+  EXPECT_FALSE(d.sleep_cap_us.has_value());
+}
+
+// The governor thread over fabricated live metrics: sustained failed
+// pushes must grow the batch, and every applied change stays within the
+// safe bounds (batch in [1, capacity/2]).
+TEST(Governor, ThreadReactsToFailedPushesWithinBounds) {
+  telemetry::MetricRegistry registry(1);
+  telemetry::Counter& failed = registry.counter("queue_failed_pushes");
+  telemetry::Histogram& batches = registry.histogram("batch_sizes");
+
+  engine::TuningControl control(64, 100);
+  DefaultTuningPolicy policy;
+  GovernorOptions options;
+  options.interval = std::chrono::microseconds(1000);
+  options.queue_capacity = 1024;
+  Governor governor(control, policy, registry, options);
+  governor.start();
+  for (int i = 0; i < 100 && control.batch_size() < 512; ++i) {
+    failed.add(0, 50);       // ~34% failure rate per window
+    batches.record(0, 96);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  governor.stop();
+
+  EXPECT_GT(control.batch_size(), 64u);
+  EXPECT_LE(control.batch_size(), 512u);  // capacity / 2
+  const auto actions = governor.actions();
+  ASSERT_FALSE(actions.empty());
+  for (const auto& a : actions) {
+    EXPECT_TRUE(a.knob == "batch_size" || a.knob == "sleep_cap_us") << a.knob;
+    if (a.knob == "batch_size") {
+      EXPECT_GE(a.to, 1u);
+      EXPECT_LE(a.to, 512u);
+    } else {
+      EXPECT_GE(a.to, 1u);
+      EXPECT_LE(a.to, 10'000'000u);
+    }
+  }
+}
+
+// ---- end-to-end controller runs -------------------------------------------
+
+RuntimeConfig adaptive_config(const std::string& cache_path) {
+  RuntimeConfig cfg;
+  cfg.adapt_mode = AdaptMode::kFull;
+  cfg.plan_cache_path = cache_path;
+  cfg.pin_policy = PinPolicy::kOsDefault;
+  cfg.num_mappers = 2;
+  cfg.num_combiners = 1;
+  return cfg;
+}
+
+// Light histogram-like workload: records are far too cheap to amortize
+// queue traffic, so the probe must commit the fused plan — and the stitched
+// result (probe slices + main run) must still count every element.
+TEST(AdaptE2E, LightWorkloadCommitsFusedAndStaysCorrect) {
+  const std::string cache = temp_path("adapt_light.json");
+  std::remove(cache.c_str());
+  const RuntimeConfig cfg = adaptive_config(cache);
+
+  ramr::testing::ModCountApp app;
+  app.chunk = 128;  // 256 splits; each probe slice covers thousands of
+                    // records so fixed probe costs amortize out
+  std::vector<std::uint64_t> input(32768);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = i;
+
+  core::Runtime<ramr::testing::ModCountApp> runtime(topo::host(), cfg);
+  const auto result = runtime.run(app, input);
+
+  EXPECT_EQ(result.plan.strategy, "fused");
+  EXPECT_EQ(result.plan.source, "probe");
+  EXPECT_TRUE(result.plan.decided());
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : result.pairs) total += v;
+  EXPECT_EQ(total, input.size());
+  const auto reference = app.reference(input);
+  ASSERT_EQ(result.pairs.size(), reference.size());
+  for (const auto& [k, v] : result.pairs) {
+    EXPECT_EQ(reference.at(k), v) << "key " << k;
+  }
+
+  // Warm run: same app, same input bucket, same machine — cache hit, no
+  // probe, same verdict.
+  core::Runtime<ramr::testing::ModCountApp> warm(topo::host(), cfg);
+  const auto again = warm.run(app, input);
+  EXPECT_EQ(again.plan.strategy, "fused");
+  EXPECT_EQ(again.plan.source, "cache");
+  std::uint64_t warm_total = 0;
+  for (const auto& [k, v] : again.pairs) warm_total += v;
+  EXPECT_EQ(warm_total, input.size());
+  std::remove(cache.c_str());
+}
+
+// Heavy synthetic workload (expensive per-record combine carried in the
+// value): the empirical rule must commit the pipelined plan, the governor
+// must stay within bounds, and the plan report must be written.
+TEST(AdaptE2E, HeavyWorkloadCommitsPipelinedWithGovernor) {
+  const std::string cache = temp_path("adapt_heavy.json");
+  const std::string report = temp_path("adapt_heavy_report.json");
+  std::remove(cache.c_str());
+  std::remove(report.c_str());
+  env::ScopedOverride report_env(kEnvAdaptReport, report);
+  const RuntimeConfig cfg = adaptive_config(cache);
+
+  synth::SynthParams params;
+  params.map_kind = synth::WorkKind::kCpu;
+  params.map_intensity = 60;
+  params.combine_kind = synth::WorkKind::kCpu;
+  params.combine_intensity = 2000;
+  params.elements = 3000;
+  params.keys = 32;
+  params.split_elements = 12;  // 250 splits; probes use at most half
+  params.arena_bytes = 1 << 16;
+  synth::SynthApp app;
+  app.container_keys = params.keys;
+
+  core::Runtime<synth::SynthApp> runtime(topo::host(), cfg);
+  const auto result = runtime.run(app, params);
+
+  EXPECT_EQ(result.plan.strategy, "pipelined");
+  EXPECT_EQ(result.plan.source, "probe");
+  std::uint64_t payload = 0;
+  for (const auto& [k, v] : result.pairs) payload += v.payload;
+  EXPECT_EQ(payload, synth::synth_expected_payload_sum(params.elements));
+
+  // Governor actions (if any fired on this host) stay within safe bounds.
+  for (const auto& a : result.governor_actions) {
+    EXPECT_TRUE(a.knob == "batch_size" || a.knob == "sleep_cap_us") << a.knob;
+    if (a.knob == "batch_size") {
+      EXPECT_GE(a.to, 1u);
+      EXPECT_LE(a.to, cfg.queue_capacity / 2);
+    }
+  }
+
+  // The ramr-adapt-plan-v1 report documents the decision.
+  std::ifstream in(report);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"schema\":\"ramr-adapt-plan-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"strategy\":\"pipelined\""), std::string::npos);
+  EXPECT_NE(doc.find("\"source\":\"probe\""), std::string::npos);
+  EXPECT_NE(doc.find("\"candidates\":["), std::string::npos);
+  std::remove(cache.c_str());
+  std::remove(report.c_str());
+}
+
+// RAMR_ADAPT=off keeps the historical path: no probe, default provenance,
+// and a summary() with no plan mention (byte-stable output).
+TEST(AdaptE2E, OffModeRunsTheStaticPath) {
+  RuntimeConfig cfg;
+  cfg.pin_policy = PinPolicy::kOsDefault;
+  cfg.num_mappers = 2;
+  cfg.num_combiners = 1;
+  ASSERT_EQ(cfg.adapt_mode, AdaptMode::kOff);
+
+  ramr::testing::ModCountApp app;
+  std::vector<std::uint64_t> input(2048);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = i * 7;
+
+  core::Runtime<ramr::testing::ModCountApp> runtime(topo::host(), cfg);
+  const auto result = runtime.run(app, input);
+  EXPECT_EQ(result.plan.strategy, "pipelined");
+  EXPECT_EQ(result.plan.source, "default");
+  EXPECT_FALSE(result.plan.decided());
+  EXPECT_TRUE(result.governor_actions.empty());
+  EXPECT_EQ(result.summary().find("plan="), std::string::npos);
+}
+
+// Inputs too small to afford the calibration budget skip probing and run
+// the static plan (correctness first, adaptivity only when affordable).
+TEST(AdaptE2E, TinyInputSkipsProbing) {
+  const std::string cache = temp_path("adapt_tiny.json");
+  std::remove(cache.c_str());
+  const RuntimeConfig cfg = adaptive_config(cache);
+
+  ramr::testing::ModCountApp app;
+  std::vector<std::uint64_t> input(96);  // 2 splits at chunk 64
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = i;
+
+  core::Runtime<ramr::testing::ModCountApp> runtime(topo::host(), cfg);
+  const auto result = runtime.run(app, input);
+  EXPECT_EQ(result.plan.source, "default");  // no probe, nothing cached
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : result.pairs) total += v;
+  EXPECT_EQ(total, input.size());
+  EXPECT_FALSE(PlanCache(cache).lookup(PlanKey{
+      app_label<ramr::testing::ModCountApp>(),
+      input_size_bucket(app.num_splits(input)),
+      topology_hash(topo::host())}).has_value());
+  std::remove(cache.c_str());
+}
+
+}  // namespace
+}  // namespace ramr::adapt
