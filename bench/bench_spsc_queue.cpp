@@ -1,22 +1,189 @@
-// Microbenchmarks of the SPSC ring (google-benchmark): single-threaded
-// push/pop cost, batched vs element-wise consumption, capacity effects, and
-// the fixed ring vs the mutex-based dynamic queue (the paper's Sec. III-A
-// rationale for static allocation).
+// Microbenchmarks of the SPSC ring: a deterministic producer-batching
+// counter study (control-variable traffic of try_push_batch vs element-wise
+// try_push, the Sec. III-A batching argument applied to the producer side),
+// a placed-vs-heap slot-storage section (RAMR_MEM page backing), and the
+// google-benchmark micro harness (push/pop cost, batched consume, dynamic
+// queue baseline) from the paper's SPSC selection study.
+//
+// `--json[=path]` mirrors the deterministic sections into
+// BENCH_spsc_queue.json (ramr-bench-v1) via bench_util.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "bench_util.hpp"
+#include "mem/layer.hpp"
+#include "mem/pages.hpp"
 #include "spsc/dynamic_queue.hpp"
 #include "spsc/lamport.hpp"
 #include "spsc/ring.hpp"
+#include "topology/pinning.hpp"
+#include "topology/topology.hpp"
 
 namespace {
 
 using ramr::spsc::DynamicQueue;
 using ramr::spsc::LamportQueue;
 using ramr::spsc::Ring;
+
+// ---------- deterministic sections (mirrored into the JSON report) -----------
+
+// Moves `total` elements through a capacity-1024 ring in produce-then-drain
+// cycles and returns the producer-side counters. `block` == 0 is the
+// element-wise baseline; otherwise the producer stages `block` elements and
+// publishes them with try_push_batch. Single-threaded on purpose: the
+// counters (tail stores, cached-head refreshes, failed pushes) are exact
+// and host-independent, unlike wall-clock on a loaded CI box.
+ramr::spsc::ProducerStats batching_counters(std::size_t block,
+                                            std::uint64_t total) {
+  Ring<std::uint64_t> ring(1024);
+  std::vector<std::uint64_t> staging;
+  std::uint64_t next = 0;
+  std::uint64_t out;
+  std::uint64_t sink = 0;
+  while (next < total) {
+    if (block == 0) {
+      while (next < total && ring.try_push(std::uint64_t{next})) ++next;
+    } else {
+      while (next < total) {
+        staging.clear();
+        for (std::size_t i = 0; i < block && next < total; ++i) {
+          staging.push_back(next++);
+        }
+        std::span<std::uint64_t> rest(staging);
+        while (!rest.empty()) {
+          const std::size_t n = ring.try_push_batch(rest);
+          if (n == 0) break;
+          rest = rest.subspan(n);
+        }
+        if (!rest.empty()) {  // ring full: un-consume the leftovers
+          next -= rest.size();
+          break;
+        }
+      }
+    }
+    while (ring.try_pop(out)) sink += out;
+  }
+  benchmark::DoNotOptimize(sink);
+  return ring.producer_stats();
+}
+
+// Steady-state backpressure: the consumer frees only 16 slots between
+// producer bursts (a busy combiner), so the producer keeps running into the
+// full boundary. An element-wise producer must *fail* a push (refresh +
+// failed-push) to discover each boundary; try_push_batch discovers it via
+// partial acceptance — one refresh, zero failed pushes.
+ramr::spsc::ProducerStats backpressure_counters(std::size_t block,
+                                                std::uint64_t total) {
+  Ring<std::uint64_t> ring(1024);
+  std::vector<std::uint64_t> staging;
+  std::uint64_t next = 0;
+  std::uint64_t sink = 0;
+  while (next < total) {
+    ring.consume_batch(
+        [&](std::span<std::uint64_t> b) {
+          for (std::uint64_t x : b) sink += x;
+        },
+        16);
+    if (block == 0) {
+      while (next < total && ring.try_push(std::uint64_t{next})) ++next;
+    } else {
+      staging.clear();
+      for (std::size_t i = 0; i < block && next < total; ++i) {
+        staging.push_back(next++);
+      }
+      const std::size_t n =
+          ring.try_push_batch(std::span<std::uint64_t>(staging));
+      next -= staging.size() - n;  // un-consume the unaccepted suffix
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  return ring.producer_stats();
+}
+
+void add_counter_rows(ramr::stats::Table& table, std::uint64_t total,
+                      ramr::spsc::ProducerStats (*run)(std::size_t,
+                                                       std::uint64_t)) {
+  for (std::size_t block : {std::size_t{0}, std::size_t{8}, std::size_t{32},
+                            std::size_t{128}, std::size_t{512}}) {
+    const auto stats = run(block, total);
+    // Element-wise publishes one release store per element; a batch
+    // publishes one per try_push_batch call.
+    const std::size_t tail_stores =
+        block == 0 ? stats.pushes : stats.push_batches;
+    table.add_row({block == 0 ? "1 (element-wise)" : std::to_string(block),
+                   std::to_string(tail_stores),
+                   std::to_string(stats.head_refreshes),
+                   std::to_string(stats.failed_pushes),
+                   ramr::stats::Table::fmt(static_cast<double>(tail_stores) /
+                                               static_cast<double>(total),
+                                           4)});
+  }
+}
+
+void producer_batching_study() {
+  constexpr std::uint64_t kTotal = 1 << 20;
+  ramr::bench::banner(
+      "Producer-side batching: control-variable traffic per element "
+      "(fill-then-drain)",
+      "Sec. III-A, applied to the producer");
+  ramr::stats::Table fill({"emit batch", "tail stores", "head refreshes",
+                           "failed pushes", "stores/elem"});
+  add_counter_rows(fill, kTotal, batching_counters);
+  ramr::bench::print(fill);
+
+  ramr::bench::banner(
+      "Producer-side batching under backpressure (16 slots drained per "
+      "burst)",
+      "Sec. III-A, applied to the producer");
+  ramr::stats::Table bp({"emit batch", "tail stores", "head refreshes",
+                         "failed pushes", "stores/elem"});
+  add_counter_rows(bp, kTotal, backpressure_counters);
+  ramr::bench::print(bp);
+}
+
+void placed_storage_study() {
+  ramr::bench::banner(
+      "Ring slot storage: heap vs RAMR_MEM page-backed placement",
+      "Sec. III-A static allocation rationale");
+  const auto topo = ramr::topo::host();
+  const auto plan =
+      ramr::topo::make_plan(topo, ramr::PinPolicy::kOsDefault, 2, 1);
+  ramr::stats::Table table(
+      {"storage", "slot bytes", "mapped", "hugepage", "node-bound"});
+
+  {
+    Ring<std::uint64_t> heap_ring(65536);
+    table.add_row({"heap (default)",
+                   std::to_string(heap_ring.capacity() * sizeof(std::uint64_t)),
+                   "-", "-", "-"});
+  }
+  for (const ramr::MemMode mode :
+       {ramr::MemMode::kArena, ramr::MemMode::kNuma}) {
+    ramr::mem::MemoryLayer layer(mode, topo, plan);
+    {
+      Ring<std::uint64_t> placed(65536, layer.ring_storage(
+                                            layer.node_of_combiner(0)));
+      placed.prefault();
+    }
+    const ramr::mem::LayerStats stats = layer.end_run();
+    const auto& caps = ramr::mem::page_caps();
+    table.add_row({"placed mode=" + stats.mode,
+                   std::to_string(std::size_t{65536} * sizeof(std::uint64_t)),
+                   caps.mmap_ok ? "yes" : "no",
+                   stats.hugepages ? "yes" : "no",
+                   stats.mbind ? "yes" : "no"});
+  }
+  ramr::bench::print(table);
+}
+
+// ---------- google-benchmark micro harness -----------------------------------
 
 void BM_RingPushPop(benchmark::State& state) {
   Ring<std::uint64_t> ring(static_cast<std::size_t>(state.range(0)));
@@ -29,6 +196,29 @@ void BM_RingPushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RingPushPop)->Arg(64)->Arg(5000)->Arg(65536);
+
+// Same round-trip on a RAMR_MEM-placed slot array (huge pages when the host
+// grants them) — the placed-vs-heap wall-clock companion of the table above.
+void BM_RingPushPopPlaced(benchmark::State& state) {
+  const auto topo = ramr::topo::host();
+  const auto plan =
+      ramr::topo::make_plan(topo, ramr::PinPolicy::kOsDefault, 2, 1);
+  ramr::mem::MemoryLayer layer(ramr::MemMode::kArena, topo, plan);
+  {
+    Ring<std::uint64_t> ring(static_cast<std::size_t>(state.range(0)),
+                             layer.ring_storage(-1));
+    ring.prefault();
+    std::uint64_t v = 0;
+    std::uint64_t out = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ring.try_push(v++));
+      benchmark::DoNotOptimize(ring.try_pop(out));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  }
+  layer.end_run();
+}
+BENCHMARK(BM_RingPushPopPlaced)->Arg(5000)->Arg(65536);
 
 void BM_RingBatchedConsume(benchmark::State& state) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
@@ -51,6 +241,42 @@ void BM_RingBatchedConsume(benchmark::State& state) {
                           8192);
 }
 BENCHMARK(BM_RingBatchedConsume)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+// Producer-side mirror of BM_RingBatchedConsume: publish a full ring in
+// blocks of `batch` (1 = element-wise try_push), then drain.
+void BM_RingBatchedPush(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  Ring<std::uint64_t> ring(8192);
+  std::vector<std::uint64_t> staging(batch == 1 ? 0 : batch);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    if (batch == 1) {
+      std::uint64_t v = 0;
+      while (ring.try_push(std::uint64_t{v})) ++v;
+    } else {
+      for (;;) {
+        for (std::size_t i = 0; i < batch; ++i) {
+          staging[i] = static_cast<std::uint64_t>(i);
+        }
+        std::span<std::uint64_t> rest(staging);
+        while (!rest.empty()) {
+          const std::size_t n = ring.try_push_batch(rest);
+          if (n == 0) break;
+          rest = rest.subspan(n);
+        }
+        if (!rest.empty()) break;  // full
+      }
+    }
+    state.PauseTiming();
+    std::uint64_t out;
+    while (ring.try_pop(out)) sink += out;
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8192);
+}
+BENCHMARK(BM_RingBatchedPush)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Arg(1024);
 
 void BM_RingElementwisePop(benchmark::State& state) {
   Ring<std::uint64_t> ring(8192);
@@ -143,4 +369,25 @@ BENCHMARK(BM_DynamicQueuePushPop)->Arg(5000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the deterministic sections run first (and land in the JSON
+// report when --json is given); the google-benchmark harness then consumes
+// the remaining flags, with --json stripped so it doesn't reject it.
+int main(int argc, char** argv) {
+  ramr::bench::init(argc, argv, "spsc_queue");
+  producer_batching_study();
+  placed_storage_study();
+
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) continue;
+    bench_args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

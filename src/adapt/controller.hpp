@@ -323,7 +323,8 @@ mr::result_of<S> run_adaptive(const topo::Topology& topology,
     }
     driver.set_telemetry(session.get());
 
-    engine::TuningControl control(mcfg.batch_size, mcfg.sleep_cap_micros);
+    engine::TuningControl control(mcfg.batch_size, mcfg.sleep_cap_micros,
+                                  mcfg.emit_batch);
     DefaultTuningPolicy default_policy;
     std::unique_ptr<Governor> governor;
     if (want_governor) {
@@ -341,6 +342,7 @@ mr::result_of<S> run_adaptive(const topo::Topology& topology,
       gopts.interval = options.governor_interval;
       gopts.queue_capacity = mcfg.queue_capacity;
       gopts.sleep_cap_floor = std::max<std::size_t>(1, mcfg.sleep_micros);
+      gopts.tune_emit_batch = !cfg.env_overrides.emit_batch;
       governor = std::make_unique<Governor>(
           control, policy != nullptr ? *policy : default_policy,
           session->registry(), gopts, governor_lane,

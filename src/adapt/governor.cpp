@@ -28,10 +28,17 @@ engine::TuningDecision DefaultTuningPolicy::on_observation(
   if (obs.failed_push_rate > 0.05) {
     d.batch_size = obs.batch_size * 2;
     d.sleep_cap_us = obs.sleep_cap_us * 2;
+    // Congested producers are already paying full-ring waits; larger emit
+    // blocks amortise the remaining per-element publication cost.
+    if (obs.emit_batch > 0) d.emit_batch = obs.emit_batch * 2;
   } else if (obs.failed_push_rate == 0.0 && obs.occupancy_fraction < 0.10 &&
              obs.batch_p50 > 0 &&
              obs.batch_size > 2 * static_cast<std::size_t>(obs.batch_p50)) {
     d.batch_size = obs.batch_size / 2;
+    // Starving consumers: shrink the producer-side buffer too — records
+    // held back in a half-full emit buffer are pure added latency when the
+    // rings are near-empty anyway.
+    if (obs.emit_batch > 1) d.emit_batch = obs.emit_batch / 2;
   }
   return d;
 }
@@ -98,6 +105,7 @@ void Governor::tick() {
   obs.seconds = seconds_between(epoch_, now());
   obs.batch_size = control_.batch_size();
   obs.sleep_cap_us = control_.sleep_cap_us();
+  obs.emit_batch = control_.emit_batch();
   obs.queue_capacity = options_.queue_capacity;
 
   double failed = 0.0;
@@ -153,6 +161,26 @@ void Governor::tick() {
           obs.seconds, "sleep_cap_us",
           static_cast<std::uint64_t>(obs.sleep_cap_us),
           static_cast<std::uint64_t>(target)};
+      if (lane_ != nullptr) {
+        lane_->record(epoch_, trace::EventKind::kGovernorAction, action.to);
+      }
+      std::lock_guard lock(actions_mutex_);
+      actions_.push_back(std::move(action));
+    }
+  }
+  // Emit batch: only tunable when the run started with producer batching
+  // on (the emit buffer exists) and the user did not pin it via env.
+  if (decision.emit_batch && options_.tune_emit_batch &&
+      obs.emit_batch > 0) {
+    const std::size_t upper =
+        std::max<std::size_t>(1, options_.queue_capacity / 2);
+    const std::size_t target =
+        std::clamp<std::size_t>(*decision.emit_batch, 1, upper);
+    if (target != obs.emit_batch) {
+      control_.set_emit_batch(target);
+      engine::GovernorAction action{obs.seconds, "emit_batch",
+                                    static_cast<std::uint64_t>(obs.emit_batch),
+                                    static_cast<std::uint64_t>(target)};
       if (lane_ != nullptr) {
         lane_->record(epoch_, trace::EventKind::kGovernorAction, action.to);
       }

@@ -13,7 +13,11 @@
 //                 the combiner re-reads the value per sweep so a change is
 //                 never applied mid-batch;
 //   sleep cap     in [1, 10'000'000] us       — producer backoff ladders
-//                 re-read the cap per sleep.
+//                 re-read the cap per sleep;
+//   emit batch    in [1, queue_capacity / 2]  — only when the run started
+//                 with producer batching on (RAMR_MEM-era emit buffer) and
+//                 the knob is not pinned via RAMR_EMIT_BATCH; mappers
+//                 re-read it per buffered emit, never mid-flush.
 //
 // Ratio and pinning are committed before the pools start and are never
 // touched here (repinning live threads is not safe mid-phase).
@@ -55,6 +59,10 @@ struct GovernorOptions {
   std::chrono::microseconds interval{5000};
   std::size_t queue_capacity = 0;   // bound for the batch clamp
   std::size_t sleep_cap_floor = 1;  // never sleep-cap below this (us)
+  // Whether the emit-batch knob may be retuned (false when pinned via
+  // RAMR_EMIT_BATCH; it is also ignored whenever the run started with
+  // producer batching off — see engine::TuningControl::emit_batch).
+  bool tune_emit_batch = false;
 };
 
 class Governor {

@@ -83,6 +83,26 @@ std::string to_string(AdaptMode mode) {
   return "?";
 }
 
+MemMode parse_mem_mode(const std::string& name) {
+  if (name == "off" || name == "0" || name == "no") return MemMode::kOff;
+  if (name == "arena") return MemMode::kArena;
+  if (name == "numa") return MemMode::kNuma;
+  throw ConfigError("env knob RAMR_MEM: unknown mode '" + name +
+                    "' (expected off|arena|numa)");
+}
+
+std::string to_string(MemMode mode) {
+  switch (mode) {
+    case MemMode::kOff:
+      return "off";
+    case MemMode::kArena:
+      return "arena";
+    case MemMode::kNuma:
+      return "numa";
+  }
+  return "?";
+}
+
 namespace {
 
 // Rejects an env knob whose value parsed but is outside the sane range,
@@ -135,6 +155,10 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
     base.adapt_mode = parse_adapt_mode(*mode);
   }
   base.plan_cache_path = env::get_string(kEnvPlanCache, base.plan_cache_path);
+  if (auto mode = env::get(kEnvMem)) {
+    base.mem_mode = parse_mem_mode(*mode);
+  }
+  base.emit_batch = env::get_uint(kEnvEmitBatch, base.emit_batch);
 
   // Range checks for the knobs where a parseable-but-absurd value would
   // otherwise fail far from its source (or not at all).
@@ -147,6 +171,11 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   if (env::get(kEnvSampleMicros)) {
     check_env_range(kEnvSampleMicros, base.sample_interval_us, 0, 60'000'000);
   }
+  if (env::get(kEnvEmitBatch)) {
+    // 0 = off; the queue-capacity bound is enforced in resolved() where
+    // the capacity itself is final.
+    check_env_range(kEnvEmitBatch, base.emit_batch, 0, 1'000'000);
+  }
 
   // Remember which plan-relevant knobs the user pinned explicitly so the
   // adaptive controller never overrides them (env > cache > probe > defaults).
@@ -158,6 +187,7 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
       env::get(kEnvQueueCapacity).has_value();
   base.env_overrides.pin_policy = env::get(kEnvPinPolicy).has_value();
   base.env_overrides.sleep_cap = env::get(kEnvSleepCapMicros).has_value();
+  base.env_overrides.emit_batch = env::get(kEnvEmitBatch).has_value();
   return base;
 }
 
@@ -205,6 +235,20 @@ RuntimeConfig RuntimeConfig::resolved(std::size_t hardware_threads) const {
                       " exceeds queue capacity " +
                       std::to_string(r.queue_capacity));
   }
+  if (r.emit_batch > r.queue_capacity) {
+    throw ConfigError("emit batch " + std::to_string(r.emit_batch) +
+                      " exceeds queue capacity " +
+                      std::to_string(r.queue_capacity));
+  }
+  if (r.emit_batch == 0 && r.mem_mode != MemMode::kOff &&
+      !r.env_overrides.emit_batch) {
+    // Producer-side batching rides along with the memory subsystem by
+    // default (the emit buffer is the arena's primary client); an explicit
+    // RAMR_EMIT_BATCH=0 opts out.
+    r.emit_batch =
+        std::min<std::size_t>(32, std::max<std::size_t>(1,
+                                                        r.queue_capacity / 2));
+  }
   if (!r.sleep_on_full) {
     // Historical spelling of the busy-wait policy wins over the newer knob.
     r.backoff = BackoffKind::kBusyWait;
@@ -242,6 +286,10 @@ std::string RuntimeConfig::summary() const {
   if (adapt_mode != AdaptMode::kOff) {
     os << " adapt=" << to_string(adapt_mode);
   }
+  // Memory knobs appear only when non-default, keeping default output
+  // byte-stable (same contract as the adapt/telemetry sections).
+  if (mem_mode != MemMode::kOff) os << " mem=" << to_string(mem_mode);
+  if (emit_batch > 0) os << " emit_batch=" << emit_batch;
   return os.str();
 }
 

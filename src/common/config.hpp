@@ -58,6 +58,20 @@ enum class AdaptMode {
 AdaptMode parse_adapt_mode(const std::string& name);
 std::string to_string(AdaptMode mode);
 
+// Memory-subsystem mode (src/mem/): off = every allocation goes to the
+// default heap exactly as before (zero code run; one pointer check per
+// site), arena = per-thread bump arenas + huge-page-backed ring storage,
+// numa = arena + node-local placement (first-touch prefault by each ring's
+// consumer, mbind of arenas/rings to the owner's node when available).
+enum class MemMode {
+  kOff,
+  kArena,
+  kNuma,
+};
+
+MemMode parse_mem_mode(const std::string& name);
+std::string to_string(MemMode mode);
+
 // Env-knob names (all optional; see RuntimeConfig::from_env).
 inline constexpr const char* kEnvMappers = "RAMR_MAPPERS";
 inline constexpr const char* kEnvCombiners = "RAMR_COMBINERS";
@@ -83,6 +97,9 @@ inline constexpr const char* kEnvSampleMicros = "RAMR_SAMPLE_US";
 inline constexpr const char* kEnvAdapt = "RAMR_ADAPT";
 inline constexpr const char* kEnvPlanCache = "RAMR_PLAN_CACHE";
 inline constexpr const char* kEnvAdaptReport = "RAMR_ADAPT_REPORT";
+inline constexpr const char* kEnvMem = "RAMR_MEM";
+inline constexpr const char* kEnvEmitBatch = "RAMR_EMIT_BATCH";
+inline constexpr const char* kEnvHugePages = "RAMR_HUGEPAGES";
 
 // Which plan-relevant knobs were set explicitly via the environment.
 // from_env() fills this so the adaptive controller can honour the
@@ -95,6 +112,7 @@ struct EnvOverrides {
   bool queue_capacity = false;
   bool pin_policy = false;
   bool sleep_cap = false;
+  bool emit_batch = false;
 
   // True when any knob an execution plan would decide is pinned by env.
   bool any_plan_knob() const {
@@ -139,6 +157,14 @@ struct RuntimeConfig {
   // published behaviour). Coalesces same-key emissions before they enter
   // the SPSC ring — an extension targeting the queue-traffic-bound apps.
   std::size_t precombine_slots = 0;
+
+  // Producer-side emit batch, in records (0 = off, the historical
+  // element-wise push). Mappers buffer up to this many records and publish
+  // them through Ring::try_push_batch — one release store and at most one
+  // cached-head refresh per block instead of per element. The buffer
+  // flushes on full, at task boundaries, and before close/cancel. The
+  // steady-state governor may retune it when not pinned via env.
+  std::size_t emit_batch = 0;
 
   // Backoff policy (applies when sleep_on_full is true; sleep_on_full=false
   // forces kBusyWait in resolved() for backwards compatibility). The
@@ -194,6 +220,17 @@ struct RuntimeConfig {
   // Plan-cache file (RAMR_PLAN_CACHE). Empty = the default location,
   // $XDG_CACHE_HOME/ramr/plans.json or ~/.cache/ramr/plans.json.
   std::string plan_cache_path;
+
+  // ---- memory-subsystem knobs (see src/mem/, docs/ARCHITECTURE.md §11) ---
+
+  // RAMR_MEM=off|arena|numa. Off keeps every allocation on the default
+  // heap, byte-identical behaviour; arena/numa build a mem::MemoryLayer in
+  // the PoolSet (placed arenas + huge-page ring storage; numa adds
+  // node-local binding and consumer-side first touch). RAMR_HUGEPAGES=0
+  // additionally forces the huge-page advice off (fallback testing /
+  // operator escape hatch); it is read by mem::hugepages_enabled, not
+  // stored here.
+  MemMode mem_mode = MemMode::kOff;
 
   // Filled by from_env(); defaults mean "nothing pinned".
   EnvOverrides env_overrides;

@@ -42,6 +42,7 @@
 #include "engine/result.hpp"
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
+#include "mem/layer.hpp"
 #include "sched/parallel_sort.hpp"
 #include "sched/task_queue.hpp"
 #include "telemetry/sampler.hpp"
@@ -231,7 +232,14 @@ class PhaseDriver {
     phase_begin(Phase::kMerge);
     {
       ScopedPhase t(result.timers, Phase::kMerge);
-      strategy.collect(result);
+      // Strategies that support parallel collection take the pools and
+      // fan the copy-out over the general-purpose pool; the serial
+      // signature stays the fallback.
+      if constexpr (requires { strategy.collect(result, pools_); }) {
+        strategy.collect(result, pools_);
+      } else {
+        strategy.collect(result);
+      }
       mr::apply_reducer(app, result.pairs);
       sched::parallel_sort(
           pools_.mapper_pool(), result.pairs,
@@ -239,6 +247,20 @@ class PhaseDriver {
     }
     phase_end(Phase::kMerge);
     throw_if_aborted();
+
+    // Memory-subsystem run boundary: reset every worker arena wholesale
+    // (the pools are joined, nobody is allocating) and stamp the layer's
+    // outcome into the result. No-op when RAMR_MEM is off.
+    if (mem::MemoryLayer* ml = pools_.memory()) {
+      const mem::LayerStats ls = ml->end_run();
+      result.mem.mode = ls.mode;
+      result.mem.arena_high_water = ls.arena_high_water;
+      result.mem.arena_chunk_bytes = ls.arena_chunk_bytes;
+      result.mem.arena_resets = ls.arena_resets;
+      result.mem.ring_bytes = ls.ring_bytes;
+      result.mem.hugepages = ls.hugepages;
+      result.mem.mbind = ls.mbind;
+    }
 
     // Stamp the plan this run executed under (satellite of the adaptive
     // controller: every result now records strategy + knobs + provenance).

@@ -74,6 +74,11 @@ PoolSet::PoolSet(topo::Topology topology, const RuntimeConfig& config)
   combiner_pool_ =
       std::make_unique<sched::ThreadPool>(cfg_.num_combiners, combiner_pins_);
   num_groups_ = topo_.num_sockets();
+  // RAMR_MEM: the memory layer lives with the pools because placement is a
+  // property of (plan, topology) — the strategies reach it via memory().
+  if (cfg_.mem_mode != MemMode::kOff) {
+    memory_ = std::make_unique<mem::MemoryLayer>(cfg_.mem_mode, topo_, plan_);
+  }
 }
 
 PoolSet::PoolSet(topo::Topology topology, std::size_t num_workers,

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "mem/layer.hpp"
 #include "sched/thread_pool.hpp"
 #include "topology/pinning.hpp"
 #include "topology/topology.hpp"
@@ -98,6 +99,11 @@ class PoolSet {
   // pinned CPU when placement is known, round-robin otherwise.
   std::size_t group_of_mapper(std::size_t m) const;
 
+  // The RAMR_MEM memory layer (per-worker arenas, placed ring storage);
+  // nullptr when mem_mode is off — every engine allocation site checks
+  // this one pointer and takes the historical heap path when null.
+  mem::MemoryLayer* memory() const { return memory_.get(); }
+
   // The pin each thread was requested to run on (std::nullopt = unpinned);
   // exposed so tests can verify policy resolution without digging into the
   // OS. Pins that fail on a small host degrade silently to unpinned.
@@ -116,6 +122,7 @@ class PoolSet {
   std::vector<std::optional<std::size_t>> combiner_pins_;
   std::unique_ptr<sched::ThreadPool> mapper_pool_;
   std::unique_ptr<sched::ThreadPool> combiner_pool_;
+  std::unique_ptr<mem::MemoryLayer> memory_;
   std::size_t num_groups_ = 1;
 };
 

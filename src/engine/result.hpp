@@ -7,6 +7,7 @@
 // results compare and print uniformly across the three architectures.
 #pragma once
 
+#include <cstdio>
 #include <cstddef>
 #include <string>
 #include <utility>
@@ -16,6 +17,32 @@
 #include "engine/tuning.hpp"
 
 namespace ramr::engine {
+
+// Memory-subsystem outcome of one run (RAMR_MEM; see src/mem/). An empty
+// mode means the subsystem was off — summary() and the run report then
+// print nothing, keeping default output byte-identical.
+struct MemStats {
+  std::string mode;                  // "" (off) | "arena" | "numa"
+  std::size_t arena_high_water = 0;  // deepest worker arena (bytes)
+  std::size_t arena_chunk_bytes = 0; // arena backing storage held (bytes)
+  std::size_t arena_resets = 0;      // wholesale resets so far
+  std::size_t ring_bytes = 0;        // placed ring slot storage (bytes)
+  bool hugepages = false;            // some block got MADV_HUGEPAGE
+  bool mbind = false;                // some block was node-bound
+
+  bool enabled() const { return !mode.empty(); }
+
+  std::string summary() const {
+    std::string s = "mem=" + mode +
+                    " arena_hw=" + std::to_string(arena_high_water) +
+                    " arena_bytes=" + std::to_string(arena_chunk_bytes) +
+                    " arena_resets=" + std::to_string(arena_resets);
+    if (ring_bytes > 0) s += " ring_bytes=" + std::to_string(ring_bytes);
+    s += std::string(" huge=") + (hugepages ? "yes" : "no") + " mbind=" +
+         (mbind ? "yes" : "no");
+    return s;
+  }
+};
 
 // The execution plan a run actually used, and where it came from. Stamped
 // by PhaseDriver::run from the resolved config + strategy; the adaptive
@@ -63,6 +90,7 @@ struct RunResult {
   std::size_t queue_pushes = 0;
   std::size_t queue_failed_pushes = 0;
   std::size_t queue_batches = 0;
+  std::size_t queue_push_batches = 0;   // producer-side batched publishes
   std::size_t queue_max_occupancy = 0;  // deepest any ring ever got
 
   // Actual sleeps the producer/consumer backoffs performed (pipelined
@@ -80,6 +108,10 @@ struct RunResult {
   PlanInfo plan;
   std::vector<GovernorAction> governor_actions;
 
+  // Memory-subsystem stats; enabled() is false (and nothing is printed)
+  // unless RAMR_MEM was on.
+  MemStats mem;
+
   std::string summary() const {
     std::string s = timers.summary();
     s += " pairs=" + std::to_string(pairs.size());
@@ -88,8 +120,23 @@ struct RunResult {
     if (queue_pushes > 0) s += " qpush=" + std::to_string(queue_pushes);
     if (queue_failed_pushes > 0) {
       s += " qfail=" + std::to_string(queue_failed_pushes);
+      // The raw count is misleading once producers batch (one blocked
+      // *block* retries as one failed push regardless of its size), so
+      // report the rate over push attempts alongside it.
+      const double attempts =
+          static_cast<double>(queue_pushes + queue_failed_pushes);
+      if (attempts > 0.0) {
+        char rate[32];
+        std::snprintf(rate, sizeof(rate), " qfail_rate=%.1f%%",
+                      100.0 * static_cast<double>(queue_failed_pushes) /
+                          attempts);
+        s += rate;
+      }
     }
     if (queue_batches > 0) s += " qbatch=" + std::to_string(queue_batches);
+    if (queue_push_batches > 0) {
+      s += " qpbatch=" + std::to_string(queue_push_batches);
+    }
     if (queue_max_occupancy > 0) {
       s += " qmax=" + std::to_string(queue_max_occupancy);
     }
@@ -102,6 +149,9 @@ struct RunResult {
     if (!governor_actions.empty()) {
       s += " governor=" + std::to_string(governor_actions.size());
     }
+    // Memory stats only when RAMR_MEM was on; the default line stays
+    // byte-stable.
+    if (mem.enabled()) s += " " + mem.summary();
     return s;
   }
 };

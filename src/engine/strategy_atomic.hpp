@@ -26,6 +26,7 @@
 
 #include "common/cancellation.hpp"
 #include "engine/app_model.hpp"
+#include "engine/collect.hpp"
 #include "engine/emit_strategy.hpp"
 #include "engine/result.hpp"
 
@@ -72,11 +73,11 @@ class AtomicGlobal {
 
   void reduce(PoolSet&) {}  // never called: kHasReduce is false
 
-  void collect(RunResult<key_type, value_type>& result) {
-    result.pairs.reserve(global_->size());
-    global_->for_each([&](const key_type& k, const value_type& v) {
-      result.pairs.emplace_back(k, v);
-    });
+  // Copy-out fanned over the worker pool: for_each_range on the atomic
+  // array is safe here — the emitting phase quiesced at the map-combine
+  // pool join.
+  void collect(RunResult<key_type, value_type>& result, PoolSet& pools) {
+    result.pairs = collect_pairs(pools.mapper_pool(), *global_);
   }
 
  private:

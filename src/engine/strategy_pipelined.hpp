@@ -40,9 +40,12 @@
 #include "common/error.hpp"
 #include "containers/container_traits.hpp"
 #include "engine/app_model.hpp"
+#include "engine/collect.hpp"
 #include "engine/emit_strategy.hpp"
 #include "engine/precombine.hpp"
 #include "engine/result.hpp"
+#include "mem/arena.hpp"
+#include "mem/layer.hpp"
 #include "sched/parallel_sort.hpp"
 #include "spsc/backoff.hpp"
 #include "spsc/ring.hpp"
@@ -73,10 +76,23 @@ class PipelinedSpsc {
 
     // One ring per mapper (single producer); each combiner drains a
     // disjoint ring set (single consumer) — SPSC suffices (Sec. III-A).
+    // With the memory layer on, slot storage is placed for the ring's
+    // *consumer*: huge-page-backed, and in numa mode bound to the node of
+    // the combiner that drains it (the consumer reads every slot; the
+    // producer writes each one once).
+    mem::MemoryLayer* memlayer = ctx.pools.memory();
     rings_.clear();
     rings_.reserve(cfg.num_mappers);
     for (std::size_t m = 0; m < cfg.num_mappers; ++m) {
-      rings_.push_back(std::make_unique<spsc::Ring<Record>>(cfg.queue_capacity));
+      if (memlayer != nullptr) {
+        const int node =
+            memlayer->node_of_combiner(plan.combiner_of_mapper(m));
+        rings_.push_back(std::make_unique<spsc::Ring<Record>>(
+            cfg.queue_capacity, memlayer->ring_storage(node)));
+      } else {
+        rings_.push_back(
+            std::make_unique<spsc::Ring<Record>>(cfg.queue_capacity));
+      }
     }
     combiner_containers_.clear();
     combiner_containers_.reserve(cfg.num_combiners);
@@ -87,6 +103,13 @@ class PipelinedSpsc {
 
     std::atomic<std::size_t> tasks_executed{0};
     std::atomic<std::size_t> backoff_sleeps{0};
+
+    // Producer-side emit batching: 0 keeps the historical element-wise
+    // try_push path. The initial size comes from the resolved config (via
+    // the tuning mailbox when the adaptive controller runs, so a governor
+    // retune is visible mid-phase).
+    const std::size_t emit_init =
+        ctx.tuning != nullptr ? ctx.tuning->emit_batch() : cfg.emit_batch;
 
     // Ring-occupancy time-series: total elements queued across all rings,
     // snapshotted by the sampler thread (Ring::size() is a cross-thread-safe
@@ -205,41 +228,72 @@ class PipelinedSpsc {
       trace::Lane* lane = ctl.lane;
       telemetry::EngineMetrics* tm = ctl.metrics;
       std::size_t executed = 0;
-      // `emit` feeds records toward the ring; the per-task hook flushes the
-      // pre-combining buffer (when enabled) so the combiners keep receiving
-      // data at task granularity.
-      auto run_with = [&](auto backoff) {
+      // `emit` feeds records toward the ring — directly, or staged through
+      // the emit buffer when producer batching is on; the per-task hook
+      // flushes the pre-combining and emit buffers so the combiners keep
+      // receiving data at task granularity (an idle/stalling mapper never
+      // sits on buffered records).
+      auto run_with = [&](auto backoff, auto& emit_buf) {
         backoff.bind(&ctx.cancel.flag());
         if constexpr (requires { backoff.bind_cap(nullptr); }) {
           if (ctx.tuning != nullptr) {
             backoff.bind_cap(ctx.tuning->sleep_cap_cell());
           }
         }
+        // One blocked-on-full-ring wait step, shared by the element-wise
+        // push loop and the batched flush loop.
+        auto wait_full = [&] {
+          // Live mirror of the ring's failed-push count (the governor's
+          // congestion signal must be visible mid-phase, not at join).
+          // This is the slow path — the ring was full and we are about
+          // to back off anyway.
+          if (tm != nullptr) tm->queue_failed_pushes->increment(m);
+          if (ctx.cancel.cancelled()) {
+            // Unwind out of app.map; the wrapper below exits quietly
+            // (the peer that caused the cancel reports the error).
+            throw common::CancelledError(
+                "mapper-" + std::to_string(m) +
+                ": run cancelled while blocked on a full ring");
+          }
+          ctl.beat.bump();
+          const std::size_t before = backoff.sleep_count();
+          backoff.wait();
+          const std::size_t slept = backoff.sleep_count() - before;
+          if (slept > 0 && lane != nullptr) {
+            lane->record(ctx.lanes.epoch, trace::EventKind::kBackoffSleep,
+                         slept);
+          }
+        };
+        // Publishes the buffered block through try_push_batch: one release
+        // store (and at most one cached-head refresh) per accepted span
+        // instead of per element, backing off whenever the ring is full.
+        auto flush = [&] {
+          std::span<Record> rest(emit_buf.data(), emit_buf.size());
+          while (!rest.empty()) {
+            const std::size_t n = ring.try_push_batch(rest);
+            if (n == 0) {
+              wait_full();
+              continue;
+            }
+            rest = rest.subspan(n);
+            backoff.reset();
+          }
+          emit_buf.clear();
+        };
         auto push_record = [&](Record&& r) {
           ctx.injector.on_emit(m);
-          while (!ring.try_push(std::move(r))) {
-            // Live mirror of the ring's failed-push count (the governor's
-            // congestion signal must be visible mid-phase, not at join).
-            // This is the slow path — the ring was full and we are about
-            // to back off anyway.
-            if (tm != nullptr) tm->queue_failed_pushes->increment(m);
-            if (ctx.cancel.cancelled()) {
-              // Unwind out of app.map; the wrapper below exits quietly
-              // (the peer that caused the cancel reports the error).
-              throw common::CancelledError(
-                  "mapper-" + std::to_string(m) +
-                  ": run cancelled while blocked on a full ring");
-            }
-            ctl.beat.bump();
-            const std::size_t before = backoff.sleep_count();
-            backoff.wait();
-            const std::size_t slept = backoff.sleep_count() - before;
-            if (slept > 0 && lane != nullptr) {
-              lane->record(ctx.lanes.epoch, trace::EventKind::kBackoffSleep,
-                           slept);
-            }
+          if (emit_init == 0) {
+            while (!ring.try_push(std::move(r))) wait_full();
+            backoff.reset();
+            return;
           }
-          backoff.reset();
+          emit_buf.push_back(std::move(r));
+          // The batch size is re-read per emit so the governor can retune
+          // it mid-phase; a change never splits a block mid-flush.
+          const std::size_t want = ctx.tuning != nullptr
+                                       ? ctx.tuning->emit_batch()
+                                       : emit_init;
+          if (emit_buf.size() >= std::max<std::size_t>(1, want)) flush();
         };
         if (cfg.precombine_slots > 0) {
           PrecombineBuffer<key_type, value_type, typename Container::combiner>
@@ -251,35 +305,68 @@ class PipelinedSpsc {
                   push_record(std::move(*evicted));
                 }
               },
-              [&] { buffer.flush(push_record); });
+              [&] {
+                buffer.flush(push_record);
+                if (!emit_buf.empty()) flush();
+              });
         } else {
           executed = drain_map_tasks(
               ctl, app, input,
               [&](const key_type& k, const value_type& v) {
                 push_record(Record{k, v});
               },
-              [] {});
+              [&] {
+                if (!emit_buf.empty()) flush();
+              });
         }
+        // Close-time flush: nothing buffered may be lost when the stream
+        // ends (the per-task hook normally leaves this empty).
+        if (!emit_buf.empty()) flush();
         backoff_sleeps.fetch_add(backoff.sleep_count(),
                                  std::memory_order_relaxed);
         if (tm != nullptr) {
           tm->backoff_sleeps->add(m, backoff.sleep_count());
         }
       };
-      try {
+      auto dispatch = [&](auto& emit_buf) {
         switch (cfg.backoff) {
           case BackoffKind::kBusyWait:
-            run_with(spsc::BusyWaitBackoff{});
+            run_with(spsc::BusyWaitBackoff{}, emit_buf);
             break;
           case BackoffKind::kExponential:
             run_with(spsc::ExponentialSleepBackoff(
-                std::chrono::microseconds(cfg.sleep_micros),
-                std::chrono::microseconds(cfg.sleep_cap_micros)));
+                         std::chrono::microseconds(cfg.sleep_micros),
+                         std::chrono::microseconds(cfg.sleep_cap_micros)),
+                     emit_buf);
             break;
           case BackoffKind::kSleep:
             run_with(spsc::SleepBackoff(
-                std::chrono::microseconds(cfg.sleep_micros)));
+                         std::chrono::microseconds(cfg.sleep_micros)),
+                     emit_buf);
             break;
+        }
+      };
+      // Reserving the governor's upper clamp up front keeps an
+      // arena-backed buffer from abandoning grown-out blocks
+      // (ArenaAllocator never reclaims) and the heap one from reallocating
+      // mid-phase.
+      const std::size_t emit_cap =
+          emit_init == 0
+              ? 0
+              : std::max(emit_init, std::max<std::size_t>(
+                                        1, cfg.queue_capacity / 2));
+      try {
+        if (memlayer != nullptr) {
+          // KV records staged in this mapper's arena: node-local in numa
+          // mode, reclaimed wholesale by the layer's end-of-run reset.
+          std::vector<Record, mem::ArenaAllocator<Record>> emit_buf(
+              mem::ArenaAllocator<Record>(&memlayer->mapper_arena(m)));
+          emit_buf.reserve(emit_cap);
+          dispatch(emit_buf);
+        } else {
+          std::vector<Record> emit_buf;
+          emit_buf.reserve(emit_cap);
+          dispatch(emit_buf);
         }
       } catch (const common::CancelledError&) {
         // Cooperative unwind: a peer failed or a watchdog verdict landed.
@@ -310,8 +397,27 @@ class PipelinedSpsc {
         // thread) after it stopped pushing. Failed pushes were already
         // mirrored live on the full-ring path above.
         tm->queue_pushes->add(m, ring.producer_stats().pushes);
+        tm->queue_push_batches->add(m, ring.producer_stats().push_batches);
+        if (memlayer != nullptr) {
+          tm->arena_high_water->set(
+              m, static_cast<double>(
+                     memlayer->mapper_arena(m).stats().high_water));
+        }
       }
     };
+
+    // Consumer-side first-touch: in numa mode each combiner touches its
+    // rings' slot pages before the pipeline starts, so the kernel backs
+    // them on the consumer's node (this complements the mbind hint, and is
+    // the whole placement mechanism when mbind is unavailable). Blocking
+    // pass — no producer has pushed yet, so prefault cannot race.
+    if (memlayer != nullptr && memlayer->placement()) {
+      ctx.pools.combiner_pool().run_on_all([&](std::size_t j) {
+        for (std::size_t m : plan.mappers_of_combiner[j]) {
+          rings_[m]->prefault();
+        }
+      });
+    }
 
     ctx.pools.combiner_pool().start(combiner_job);
     ctx.pools.mapper_pool().start(mapper_job);
@@ -324,6 +430,7 @@ class PipelinedSpsc {
       result.queue_pushes += ring->producer_stats().pushes;
       result.queue_failed_pushes += ring->producer_stats().failed_pushes;
       result.queue_batches += ring->consumer_stats().batches;
+      result.queue_push_batches += ring->producer_stats().push_batches;
       result.queue_max_occupancy = std::max(
           result.queue_max_occupancy, ring->consumer_stats().max_occupancy);
     }
@@ -335,12 +442,15 @@ class PipelinedSpsc {
     sched::parallel_tree_merge(pools.mapper_pool(), combiner_containers_);
   }
 
-  void collect(RunResult<key_type, value_type>& result) {
+  // Copy-out fanned over the general-purpose pool (serial for small
+  // containers); the driver passes the pools through the two-argument
+  // collect signature.
+  void collect(RunResult<key_type, value_type>& result, PoolSet& pools) {
     if (combiner_containers_.empty()) {
       throw Error("PipelinedSpsc::collect: no combiner containers (was "
                   "map_combine run?)");
     }
-    result.pairs = containers::to_pairs(combiner_containers_[0]);
+    result.pairs = collect_pairs(pools.mapper_pool(), combiner_containers_[0]);
   }
 
  private:

@@ -26,8 +26,11 @@ namespace ramr::engine {
 // here — the control block is a dumb mailbox.
 class TuningControl {
  public:
-  TuningControl(std::size_t batch_size, std::size_t sleep_cap_us)
-      : batch_size_(batch_size), sleep_cap_us_(sleep_cap_us) {}
+  TuningControl(std::size_t batch_size, std::size_t sleep_cap_us,
+                std::size_t emit_batch = 0)
+      : batch_size_(batch_size),
+        sleep_cap_us_(sleep_cap_us),
+        emit_batch_(emit_batch) {}
 
   std::size_t batch_size() const {
     return static_cast<std::size_t>(
@@ -47,6 +50,20 @@ class TuningControl {
                         std::memory_order_relaxed);
   }
 
+  // Producer-side emit batch (0 = element-wise push). Mappers re-read it
+  // per buffered emit, so a governor change resizes the next flush
+  // threshold, never a flush in flight. The governor may only retune it
+  // when the run started with batching on (> 0): the emit buffer itself is
+  // created at pipeline start.
+  std::size_t emit_batch() const {
+    return static_cast<std::size_t>(
+        emit_batch_.load(std::memory_order_relaxed));
+  }
+  void set_emit_batch(std::size_t value) {
+    emit_batch_.store(static_cast<std::uint64_t>(value),
+                      std::memory_order_relaxed);
+  }
+
   // For ExponentialSleepBackoff::bind_cap: the backoff re-reads the cap
   // cell before each sleep so a governor adjustment takes effect on the
   // very next sleep, not the next run.
@@ -57,6 +74,7 @@ class TuningControl {
  private:
   std::atomic<std::uint64_t> batch_size_;
   std::atomic<std::uint64_t> sleep_cap_us_;
+  std::atomic<std::uint64_t> emit_batch_{0};
 };
 
 // One governor observation window, distilled from MetricRegistry deltas.
@@ -67,6 +85,7 @@ struct TuningObservation {
   std::uint64_t batch_p50 = 0;     // median sweep batch so far (elements)
   std::size_t batch_size = 0;      // current control values …
   std::size_t sleep_cap_us = 0;
+  std::size_t emit_batch = 0;      //   (0 = producer batching off)
   std::size_t queue_capacity = 0;  // … and the bound they live under
 };
 
@@ -75,6 +94,7 @@ struct TuningObservation {
 struct TuningDecision {
   std::optional<std::size_t> batch_size;
   std::optional<std::size_t> sleep_cap_us;
+  std::optional<std::size_t> emit_batch;  // ignored when batching is off
 };
 
 // User hook: called once per governor tick with the latest window. The
@@ -91,7 +111,7 @@ class TuningPolicy {
 // lane.
 struct GovernorAction {
   double seconds = 0.0;  // run-relative timestamp
-  std::string knob;      // "batch_size" | "sleep_cap_us"
+  std::string knob;      // "batch_size" | "sleep_cap_us" | "emit_batch"
   std::uint64_t from = 0;
   std::uint64_t to = 0;
 };

@@ -1,0 +1,66 @@
+#include "mem/arena.hpp"
+
+#include <cstdint>
+
+namespace ramr::mem {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Chunk& Arena::grow(std::size_t min_bytes) {
+  // Reuse a kept (reset) chunk when one is large enough before mapping a
+  // new one.
+  while (current_ + 1 < chunks_.size()) {
+    ++current_;
+    if (chunks_[current_].buffer.size() >= min_bytes) {
+      return chunks_[current_];
+    }
+  }
+  const std::size_t bytes = min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+  chunks_.emplace_back();
+  chunks_.back().buffer =
+      PageBuffer(bytes, alignof(std::max_align_t), node_, want_huge_);
+  current_ = chunks_.size() - 1;
+  stats_.chunk_bytes += bytes;
+  stats_.chunks = chunks_.size();
+  return chunks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (chunks_.empty()) grow(bytes + align);
+  Chunk* chunk = &chunks_[current_];
+  std::size_t at = align_up(chunk->offset, align);
+  if (at + bytes > chunk->buffer.size()) {
+    chunk = &grow(bytes + align);
+    at = align_up(chunk->offset, align);
+  }
+  chunk->offset = at + bytes;
+  stats_.allocated += bytes;
+  if (stats_.allocated > stats_.high_water) {
+    stats_.high_water = stats_.allocated;
+  }
+  return static_cast<char*>(chunk->buffer.data()) + at;
+}
+
+void Arena::reset() {
+  for (Chunk& chunk : chunks_) chunk.offset = 0;
+  current_ = 0;
+  stats_.allocated = 0;
+  ++stats_.resets;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  current_ = 0;
+  stats_.allocated = 0;
+  stats_.chunk_bytes = 0;
+  stats_.chunks = 0;
+}
+
+}  // namespace ramr::mem

@@ -1,0 +1,112 @@
+// Per-thread bump arenas for intermediate KV payloads and container nodes.
+//
+// The paper (and Lu et al.'s Xeon Phi study in PAPERS.md) found dynamic
+// allocation a first-order cost on many-core parts: the map-combine phase
+// allocates millions of short-lived intermediate objects whose lifetimes
+// all end together at the phase boundary. An arena turns each of those
+// malloc/free pairs into a pointer bump, and the phase-end teardown into
+// one wholesale reset that keeps the chunks for the next run.
+//
+// Threading model: an Arena is single-owner — exactly one worker thread
+// allocates from it while the pipeline runs (that lazy first allocation is
+// also what first-touches the chunk onto the owner's NUMA node). reset()
+// and stats() are called by the driver thread, but only after the pools
+// joined (the pool join provides the happens-before edge; the arena itself
+// carries no atomics).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mem/pages.hpp"
+
+namespace ramr::mem {
+
+struct ArenaStats {
+  std::size_t allocated = 0;    // live bytes since the last reset
+  std::size_t high_water = 0;   // max live bytes across all resets
+  std::size_t chunk_bytes = 0;  // backing storage currently held
+  std::size_t chunks = 0;
+  std::size_t resets = 0;
+};
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+
+  // `node` >= 0 binds new chunks to that NUMA node (when mbind is
+  // available; first-touch by the owner thread otherwise). `want_huge`
+  // requests MADV_HUGEPAGE on chunks. No memory is allocated until the
+  // first allocate() — the owner thread's first touch places the pages.
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes, int node = -1,
+                 bool want_huge = false)
+      : chunk_bytes_(chunk_bytes < 4096 ? 4096 : chunk_bytes),
+        node_(node),
+        want_huge_(want_huge) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Bump-allocates `bytes` aligned to `align` (power of two). Never
+  // returns nullptr; grows by a new chunk when the current one is full
+  // (oversized requests get a dedicated chunk).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  // Wholesale reset: every previous allocation is invalidated at once, all
+  // chunks are kept for reuse. This is the phase-boundary teardown the
+  // element-wise free path can never match.
+  void reset();
+
+  // Returns all chunks to the OS (reset + free).
+  void release();
+
+  const ArenaStats& stats() const { return stats_; }
+  int node() const { return node_; }
+
+ private:
+  struct Chunk {
+    PageBuffer buffer;
+    std::size_t offset = 0;
+  };
+
+  Chunk& grow(std::size_t min_bytes);
+
+  std::size_t chunk_bytes_;
+  int node_;
+  bool want_huge_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // chunks_[current_] is being bumped
+  ArenaStats stats_;
+};
+
+// Minimal C++17-style allocator adapter so std containers (the emit
+// buffer, test vectors, hash-container slot arrays) can live in an arena.
+// deallocate is a no-op — memory comes back wholesale via Arena::reset().
+// The arena must outlive every container using it.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const {
+    return arena_ == other.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace ramr::mem

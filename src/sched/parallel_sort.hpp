@@ -52,6 +52,26 @@ void parallel_sort(ThreadPool& pool, std::vector<T>& items, Compare comp) {
   }
 }
 
+// Splits [0, total) into one contiguous range per worker (the same
+// fencepost arithmetic as parallel_sort's chunking) and calls
+// f(worker, lo, hi) concurrently on the pool. Ranges are identical across
+// calls with the same (pool, total), so a count pass and a copy pass see
+// the same partition. Empty ranges are skipped.
+template <typename F>
+void parallel_for_ranges(ThreadPool& pool, std::size_t total, F&& f) {
+  if (total == 0) return;
+  const std::size_t workers = pool.size();
+  if (workers < 2) {
+    f(std::size_t{0}, std::size_t{0}, total);
+    return;
+  }
+  pool.run_on_all([&](std::size_t w) {
+    const std::size_t lo = total * w / workers;
+    const std::size_t hi = total * (w + 1) / workers;
+    if (lo < hi) f(w, lo, hi);
+  });
+}
+
 // Parallel tree reduction of per-thread containers: log2(count) rounds of
 // pairwise merge_from, each round executed concurrently on the pool. After
 // the call, containers[0] holds the combined result.

@@ -40,6 +40,21 @@ namespace ramr::spsc {
 struct ProducerStats {
   std::size_t pushes = 0;        // elements successfully pushed
   std::size_t failed_pushes = 0; // try_push calls that found the ring full
+  std::size_t push_batches = 0;  // try_push_batch calls that pushed > 0
+  std::size_t head_refreshes = 0; // acquire reloads of the consumer's head
+};
+
+// External slot-array allocator hook: lets a memory subsystem place the
+// slot storage (huge pages, NUMA binding) without this header depending on
+// it. Both function pointers must be set; `ctx` is passed through verbatim
+// and must outlive the Ring. The returned block must be at least `bytes`
+// large and `align`-aligned.
+struct SlotStorage {
+  void* (*alloc)(std::size_t bytes, std::size_t align, void* ctx) = nullptr;
+  void (*dealloc)(void* data, std::size_t bytes, void* ctx) = nullptr;
+  void* ctx = nullptr;
+
+  explicit operator bool() const { return alloc != nullptr; }
 };
 
 struct ConsumerStats {
@@ -59,13 +74,25 @@ class Ring {
   // index wrapping). One slot is *not* sacrificed: occupancy is derived from
   // monotonically increasing head/tail, so all `capacity_pow2` slots hold
   // data. Throws ConfigError for capacity < 2.
-  explicit Ring(std::size_t capacity)
-      : capacity_(round_up_pow2(capacity)), mask_(capacity_ - 1) {
+  explicit Ring(std::size_t capacity) : Ring(capacity, SlotStorage{}) {}
+
+  // Places the slot array through `storage` (see SlotStorage) instead of
+  // the default heap; the RAMR_MEM subsystem uses this for huge-page /
+  // node-bound backing. A null storage falls back to aligned operator new.
+  Ring(std::size_t capacity, SlotStorage storage)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        storage_(storage) {
     if (capacity < 2) {
       throw ConfigError("Ring capacity must be >= 2");
     }
-    slots_ = static_cast<T*>(::operator new[](
-        capacity_ * sizeof(T), std::align_val_t(alignof(T))));
+    if (storage_) {
+      slots_ = static_cast<T*>(storage_.alloc(capacity_ * sizeof(T),
+                                              alignof(T), storage_.ctx));
+    } else {
+      slots_ = static_cast<T*>(::operator new[](
+          capacity_ * sizeof(T), std::align_val_t(alignof(T))));
+    }
   }
 
   ~Ring() {
@@ -75,8 +102,13 @@ class Ring {
     for (std::size_t i = head; i != tail; ++i) {
       slots_[i & mask_].~T();
     }
-    ::operator delete[](static_cast<void*>(slots_),
-                        std::align_val_t(alignof(T)));
+    if (storage_) {
+      storage_.dealloc(static_cast<void*>(slots_), capacity_ * sizeof(T),
+                       storage_.ctx);
+    } else {
+      ::operator delete[](static_cast<void*>(slots_),
+                          std::align_val_t(alignof(T)));
+    }
   }
 
   Ring(const Ring&) = delete;
@@ -93,6 +125,7 @@ class Ring {
     const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
     if (tail - cached_head_ >= capacity_) {
       cached_head_ = head_.value.load(std::memory_order_acquire);
+      ++producer_stats_.head_refreshes;
       if (tail - cached_head_ >= capacity_) {
         ++producer_stats_.failed_pushes;
         return false;
@@ -102,6 +135,47 @@ class Ring {
     tail_.value.store(tail + 1, std::memory_order_release);
     ++producer_stats_.pushes;
     return true;
+  }
+
+  // Batched publication — the producer-side counterpart of consume_batch
+  // (paper Sec. III-A applied symmetrically): moves up to batch.size()
+  // elements into the ring as at most two contiguous spans, then publishes
+  // ONE release store to tail. A full block therefore costs one
+  // control-variable update and at most one cached-head refresh, instead
+  // of one of each per element. Returns the number of elements moved (a
+  // prefix of `batch`); 0 when the ring is full (counted as one failed
+  // push). Unmoved elements stay valid in `batch` — retry with
+  // batch.subspan(n).
+  std::size_t try_push_batch(std::span<T> batch) {
+    if (batch.empty()) return 0;
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    std::size_t free_slots = capacity_ - (tail - cached_head_);
+    if (free_slots < batch.size()) {
+      cached_head_ = head_.value.load(std::memory_order_acquire);
+      ++producer_stats_.head_refreshes;
+      free_slots = capacity_ - (tail - cached_head_);
+      if (free_slots == 0) {
+        ++producer_stats_.failed_pushes;
+        return 0;
+      }
+    }
+    const std::size_t n =
+        batch.size() < free_slots ? batch.size() : free_slots;
+    const std::size_t first_index = tail & mask_;
+    const std::size_t until_wrap = capacity_ - first_index;
+    const std::size_t first_len = n < until_wrap ? n : until_wrap;
+    for (std::size_t i = 0; i < first_len; ++i) {
+      ::new (static_cast<void*>(&slots_[first_index + i]))
+          T(std::move(batch[i]));
+    }
+    for (std::size_t i = first_len; i < n; ++i) {
+      ::new (static_cast<void*>(&slots_[i - first_len]))
+          T(std::move(batch[i]));
+    }
+    tail_.value.store(tail + n, std::memory_order_release);
+    producer_stats_.pushes += n;
+    ++producer_stats_.push_batches;
+    return n;
   }
 
   bool try_push(const T& value) { return try_push(T(value)); }
@@ -200,6 +274,20 @@ class Ring {
   }
   bool empty() const { return size() == 0; }
 
+  // First-touch placement hook: touches every page of the slot array so
+  // the kernel backs it on the calling thread's NUMA node. Must run on the
+  // CONSUMER thread (the side that reads every slot) BEFORE the producer's
+  // first push, and must not race either side — the engine calls it from
+  // a blocking pre-phase pass on the combiner pool.
+  void prefault() {
+    auto* bytes = reinterpret_cast<volatile unsigned char*>(slots_);
+    const std::size_t total = capacity_ * sizeof(T);
+    for (std::size_t off = 0; off < total; off += 4096) {
+      bytes[off] = 0;
+    }
+    if (total > 0) bytes[total - 1] = 0;
+  }
+
  private:
   static std::size_t round_up_pow2(std::size_t v) {
     if (v < 2) return 2;
@@ -222,6 +310,7 @@ class Ring {
 
   const std::size_t capacity_;
   const std::size_t mask_;
+  SlotStorage storage_{};
   T* slots_ = nullptr;
 
   // Consumer-owned line: head plus the consumer's cached copy of tail.

@@ -184,6 +184,8 @@ void run_report_json(std::ostream& out, const RunReport& report) {
           static_cast<std::uint64_t>(report.result.queue_failed_pushes));
   w.field("queue_batches",
           static_cast<std::uint64_t>(report.result.queue_batches));
+  w.field("queue_push_batches",
+          static_cast<std::uint64_t>(report.result.queue_push_batches));
   w.field("queue_max_occupancy",
           static_cast<std::uint64_t>(report.result.queue_max_occupancy));
   w.field("backoff_sleeps",
@@ -206,6 +208,22 @@ void run_report_json(std::ostream& out, const RunReport& report) {
             static_cast<std::uint64_t>(plan.queue_capacity));
     w.field("pin_policy", plan.pin_policy);
     w.field("source", plan.source);
+    w.end_object();
+  }
+  // Memory-subsystem outcome (RAMR_MEM); omitted entirely when the
+  // subsystem was off so default reports (and their goldens) are unchanged.
+  if (report.result.mem.enabled()) {
+    const engine::MemStats& mem = report.result.mem;
+    w.begin_object("memory");
+    w.field("mode", mem.mode);
+    w.field("arena_high_water",
+            static_cast<std::uint64_t>(mem.arena_high_water));
+    w.field("arena_chunk_bytes",
+            static_cast<std::uint64_t>(mem.arena_chunk_bytes));
+    w.field("arena_resets", static_cast<std::uint64_t>(mem.arena_resets));
+    w.field("ring_bytes", static_cast<std::uint64_t>(mem.ring_bytes));
+    w.field("hugepages", mem.hugepages);
+    w.field("mbind", mem.mbind);
     w.end_object();
   }
   if (!report.result.governor_actions.empty()) {

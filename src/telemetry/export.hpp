@@ -62,6 +62,7 @@ struct RunInfo {
   std::size_t queue_pushes = 0;
   std::size_t queue_failed_pushes = 0;
   std::size_t queue_batches = 0;
+  std::size_t queue_push_batches = 0;
   std::size_t queue_max_occupancy = 0;
   std::size_t backoff_sleeps = 0;
   std::size_t task_retries = 0;
@@ -71,6 +72,10 @@ struct RunInfo {
   // hand-built report) and the governor's applied knob changes.
   engine::PlanInfo plan;
   std::vector<engine::GovernorAction> governor_actions;
+
+  // Memory-subsystem outcome; mem.enabled() is false (and the report emits
+  // no "memory" object) unless RAMR_MEM was on.
+  engine::MemStats mem;
 };
 
 template <typename K, typename V>
@@ -87,12 +92,14 @@ RunInfo make_run_info(const engine::RunResult<K, V>& r) {
   info.queue_pushes = r.queue_pushes;
   info.queue_failed_pushes = r.queue_failed_pushes;
   info.queue_batches = r.queue_batches;
+  info.queue_push_batches = r.queue_push_batches;
   info.queue_max_occupancy = r.queue_max_occupancy;
   info.backoff_sleeps = r.backoff_sleeps;
   info.task_retries = r.task_retries;
   info.task_aborts = r.task_aborts;
   info.plan = r.plan;
   info.governor_actions = r.governor_actions;
+  info.mem = r.mem;
   return info;
 }
 

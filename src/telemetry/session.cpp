@@ -33,12 +33,15 @@ Session::Session(SessionOptions options)
   engine_metrics_.queue_failed_pushes =
       &registry_.counter("queue_failed_pushes");
   engine_metrics_.queue_batches = &registry_.counter("queue_batches");
+  engine_metrics_.queue_push_batches =
+      &registry_.counter("queue_push_batches");
   engine_metrics_.backoff_sleeps = &registry_.counter("backoff_sleeps");
   engine_metrics_.task_retries = &registry_.counter("task_retries");
   engine_metrics_.task_aborts = &registry_.counter("task_aborts");
   engine_metrics_.batch_sizes = &registry_.histogram("batch_sizes");
   engine_metrics_.queue_max_occupancy =
       &registry_.gauge("queue_max_occupancy");
+  engine_metrics_.arena_high_water = &registry_.gauge("arena_high_water");
   if (options_.sample_interval_us > 0) {
     sampler_ = std::make_unique<Sampler>(
         std::chrono::microseconds(options_.sample_interval_us));

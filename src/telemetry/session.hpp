@@ -68,11 +68,13 @@ struct EngineMetrics {
   Counter* queue_pushes = nullptr;
   Counter* queue_failed_pushes = nullptr;
   Counter* queue_batches = nullptr;
+  Counter* queue_push_batches = nullptr;  // producer batched publishes
   Counter* backoff_sleeps = nullptr;
   Counter* task_retries = nullptr;
   Counter* task_aborts = nullptr;
   Histogram* batch_sizes = nullptr;
   Gauge* queue_max_occupancy = nullptr;
+  Gauge* arena_high_water = nullptr;  // per-worker arena live bytes (mem on)
 
   std::size_t combiner_slot(std::size_t j) const {
     return combiner_slot_base + j;

@@ -366,7 +366,8 @@ TEST(Exporters, RunReportMatchesGolden) {
       R"("result":{"split_seconds":0.001,"map_combine_seconds":0.01,)"
       R"("reduce_seconds":0,"merge_seconds":0,"pairs":3,"tasks_executed":4,)"
       R"("local_pops":0,"steals":0,"queue_pushes":100,"queue_failed_pushes":0,)"
-      R"("queue_batches":0,"queue_max_occupancy":0,"backoff_sleeps":0,)"
+      R"("queue_batches":0,"queue_push_batches":0,)"
+      R"("queue_max_occupancy":0,"backoff_sleeps":0,)"
       R"("task_retries":0,"task_aborts":0},)"
       R"("phases":[{"phase":"map-combine","pool":"mapper","source":"model",)"
       R"("seconds":0.01,"instructions":8192,"mem_stall_cycles":512,)"
