@@ -7,7 +7,8 @@ include(CMakePackageConfigHelpers)
 set(RAMR_LIBRARIES
   ramr_common ramr_faults ramr_trace ramr_telemetry ramr_stats ramr_spsc
   ramr_topology ramr_mem ramr_sched ramr_containers ramr_engine ramr_adapt
-  ramr_phoenix ramr_mrphi ramr_core ramr_perf ramr_apps ramr_synth ramr_sim)
+  ramr_service ramr_phoenix ramr_mrphi ramr_core ramr_perf ramr_apps
+  ramr_synth ramr_sim)
 
 foreach(lib ${RAMR_LIBRARIES})
   # Public headers keep their substrate-relative paths under include/ramr/.

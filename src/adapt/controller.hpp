@@ -44,6 +44,7 @@
 #include "common/timing.hpp"
 #include "containers/container_traits.hpp"
 #include "engine/phase_driver.hpp"
+#include "engine/pool_depot.hpp"
 #include "engine/pool_set.hpp"
 #include "engine/strategy_fused.hpp"
 #include "engine/strategy_pipelined.hpp"
@@ -136,13 +137,22 @@ void accumulate_run(engine::RunResult<K, V>& into,
 // config's adapt_mode selects probe-only vs probe+governor; callers should
 // not invoke this with AdaptMode::kOff (it would still work — one probe-less
 // default run — but the static path is cheaper).
+//
+// Every pool set (probe and main run) is leased from `depot`: a caller that
+// passes a long-lived depot (core::Runtime does) amortizes pool spin-up
+// across a stream of invocations exactly like the plan cache amortizes the
+// probe. With no depot a function-local one is used — single-run behaviour,
+// single code path.
 template <mr::AppSpec S>
 mr::result_of<S> run_adaptive(const topo::Topology& topology,
                               const RuntimeConfig& base, const S& app,
                               const typename S::input_type& input,
                               trace::Recorder* recorder = nullptr,
                               engine::TuningPolicy* policy = nullptr,
-                              ControllerOptions options = {}) {
+                              ControllerOptions options = {},
+                              engine::PoolDepot* depot = nullptr) {
+  engine::PoolDepot local_depot;
+  engine::PoolDepot& pools_from = depot != nullptr ? *depot : local_depot;
   if (options.report_path.empty()) {
     options.report_path = env::get(kEnvAdaptReport).value_or("");
   }
@@ -193,8 +203,9 @@ mr::result_of<S> run_adaptive(const topo::Topology& topology,
       // reference; the verdict itself comes from the pipelined probe.
       double fused_wall = 0.0;
       {
-        engine::PoolSet pools(topology, cfg.num_mappers + cfg.num_combiners,
-                              cfg.pin_policy);
+        auto lease = pools_from.acquire_single(
+            topology, cfg.num_mappers + cfg.num_combiners, cfg.pin_policy);
+        engine::PoolSet& pools = lease.pools();
         engine::PhaseDriver driver(pools, probe_opts);
         engine::FusedCombine<SliceView<S>> strategy;
         const SliceView<S> slice{&app, probe_used, per};
@@ -215,7 +226,8 @@ mr::result_of<S> run_adaptive(const topo::Topology& topology,
           pcfg.num_mappers = 0;  // re-derive the pool split from the ratio
           pcfg.num_combiners = 0;
         }
-        engine::PoolSet pools(topology, pcfg);
+        auto lease = pools_from.acquire(topology, pcfg);
+        engine::PoolSet& pools = lease.pools();
         engine::PhaseDriver driver(pools, probe_opts);
         engine::PipelinedSpsc<SliceView<S>> strategy;
         const SliceView<S> slice{&app, probe_used, per};
@@ -364,14 +376,14 @@ mr::result_of<S> run_adaptive(const topo::Topology& topology,
     // SliceView (no reducer — it is applied once, after stitching).
     const SliceView<S> rest{&app, probe_used, total_splits - probe_used};
     if (plan.strategy == "fused") {
-      engine::PoolSet pools(topology, mcfg.num_mappers + mcfg.num_combiners,
-                            mcfg.pin_policy);
+      auto lease = pools_from.acquire_single(
+          topology, mcfg.num_mappers + mcfg.num_combiners, mcfg.pin_policy);
       engine::FusedCombine<SliceView<S>> strategy;
-      result = run_main(strategy, pools, rest);
+      result = run_main(strategy, lease.pools(), rest);
     } else {
-      engine::PoolSet pools(topology, mcfg);
+      auto lease = pools_from.acquire(topology, mcfg);
       engine::PipelinedSpsc<SliceView<S>> strategy;
-      result = run_main(strategy, pools, rest);
+      result = run_main(strategy, lease.pools(), rest);
     }
     // Stitch: partial aggregates re-combine through a fresh container
     // (associative combiners make emitting partials equivalent to the
@@ -387,14 +399,14 @@ mr::result_of<S> run_adaptive(const topo::Topology& topology,
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (const auto& part : partials) detail::accumulate_run(result, part);
   } else if (decided && plan.strategy == "fused") {
-    engine::PoolSet pools(topology, mcfg.num_mappers + mcfg.num_combiners,
-                          mcfg.pin_policy);
+    auto lease = pools_from.acquire_single(
+        topology, mcfg.num_mappers + mcfg.num_combiners, mcfg.pin_policy);
     engine::FusedCombine<S> strategy;
-    result = run_main(strategy, pools, app);
+    result = run_main(strategy, lease.pools(), app);
   } else {
-    engine::PoolSet pools(topology, mcfg);
+    auto lease = pools_from.acquire(topology, mcfg);
     engine::PipelinedSpsc<S> strategy;
-    result = run_main(strategy, pools, app);
+    result = run_main(strategy, lease.pools(), app);
   }
 
   // The single-pool shape synthesizes a default config, so a fused run's

@@ -159,6 +159,11 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
     base.mem_mode = parse_mem_mode(*mode);
   }
   base.emit_batch = env::get_uint(kEnvEmitBatch, base.emit_batch);
+  base.service_mode = env::get_bool(kEnvService, base.service_mode);
+  base.service_max_jobs =
+      env::get_uint(kEnvServiceJobs, base.service_max_jobs);
+  base.service_queue_depth =
+      env::get_uint(kEnvServiceQueue, base.service_queue_depth);
 
   // Range checks for the knobs where a parseable-but-absurd value would
   // otherwise fail far from its source (or not at all).
@@ -175,6 +180,12 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
     // 0 = off; the queue-capacity bound is enforced in resolved() where
     // the capacity itself is final.
     check_env_range(kEnvEmitBatch, base.emit_batch, 0, 1'000'000);
+  }
+  if (env::get(kEnvServiceJobs)) {
+    check_env_range(kEnvServiceJobs, base.service_max_jobs, 0, 1024);
+  }
+  if (env::get(kEnvServiceQueue)) {
+    check_env_range(kEnvServiceQueue, base.service_queue_depth, 0, 100'000);
   }
 
   // Remember which plan-relevant knobs the user pinned explicitly so the
@@ -290,6 +301,10 @@ std::string RuntimeConfig::summary() const {
   // byte-stable (same contract as the adapt/telemetry sections).
   if (mem_mode != MemMode::kOff) os << " mem=" << to_string(mem_mode);
   if (emit_batch > 0) os << " emit_batch=" << emit_batch;
+  if (service_mode) {
+    os << " service=on service_jobs=" << service_max_jobs
+       << " service_queue=" << service_queue_depth;
+  }
   return os.str();
 }
 

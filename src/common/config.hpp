@@ -100,6 +100,9 @@ inline constexpr const char* kEnvAdaptReport = "RAMR_ADAPT_REPORT";
 inline constexpr const char* kEnvMem = "RAMR_MEM";
 inline constexpr const char* kEnvEmitBatch = "RAMR_EMIT_BATCH";
 inline constexpr const char* kEnvHugePages = "RAMR_HUGEPAGES";
+inline constexpr const char* kEnvService = "RAMR_SERVICE";
+inline constexpr const char* kEnvServiceJobs = "RAMR_SERVICE_JOBS";
+inline constexpr const char* kEnvServiceQueue = "RAMR_SERVICE_QUEUE";
 
 // Which plan-relevant knobs were set explicitly via the environment.
 // from_env() fills this so the adaptive controller can honour the
@@ -231,6 +234,21 @@ struct RuntimeConfig {
   // operator escape hatch); it is read by mem::hugepages_enabled, not
   // stored here.
   MemMode mem_mode = MemMode::kOff;
+
+  // ---- service-mode knobs (see src/service/, ARCHITECTURE.md §12) --------
+
+  // RAMR_SERVICE=1 keeps resolved pool sets resident in the process-wide
+  // engine::PoolDepot, so consecutive Runtime instances (and run_once
+  // calls) of the same shape lease warm pools — threads, pins, and arenas
+  // survive across invocations — instead of re-spawning them. Off keeps
+  // per-Runtime pools and byte-identical behaviour.
+  bool service_mode = false;
+
+  // service::Scheduler admission knobs (Scheduler::Options::from_env reads
+  // them): the concurrent-job cap (0 = one job per socket) and the bound on
+  // jobs waiting in the queue — a submit beyond it is rejected, not queued.
+  std::size_t service_max_jobs = 0;
+  std::size_t service_queue_depth = 16;
 
   // Filled by from_env(); defaults mean "nothing pinned".
   EnvOverrides env_overrides;

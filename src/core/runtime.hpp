@@ -16,6 +16,7 @@
 #include "adapt/controller.hpp"
 #include "common/config.hpp"
 #include "engine/phase_driver.hpp"
+#include "engine/pool_depot.hpp"
 #include "engine/pool_set.hpp"
 #include "engine/strategy_pipelined.hpp"
 #include "telemetry/session.hpp"
@@ -33,25 +34,40 @@ class Runtime {
   using Record = containers::KeyValue<K, V>;
 
   // The config is resolved against the topology (worker counts derived from
-  // the machine when left at 0) and the pinning plan is computed once; both
-  // pools live for the lifetime of the Runtime, and threads are pinned at
-  // start-up "throughout the MR invocation" (paper Sec. III-B).
+  // the machine when left at 0) at construction, so impossible configs
+  // still fail eagerly. The pools themselves are leased from a PoolDepot:
+  // per-Runtime by default (same lifetime as before — threads pinned at
+  // start-up "throughout the MR invocation", paper Sec. III-B), or the
+  // process-wide depot when service_mode (RAMR_SERVICE=1) is on, so warm
+  // pool sets survive individual Runtime instances. The static path leases
+  // eagerly; the adaptive path defers, because run() routes through
+  // adapt::run_adaptive, which leases its own (possibly differently
+  // shaped) pools — constructing a full pool set here would spin up and
+  // pin threads that never execute a task.
   Runtime(topo::Topology topology, RuntimeConfig config)
-      : pools_(std::move(topology), config),
-        telemetry_(telemetry::Session::from_config(pools_.config())),
-        driver_(pools_, engine::driver_options_from(pools_.config())) {
-    driver_.set_telemetry(telemetry_.get());
+      : topo_(std::move(topology)),
+        cfg_(config.resolved(topo_.num_logical())),
+        depot_(cfg_.service_mode ? &engine::PoolDepot::process()
+                                 : &own_depot_),
+        telemetry_(telemetry::Session::from_config(cfg_)) {
+    if (cfg_.adapt_mode == AdaptMode::kOff) ensure_pools();
   }
 
-  const RuntimeConfig& config() const { return pools_.config(); }
-  const topo::PinningPlan& plan() const { return pools_.plan(); }
+  const RuntimeConfig& config() const { return cfg_; }
+  const topo::PinningPlan& plan() { return ensure_pools().plan(); }
+
+  // Whether this Runtime currently holds a leased pool set, and whether
+  // that lease was served warm from the depot (no thread spawn). Exposed
+  // for tests and the service-amortization bench.
+  bool pools_ready() const { return static_cast<bool>(lease_); }
+  bool pools_warm() const { return lease_ && lease_.warm(); }
 
   // Optional execution tracing (see src/trace/): one lane per mapper and
   // combiner, task/drain events, phase marks. The recorder must outlive
   // every run(); pass nullptr to disable (the default).
   void set_recorder(trace::Recorder* recorder) {
     recorder_ = recorder;
-    driver_.set_recorder(recorder);
+    if (driver_) driver_->set_recorder(recorder);
   }
 
   // Optional custom steady-state tuning policy for the adaptive controller
@@ -69,20 +85,39 @@ class Runtime {
 
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
     // RAMR_ADAPT=probe|full routes through the adaptive controller, which
-    // builds its own pools (the probed plan may change the pool shape) and
-    // its own telemetry session sized to them.
-    if (pools_.config().adapt_mode != AdaptMode::kOff) {
-      return adapt::run_adaptive(pools_.topology(), pools_.config(), app,
-                                 input, recorder_, tuning_policy_);
+    // leases its own pools (the probed plan may change the pool shape) and
+    // builds its own telemetry session sized to them. Handing it this
+    // Runtime's depot lets probe and main-run pool sets recycle across a
+    // stream of run() calls — the plan cache already amortizes the probe,
+    // the depot now amortizes the spin-up.
+    if (cfg_.adapt_mode != AdaptMode::kOff) {
+      return adapt::run_adaptive(topo_, cfg_, app, input, recorder_,
+                                 tuning_policy_, {}, depot_);
     }
     engine::PipelinedSpsc<S> strategy;
-    return driver_.run(strategy, app, input);
+    ensure_pools();
+    return driver_->run(strategy, app, input);
   }
 
  private:
-  engine::PoolSet pools_;
+  engine::PoolSet& ensure_pools() {
+    if (!lease_) {
+      lease_ = depot_->acquire(topo_, cfg_);
+      driver_ = std::make_unique<engine::PhaseDriver>(
+          lease_.pools(), engine::driver_options_from(cfg_));
+      driver_->set_recorder(recorder_);
+      driver_->set_telemetry(telemetry_.get());
+    }
+    return lease_.pools();
+  }
+
+  topo::Topology topo_;
+  RuntimeConfig cfg_;
+  engine::PoolDepot own_depot_;
+  engine::PoolDepot* depot_;
   std::unique_ptr<telemetry::Session> telemetry_;
-  engine::PhaseDriver driver_;
+  engine::PoolDepot::Lease lease_;
+  std::unique_ptr<engine::PhaseDriver> driver_;
   trace::Recorder* recorder_ = nullptr;
   engine::TuningPolicy* tuning_policy_ = nullptr;
 };

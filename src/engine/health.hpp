@@ -98,6 +98,13 @@ class Watchdog {
   struct Options {
     std::chrono::milliseconds deadline{0};  // whole-run bound; 0 = off
     std::chrono::milliseconds stall{0};     // per-worker bound; 0 = off
+
+    // External cancellation source (e.g. a service job's per-job token):
+    // when it trips, the watchdog forwards the signal into the run's own
+    // token as kExternal, so workers unwind through the same cooperative
+    // protocol as a deadline or stall verdict. Must outlive the watchdog;
+    // nullptr = none.
+    const common::CancellationToken* forward = nullptr;
   };
 
   Watchdog(Options options, common::CancellationToken& token,
@@ -137,6 +144,14 @@ class Watchdog {
       const auto now = Clock::now();
       const Phase phase = static_cast<Phase>(
           phase_.load(std::memory_order_acquire));
+      if (options_.forward != nullptr && options_.forward->cancelled()) {
+        common::CancelState ext = options_.forward->snapshot();
+        token_.cancel(common::CancelCause::kExternal, phase_name(phase),
+                      ext.worker,
+                      ext.detail.empty() ? "external cancellation"
+                                         : ext.detail);
+        return;
+      }
       if (options_.deadline.count() > 0 && now - start >= options_.deadline) {
         token_.cancel(
             common::CancelCause::kDeadline, phase_name(phase), "",

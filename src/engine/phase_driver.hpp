@@ -70,6 +70,13 @@ struct DriverOptions {
   // controller sets cache/probe on the drivers it builds for committed
   // plans; driver_options_from derives env/default from the config.
   std::string plan_source = "default";
+
+  // External cancellation source (a service job's per-job token). When set,
+  // the driver runs a watchdog even without deadline/stall bounds; the
+  // watchdog forwards the external signal into the per-run token and run()
+  // throws AbortError(kExternal). A token already tripped at run() entry
+  // aborts before any work starts. Must outlive the run; nullptr = none.
+  common::CancellationToken* external_cancel = nullptr;
 };
 
 inline DriverOptions driver_options_from(const RuntimeConfig& cfg) {
@@ -105,6 +112,16 @@ class PhaseDriver {
       St& strategy, const App& app, const typename App::input_type& input) {
     RunResult<typename St::key_type, typename St::value_type> result;
 
+    // A job cancelled before its run started never touches the pools.
+    if (options_.external_cancel != nullptr &&
+        options_.external_cancel->cancelled()) {
+      common::CancelState state = options_.external_cancel->snapshot();
+      if (state.cause == common::CancelCause::kNone) {
+        state.cause = common::CancelCause::kExternal;
+      }
+      throw common::AbortError(std::move(state));
+    }
+
     // ---- per-run robustness state ---------------------------------------
     common::CancellationToken cancel;
     faults::Injector injector(faults::FaultPlan::parse(options_.fault_spec));
@@ -114,11 +131,13 @@ class PhaseDriver {
     RetryState retry;
     retry.max_retries = options_.max_task_retries;
     std::optional<Watchdog> watchdog;
-    if (options_.deadline_ms > 0 || options_.stall_timeout_ms > 0) {
+    if (options_.deadline_ms > 0 || options_.stall_timeout_ms > 0 ||
+        options_.external_cancel != nullptr) {
       watchdog.emplace(
           Watchdog::Options{
               std::chrono::milliseconds(options_.deadline_ms),
-              std::chrono::milliseconds(options_.stall_timeout_ms)},
+              std::chrono::milliseconds(options_.stall_timeout_ms),
+              options_.external_cancel},
           cancel, beats);
     }
     const auto mark_phase = [&](Phase phase) {
@@ -258,6 +277,7 @@ class PhaseDriver {
       result.mem.arena_chunk_bytes = ls.arena_chunk_bytes;
       result.mem.arena_resets = ls.arena_resets;
       result.mem.ring_bytes = ls.ring_bytes;
+      result.mem.ring_reuses = ls.ring_reuses;
       result.mem.hugepages = ls.hugepages;
       result.mem.mbind = ls.mbind;
     }

@@ -54,9 +54,40 @@ void join_pools_rethrow_first(sched::ThreadPool& first,
   std::rethrow_exception(outcome.first_error);
 }
 
+std::string PoolSet::shape_key(const topo::Topology& topology,
+                               const RuntimeConfig& resolved) {
+  return topology.name() + "/" + std::to_string(topology.num_logical()) +
+         "|dual|m=" + std::to_string(resolved.num_mappers) +
+         "|c=" + std::to_string(resolved.num_combiners) +
+         "|pin=" + to_string(resolved.pin_policy) +
+         "|mem=" + to_string(resolved.mem_mode);
+}
+
+std::string PoolSet::shape_key_single(const topo::Topology& topology,
+                                      std::size_t num_workers,
+                                      PinPolicy policy) {
+  const std::size_t workers =
+      num_workers == 0 ? topology.num_logical() : num_workers;
+  return topology.name() + "/" + std::to_string(topology.num_logical()) +
+         "|single|w=" + std::to_string(workers) + "|pin=" + to_string(policy);
+}
+
+void PoolSet::rebind(const RuntimeConfig& resolved) {
+  if (!dual()) {
+    throw ConfigError("rebind is only defined for the dual pool shape");
+  }
+  const std::string key = shape_key(topo_, resolved);
+  if (key != shape_) {
+    throw ConfigError("pool-set rebind across shapes (" + shape_ + " -> " +
+                      key + ")");
+  }
+  cfg_ = resolved;
+}
+
 PoolSet::PoolSet(topo::Topology topology, const RuntimeConfig& config)
     : topo_(std::move(topology)),
       cfg_(config.resolved(topo_.num_logical())),
+      shape_(shape_key(topo_, cfg_)),
       plan_(topo::make_plan(topo_, cfg_.pin_policy, cfg_.num_mappers,
                             cfg_.num_combiners)),
       mapper_pins_(cfg_.num_mappers),
@@ -92,6 +123,7 @@ PoolSet::PoolSet(topo::Topology topology, std::size_t num_workers,
   cfg_.num_mappers = workers;
   cfg_.num_combiners = 0;
   cfg_.pin_policy = policy;
+  shape_ = shape_key_single(topo_, workers, policy);
   plan_.policy = policy;
   mapper_pins_.resize(workers);
   if (policy != PinPolicy::kOsDefault) {

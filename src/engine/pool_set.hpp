@@ -67,6 +67,24 @@ class PoolSet {
   PoolSet(const PoolSet&) = delete;
   PoolSet& operator=(const PoolSet&) = delete;
 
+  // Structural identity of a pool set: everything whose change would force
+  // the thread pools, pins, or memory layer to be rebuilt. Two resolved
+  // configs with equal shape keys can share one warm PoolSet — rebind()
+  // swaps the per-run knobs (batch size, backoff, task size, ...) that the
+  // strategies read through config(). The key is what PoolDepot shelves
+  // warm sets under.
+  static std::string shape_key(const topo::Topology& topology,
+                               const RuntimeConfig& resolved);
+  static std::string shape_key_single(const topo::Topology& topology,
+                                      std::size_t num_workers,
+                                      PinPolicy policy);
+  const std::string& shape() const { return shape_; }
+
+  // Re-aim a warm set at a new resolved config of the same shape; threads,
+  // pins, plan and arenas are untouched. Throws ConfigError when the shape
+  // differs or this is the single shape (which carries no per-run knobs).
+  void rebind(const RuntimeConfig& resolved);
+
   bool dual() const { return combiner_pool_ != nullptr; }
 
   const topo::Topology& topology() const { return topo_; }
@@ -117,6 +135,7 @@ class PoolSet {
  private:
   topo::Topology topo_;
   RuntimeConfig cfg_;
+  std::string shape_;
   topo::PinningPlan plan_;
   std::vector<std::optional<std::size_t>> mapper_pins_;
   std::vector<std::optional<std::size_t>> combiner_pins_;

@@ -27,6 +27,7 @@ struct MemStats {
   std::size_t arena_chunk_bytes = 0; // arena backing storage held (bytes)
   std::size_t arena_resets = 0;      // wholesale resets so far
   std::size_t ring_bytes = 0;        // placed ring slot storage (bytes)
+  std::size_t ring_reuses = 0;       // ring blocks recycled from spares
   bool hugepages = false;            // some block got MADV_HUGEPAGE
   bool mbind = false;                // some block was node-bound
 
@@ -38,6 +39,9 @@ struct MemStats {
                     " arena_bytes=" + std::to_string(arena_chunk_bytes) +
                     " arena_resets=" + std::to_string(arena_resets);
     if (ring_bytes > 0) s += " ring_bytes=" + std::to_string(ring_bytes);
+    // Nonzero only when a warm pool set re-ran (service mode / depot reuse);
+    // one-shot runs keep their historical line.
+    if (ring_reuses > 0) s += " ring_reuse=" + std::to_string(ring_reuses);
     s += std::string(" huge=") + (hugepages ? "yes" : "no") + " mbind=" +
          (mbind ? "yes" : "no");
     return s;

@@ -11,6 +11,11 @@ namespace {
 // advice away.
 constexpr std::size_t kArenaChunkBytes = 2 * 1024 * 1024;
 
+// Bound on parked ring blocks: enough for every ring of one large dual
+// shape to survive a run boundary, small enough that an idle warm pool set
+// holds at most a few hundred MiB of spare slot storage.
+constexpr std::size_t kMaxRingSpares = 64;
+
 std::vector<int> nodes_from(const topo::Topology& topo,
                             const std::vector<std::size_t>& cpus,
                             std::size_t count, bool placed) {
@@ -70,14 +75,31 @@ spsc::SlotStorage MemoryLayer::ring_storage(int node) {
 
 void* MemoryLayer::ring_alloc(std::size_t bytes, std::size_t align,
                               int node) {
-  PageBuffer buffer(bytes, align, placement() ? node : -1,
-                    /*want_huge=*/true);
+  const int want_node = placement() ? node : -1;
+  {
+    // Warm path: a parked block of the same size, alignment and node keeps
+    // its mapping, placement, and already-faulted pages.
+    std::lock_guard lock(ring_mutex_);
+    for (auto it = ring_spares_.begin(); it != ring_spares_.end(); ++it) {
+      if (it->buffer.size() == bytes && it->align == align &&
+          it->node == want_node) {
+        RingBlock block = std::move(*it);
+        ring_spares_.erase(it);
+        void* data = block.buffer.data();
+        ring_bytes_ += bytes;
+        ++ring_reuses_;
+        ring_blocks_.emplace(data, std::move(block));
+        return data;
+      }
+    }
+  }
+  PageBuffer buffer(bytes, align, want_node, /*want_huge=*/true);
   void* data = buffer.data();
   std::lock_guard lock(ring_mutex_);
   ring_bytes_ += bytes;
   ring_huge_ = ring_huge_ || buffer.huge();
   ring_bound_ = ring_bound_ || buffer.bound();
-  ring_blocks_.emplace(data, std::move(buffer));
+  ring_blocks_.emplace(data, RingBlock{std::move(buffer), align, want_node});
   return data;
 }
 
@@ -85,8 +107,11 @@ void MemoryLayer::ring_free(void* data) {
   std::lock_guard lock(ring_mutex_);
   auto it = ring_blocks_.find(data);
   if (it == ring_blocks_.end()) return;
-  ring_bytes_ -= it->second.size();
-  ring_blocks_.erase(it);  // PageBuffer dtor returns the block
+  ring_bytes_ -= it->second.buffer.size();
+  if (ring_spares_.size() < kMaxRingSpares) {
+    ring_spares_.push_back(std::move(it->second));
+  }
+  ring_blocks_.erase(it);  // overflow: PageBuffer dtor returns the block
 }
 
 void* MemoryLayer::storage_alloc(std::size_t bytes, std::size_t align,
@@ -112,6 +137,7 @@ LayerStats MemoryLayer::end_run() {
   {
     std::lock_guard lock(ring_mutex_);
     out.ring_bytes = ring_bytes_;
+    out.ring_reuses = ring_reuses_;
     out.hugepages = ring_huge_;
     out.mbind = ring_bound_;
   }

@@ -42,6 +42,7 @@ struct LayerStats {
   std::size_t arena_chunk_bytes = 0; // total arena backing storage held
   std::size_t arena_resets = 0;      // wholesale resets performed so far
   std::size_t ring_bytes = 0;        // ring slot storage placed via layer
+  std::size_t ring_reuses = 0;       // ring blocks served from the spare list
   bool hugepages = false;            // any placed block got MADV_HUGEPAGE
   bool mbind = false;                // any placed block was node-bound
 };
@@ -75,6 +76,13 @@ class MemoryLayer {
 
   // Slot-storage hook for a Ring whose consumer lives on `node` (-1 = no
   // binding). The returned storage (and this layer) must outlive the Ring.
+  //
+  // Freed ring blocks are parked on a spare list instead of unmapped, and
+  // the next allocation of the same (bytes, align, node) reuses the block —
+  // placement, huge-page advice and faulted-in pages included. A warm pool
+  // set re-running the pipelined strategy therefore rebuilds its rings
+  // without any mmap/mbind traffic (LayerStats::ring_reuses counts the
+  // hits). The spare list is bounded; overflow blocks unmap as before.
   spsc::SlotStorage ring_storage(int node);
 
   // Run-boundary teardown: resets every arena wholesale, then folds arena
@@ -102,11 +110,19 @@ class MemoryLayer {
   std::vector<Arena> arenas_;  // sized once; element addresses are stable
   std::vector<std::unique_ptr<NodeStorage>> node_storages_;
 
+  struct RingBlock {
+    PageBuffer buffer;
+    std::size_t align = 0;
+    int node = -1;
+  };
+
   // Ring blocks are created/destroyed on cold paths (run setup/teardown)
   // but possibly from bench threads too — a mutex keeps this boring.
   std::mutex ring_mutex_;
-  std::unordered_map<void*, PageBuffer> ring_blocks_;
+  std::unordered_map<void*, RingBlock> ring_blocks_;
+  std::vector<RingBlock> ring_spares_;
   std::size_t ring_bytes_ = 0;
+  std::size_t ring_reuses_ = 0;
   bool ring_huge_ = false;
   bool ring_bound_ = false;
 };

@@ -1,0 +1,111 @@
+// Job model of the service layer: what a client submits (JobSpec), where a
+// job is in its lifecycle (JobStatus), and what the scheduler reports back
+// per job (JobReport — the service-mode analogue of one run's summary
+// line, carrying the leased core set and queue/run accounting).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "engine/result.hpp"
+
+namespace ramr::service {
+
+using JobId = std::uint64_t;
+
+enum class JobStatus {
+  kQueued,     // admitted, waiting for cores or a dispatch slot
+  kRunning,    // executing on a leased core set
+  kDone,       // body returned normally
+  kFailed,     // body threw (deadline, worker failure, app error)
+  kCancelled,  // external cancel (Scheduler::cancel or shutdown) won
+  kRejected,   // admission control refused it (queue full, impossible cores)
+};
+
+inline const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kDone:
+      return "done";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kCancelled:
+      return "cancelled";
+    case JobStatus::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+inline bool terminal(JobStatus status) {
+  return status == JobStatus::kDone || status == JobStatus::kFailed ||
+         status == JobStatus::kCancelled || status == JobStatus::kRejected;
+}
+
+struct JobSpec {
+  std::string name;
+
+  // Cores to lease (0 = the scheduler's fair share: total / max jobs).
+  // A request beyond the topology is rejected at submission.
+  std::size_t cores = 0;
+
+  // Per-job runtime knobs; resolved against the *leased* sub-topology, so
+  // worker counts left at 0 derive from the lease size, not the machine.
+  RuntimeConfig config;
+
+  // Per-job wall-clock budget forwarded to the run watchdog (0 = none).
+  std::size_t deadline_ms = 0;
+};
+
+struct JobReport {
+  JobId id = 0;
+  std::string name;
+  JobStatus status = JobStatus::kQueued;
+
+  // The disjoint core set this job ran on (empty when never dispatched).
+  std::vector<std::size_t> cores;
+
+  double queued_seconds = 0.0;  // submit -> dispatch
+  double run_seconds = 0.0;     // dispatch -> terminal
+
+  // True when the job's last run executed on a warm pool set (leased from
+  // the scheduler's depot without spawning threads).
+  bool warm_pools = false;
+
+  // RunResult accounting of the job's last run (empty when it never ran).
+  std::string run_summary;
+  engine::PlanInfo plan;
+
+  // Failure/rejection detail ("" when the job succeeded).
+  std::string error;
+
+  std::string describe() const {
+    std::string s = "job=" + (name.empty() ? "?" : name) +
+                    " id=" + std::to_string(id) +
+                    " status=" + to_string(status);
+    if (!cores.empty()) {
+      s += " cores=[";
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (i > 0) s += ",";
+        s += std::to_string(cores[i]);
+      }
+      s += "]";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " wait=%.3fs run=%.3fs", queued_seconds,
+                  run_seconds);
+    s += buf;
+    s += std::string(" warm=") + (warm_pools ? "yes" : "no");
+    if (!error.empty()) s += " error=" + error;
+    return s;
+  }
+};
+
+}  // namespace ramr::service

@@ -1,0 +1,44 @@
+#include "service/lease.hpp"
+
+#include <algorithm>
+
+namespace ramr::service {
+
+CoreLeaseRegistry::CoreLeaseRegistry(const topo::Topology& topology)
+    : order_(topology.proximity_order()), leased_(order_.size(), false) {}
+
+std::optional<CoreLease> CoreLeaseRegistry::try_acquire(std::size_t cores) {
+  if (cores == 0 || cores > order_.size()) return std::nullopt;
+  std::lock_guard lock(mutex_);
+  std::vector<std::size_t> picked;
+  picked.reserve(cores);
+  for (std::size_t i = 0; i < order_.size() && picked.size() < cores; ++i) {
+    if (!leased_[i]) picked.push_back(i);
+  }
+  if (picked.size() < cores) return std::nullopt;
+  CoreLease lease;
+  lease.cpu_os_ids.reserve(cores);
+  for (std::size_t slot : picked) {
+    leased_[slot] = true;
+    lease.cpu_os_ids.push_back(order_[slot]);
+  }
+  return lease;
+}
+
+void CoreLeaseRegistry::release(const CoreLease& lease) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t os_id : lease.cpu_os_ids) {
+    auto it = std::find(order_.begin(), order_.end(), os_id);
+    if (it != order_.end()) {
+      leased_[static_cast<std::size_t>(it - order_.begin())] = false;
+    }
+  }
+}
+
+std::size_t CoreLeaseRegistry::available() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count(leased_.begin(), leased_.end(), false));
+}
+
+}  // namespace ramr::service

@@ -1,0 +1,55 @@
+// Explicit core allocation for the multi-job scheduler (Corey-style: the
+// application — here the service layer — decides which cores a job may use,
+// instead of letting the OS time-slice every job over every core).
+//
+// The registry owns the topology's logical CPUs and hands out *disjoint*
+// leases: a core is in at most one live lease, so two concurrent jobs never
+// share a logical CPU and their pinned pools never contend for the same
+// caches. Cores are granted in the topology's proximity order (the paper's
+// thridtocpu() remap), so one lease occupies physically adjacent resources
+// — SMT siblings first, then cores within a socket — and a job's mapper/
+// combiner pairs still land on shared caches inside its lease.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace ramr::service {
+
+// One granted core set: OS CPU ids, disjoint from every other live lease.
+struct CoreLease {
+  std::vector<std::size_t> cpu_os_ids;
+
+  bool empty() const { return cpu_os_ids.empty(); }
+  std::size_t size() const { return cpu_os_ids.size(); }
+};
+
+class CoreLeaseRegistry {
+ public:
+  explicit CoreLeaseRegistry(const topo::Topology& topology);
+
+  CoreLeaseRegistry(const CoreLeaseRegistry&) = delete;
+  CoreLeaseRegistry& operator=(const CoreLeaseRegistry&) = delete;
+
+  // Grants `cores` CPUs (the first free ones in proximity order), or
+  // nullopt when fewer are free — all-or-nothing, never a partial grant.
+  std::optional<CoreLease> try_acquire(std::size_t cores);
+
+  // Returns a lease's CPUs to the free set. Unknown/already-free ids are
+  // ignored (release is idempotent).
+  void release(const CoreLease& lease);
+
+  std::size_t total() const { return order_.size(); }
+  std::size_t available() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::size_t> order_;  // proximity-ordered OS CPU ids
+  std::vector<bool> leased_;        // parallel to order_
+};
+
+}  // namespace ramr::service

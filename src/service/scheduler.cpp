@@ -1,0 +1,262 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ramr::service {
+
+Scheduler::Scheduler(topo::Topology topology, Options options)
+    : topo_(std::move(topology)), opts_(options), cores_(topo_) {
+  max_jobs_ = opts_.max_concurrent_jobs != 0
+                  ? opts_.max_concurrent_jobs
+                  : std::max<std::size_t>(1, topo_.num_sockets());
+  // Default grant when a spec leaves cores=0: an even split of the machine
+  // across the concurrency cap, floored at 3 so a resolved dual shape
+  // (>=1 mapper + >=1 combiner) plus one spare always fits the lease.
+  fair_share_ = std::max(std::min<std::size_t>(3, cores_.total()),
+                         cores_.total() / max_jobs_);
+  dispatcher_ = std::thread(&Scheduler::dispatch_loop, this);
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+JobId Scheduler::submit(JobSpec spec, std::function<void(JobContext&)> body) {
+  std::lock_guard lock(mutex_);
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->body = std::move(body);
+  job->id = next_id_++;
+  job->submitted = now();
+  jobs_[job->id] = job;
+
+  const std::size_t want =
+      job->spec.cores != 0 ? job->spec.cores : fair_share_;
+  if (stopping_) {
+    finish_locked(*job, JobStatus::kRejected, "scheduler is shutting down");
+  } else if (want > cores_.total()) {
+    finish_locked(*job, JobStatus::kRejected,
+                  "requested " + std::to_string(want) +
+                      " cores; topology has " +
+                      std::to_string(cores_.total()));
+  } else if (queue_.size() >= opts_.queue_depth) {
+    finish_locked(*job, JobStatus::kRejected,
+                  "queue full (depth " + std::to_string(opts_.queue_depth) +
+                      ")");
+  } else {
+    queue_.push_back(job);
+    cv_.notify_all();
+  }
+  return job->id;
+}
+
+bool Scheduler::cancel(JobId id) {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (terminal(job.status)) return false;
+  job.cancel.cancel(common::CancelCause::kExternal, {}, {},
+                    "cancelled by client");
+  if (job.status == JobStatus::kQueued) {
+    auto pos = std::find(queue_.begin(), queue_.end(), it->second);
+    if (pos != queue_.end()) queue_.erase(pos);
+    finish_locked(job, JobStatus::kCancelled, "cancelled while queued");
+  }
+  cv_.notify_all();
+  return true;
+}
+
+JobReport Scheduler::wait(JobId id) {
+  std::unique_lock lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw Error("service: unknown job id " + std::to_string(id));
+  }
+  std::shared_ptr<Job> job = it->second;
+  cv_.wait(lock, [&] { return terminal(job->status); });
+  JobReport report = report_locked(*job);
+  std::vector<std::thread> zombies = grab_zombies_locked();
+  lock.unlock();
+  for (std::thread& t : zombies) t.join();
+  return report;
+}
+
+JobReport Scheduler::report(JobId id) {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw Error("service: unknown job id " + std::to_string(id));
+  }
+  return report_locked(*it->second);
+}
+
+std::vector<JobReport> Scheduler::drain() {
+  std::vector<JobId> ids;
+  {
+    std::lock_guard lock(mutex_);
+    ids.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) ids.push_back(id);
+  }
+  std::vector<JobReport> reports;
+  reports.reserve(ids.size());
+  for (JobId id : ids) reports.push_back(wait(id));
+  return reports;
+}
+
+void Scheduler::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!stopping_) {
+      stopping_ = true;
+      while (!queue_.empty()) {
+        std::shared_ptr<Job> job = queue_.front();
+        queue_.pop_front();
+        job->cancel.cancel(common::CancelCause::kExternal, {}, {},
+                           "scheduler shutdown");
+        finish_locked(*job, JobStatus::kCancelled, "scheduler shutdown");
+      }
+      for (auto& [id, job] : jobs_) {
+        if (job->status == JobStatus::kRunning) {
+          job->cancel.cancel(common::CancelCause::kExternal, {}, {},
+                             "scheduler shutdown");
+        }
+      }
+    }
+    cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::vector<std::thread> zombies;
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return running_ == 0; });
+    zombies = grab_zombies_locked();
+  }
+  for (std::thread& t : zombies) t.join();
+}
+
+void Scheduler::dispatch_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [&] {
+      return stopping_ || !zombies_.empty() ||
+             (!queue_.empty() && running_ < max_jobs_);
+    });
+    if (!zombies_.empty()) {
+      std::vector<std::thread> zombies = grab_zombies_locked();
+      lock.unlock();
+      for (std::thread& t : zombies) t.join();
+      lock.lock();
+      continue;
+    }
+    if (stopping_) break;
+
+    // Strict head-of-line FIFO: the job at the head waits for its cores
+    // before anything behind it dispatches, so big jobs cannot starve.
+    std::shared_ptr<Job> job = queue_.front();
+    const std::size_t want =
+        job->spec.cores != 0 ? job->spec.cores : fair_share_;
+    std::optional<CoreLease> lease = cores_.try_acquire(want);
+    if (!lease) {
+      const std::uint64_t gen = completion_gen_;
+      cv_.wait(lock, [&] {
+        return stopping_ || completion_gen_ != gen || queue_.empty();
+      });
+      continue;
+    }
+    queue_.pop_front();
+    job->lease = std::move(*lease);
+    job->status = JobStatus::kRunning;
+    job->started = now();
+    job->queued_seconds = seconds_between(job->submitted, job->started);
+    ++running_;
+    job->runner = std::thread(&Scheduler::run_job, this, job);
+  }
+}
+
+void Scheduler::run_job(const std::shared_ptr<Job>& job) {
+  // The job's private slice of the machine: a sub-topology of exactly the
+  // leased CPUs. The lease ids go into the name so the depot's shape keys
+  // of different core sets never alias.
+  std::vector<topo::LogicalCpu> cpus;
+  cpus.reserve(job->lease.size());
+  std::string label = topo_.name() + "+lease[";
+  for (std::size_t i = 0; i < job->lease.cpu_os_ids.size(); ++i) {
+    const std::size_t os_id = job->lease.cpu_os_ids[i];
+    cpus.push_back(topo_.by_os_id(os_id));
+    if (i > 0) label += ",";
+    label += std::to_string(os_id);
+  }
+  label += "]";
+
+  JobContext ctx(topo::Topology(std::move(label), std::move(cpus),
+                                topo_.uniform_l2()),
+                 job->lease, job->spec.config, &job->cancel,
+                 job->spec.deadline_ms, &depot_);
+
+  JobStatus status = JobStatus::kDone;
+  std::string error;
+  try {
+    job->body(ctx);
+    // A body that observed the token and returned early still counts as
+    // cancelled — the client asked for the job to stop and it did.
+    if (job->cancel.cancelled()) {
+      status = JobStatus::kCancelled;
+      error = job->cancel.snapshot().detail;
+    }
+  } catch (const common::AbortError& e) {
+    status = job->cancel.cancelled() ? JobStatus::kCancelled
+                                     : JobStatus::kFailed;
+    error = e.what();
+  } catch (const std::exception& e) {
+    status = JobStatus::kFailed;
+    error = e.what();
+  }
+
+  // Return the cores first (a waiting head-of-line job can take them as
+  // soon as the completion is published below), then publish.
+  cores_.release(job->lease);
+
+  std::lock_guard lock(mutex_);
+  job->warm = ctx.warm_;
+  job->plan = ctx.plan_;
+  job->run_summary = ctx.run_summary_;
+  finish_locked(*job, status, std::move(error));
+  --running_;
+  // This thread cannot join itself; park the handle for the dispatcher,
+  // wait(), or shutdown() to reap.
+  zombies_.push_back(std::move(job->runner));
+}
+
+void Scheduler::finish_locked(Job& job, JobStatus status, std::string error) {
+  job.status = status;
+  job.error = std::move(error);
+  if (job.started != Clock::time_point{}) {
+    job.run_seconds = seconds_between(job.started, now());
+  }
+  ++completion_gen_;
+  cv_.notify_all();
+}
+
+JobReport Scheduler::report_locked(const Job& job) const {
+  JobReport report;
+  report.id = job.id;
+  report.name = job.spec.name;
+  report.status = job.status;
+  report.cores = job.lease.cpu_os_ids;
+  report.queued_seconds = job.queued_seconds;
+  report.run_seconds = job.run_seconds;
+  report.warm_pools = job.warm;
+  report.run_summary = job.run_summary;
+  report.plan = job.plan;
+  report.error = job.error;
+  return report;
+}
+
+std::vector<std::thread> Scheduler::grab_zombies_locked() {
+  std::vector<std::thread> zombies;
+  zombies.swap(zombies_);
+  return zombies;
+}
+
+}  // namespace ramr::service

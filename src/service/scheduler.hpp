@@ -1,0 +1,254 @@
+// Multi-job scheduler: a bounded JobQueue plus a dispatcher that leases
+// disjoint core sets to concurrent jobs (service mode, RAMR_SERVICE).
+//
+// The ROADMAP north-star is a *resident* runtime serving a stream of jobs;
+// this is the serving layer. One Scheduler owns
+//
+//   * a CoreLeaseRegistry over its topology — explicit core allocation:
+//     each dispatched job gets a disjoint CPU set in proximity order, so
+//     concurrent jobs never share a logical CPU;
+//   * an engine::PoolDepot — the pool sets a job builds over its leased
+//     sub-topology are parked warm when the job finishes, and the next job
+//     on the same core set reuses them (threads alive, pins held, arenas
+//     and ring blocks recycled);
+//   * a FIFO queue with admission control — at most queue_depth jobs wait;
+//     a submit beyond that (or asking for more cores than the topology
+//     has) is rejected immediately, never silently dropped;
+//   * one dispatcher thread (head-of-line FIFO: a big job at the head
+//     waits for cores before later jobs dispatch — deliberate, so large
+//     jobs cannot starve) and one runner thread per running job.
+//
+// Per-job isolation reuses the engine's cooperative-cancellation protocol:
+// every job carries its own CancellationToken; Scheduler::cancel(id) trips
+// it, the run watchdog forwards it into the active run (AbortError with
+// cause kExternal), and neighbouring jobs — own tokens, own pools, own
+// cores — are untouched.
+//
+// Nothing here runs unless a Scheduler is constructed; the one-shot
+// Runtime path is byte-identical with the subsystem unused.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.hpp"
+#include "common/config.hpp"
+#include "common/timing.hpp"
+#include "engine/app_model.hpp"
+#include "engine/phase_driver.hpp"
+#include "engine/pool_depot.hpp"
+#include "engine/strategy_pipelined.hpp"
+#include "service/job.hpp"
+#include "service/lease.hpp"
+#include "telemetry/session.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::service {
+
+// Handed to a job's body while it runs: the leased sub-topology, the job's
+// cancellation token, and run() — the way a body executes MapReduce work
+// on its leased cores through the scheduler's warm pool depot.
+class JobContext {
+ public:
+  // The job's private slice of the machine: only the leased CPUs, named
+  // after them (the name reaches PoolSet::shape_key, so pool sets of
+  // different core sets never alias in the depot).
+  const topo::Topology& topology() const { return topo_; }
+  const CoreLease& lease() const { return lease_; }
+
+  // The job's own token; bodies doing non-MapReduce work between runs
+  // should poll it and wind down when tripped.
+  common::CancellationToken& cancel_token() { return *cancel_; }
+
+  // Executes one MapReduce invocation on the leased cores. Pools are
+  // leased from the scheduler's depot (warm after the first run on this
+  // core set); the job's token is wired into the run as the external
+  // cancellation source, and the job's deadline into the watchdog. Throws
+  // common::AbortError when cancelled mid-run.
+  template <mr::AppSpec S>
+  mr::result_of<S> run(const S& app, const typename S::input_type& input) {
+    auto lease = depot_->acquire(topo_, cfg_);
+    warm_ = lease.warm();
+    engine::DriverOptions dopts =
+        engine::driver_options_from(lease.pools().config());
+    dopts.external_cancel = cancel_;
+    if (deadline_ms_ > 0) dopts.deadline_ms = deadline_ms_;
+    engine::PhaseDriver driver(lease.pools(), dopts);
+    std::unique_ptr<telemetry::Session> session =
+        telemetry::Session::from_config(lease.pools().config());
+    driver.set_telemetry(session.get());
+    engine::PipelinedSpsc<S> strategy;
+    auto result = driver.run(strategy, app, input);
+    plan_ = result.plan;
+    run_summary_ = result.summary();
+    return result;
+  }
+
+  // True when the last run() executed on a warm pool set.
+  bool warm_pools() const { return warm_; }
+
+ private:
+  friend class Scheduler;
+  JobContext(topo::Topology topo, CoreLease lease, RuntimeConfig cfg,
+             common::CancellationToken* cancel, std::size_t deadline_ms,
+             engine::PoolDepot* depot)
+      : topo_(std::move(topo)), lease_(std::move(lease)),
+        cfg_(std::move(cfg)), cancel_(cancel), deadline_ms_(deadline_ms),
+        depot_(depot) {}
+
+  topo::Topology topo_;
+  CoreLease lease_;
+  RuntimeConfig cfg_;
+  common::CancellationToken* cancel_;
+  std::size_t deadline_ms_;
+  engine::PoolDepot* depot_;
+  bool warm_ = false;
+  engine::PlanInfo plan_;
+  std::string run_summary_;
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    // Concurrent-job cap; 0 = one job per socket (min 1).
+    std::size_t max_concurrent_jobs = 0;
+
+    // Jobs allowed to *wait*; a submit finding the queue at this depth is
+    // rejected. Running jobs do not count against it.
+    std::size_t queue_depth = 16;
+
+    // Reads the RAMR_SERVICE_JOBS / RAMR_SERVICE_QUEUE knobs.
+    static Options from_env() {
+      const RuntimeConfig cfg = RuntimeConfig::from_env();
+      Options o;
+      o.max_concurrent_jobs = cfg.service_max_jobs;
+      o.queue_depth = cfg.service_queue_depth;
+      return o;
+    }
+  };
+
+  explicit Scheduler(topo::Topology topology)
+      : Scheduler(std::move(topology), Options{}) {}
+  Scheduler(topo::Topology topology, Options options);
+  ~Scheduler();  // shutdown()
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Admits a job whose body runs arbitrary work (typically a loop of
+  // JobContext::run calls) on the leased cores. Always returns an id;
+  // admission failures surface as status kRejected on its report.
+  JobId submit(JobSpec spec, std::function<void(JobContext&)> body);
+
+  // Typed convenience: one MapReduce invocation as a job. The app and
+  // input must outlive the job; collect the result via the future *after*
+  // wait(id) reports kDone (a rejected or queue-cancelled job never
+  // fulfills it).
+  template <mr::AppSpec S>
+  std::pair<JobId, std::shared_future<mr::result_of<S>>> submit(
+      JobSpec spec, const S& app, const typename S::input_type& input) {
+    auto promise = std::make_shared<std::promise<mr::result_of<S>>>();
+    std::shared_future<mr::result_of<S>> future =
+        promise->get_future().share();
+    JobId id = submit(std::move(spec), [&app, &input, promise](
+                                           JobContext& ctx) {
+      try {
+        promise->set_value(ctx.run(app, input));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+        throw;
+      }
+    });
+    return {id, std::move(future)};
+  }
+
+  // Trips the job's token: a queued job is cancelled in place, a running
+  // one aborts cooperatively at its next poll. False when the id is
+  // unknown or the job already reached a terminal status.
+  bool cancel(JobId id);
+
+  // Blocks until the job is terminal and returns its report. Throws
+  // ramr::Error for unknown ids.
+  JobReport wait(JobId id);
+
+  // Report without waiting (whatever state the job is in right now).
+  JobReport report(JobId id);
+
+  // Waits for every submitted job to reach a terminal status and returns
+  // all reports in submission order.
+  std::vector<JobReport> drain();
+
+  // Cancels queued and running jobs, waits for runners, stops the
+  // dispatcher. Idempotent; the destructor calls it.
+  void shutdown();
+
+  const topo::Topology& topology() const { return topo_; }
+  std::size_t max_concurrent_jobs() const { return max_jobs_; }
+  std::size_t queue_depth() const { return opts_.queue_depth; }
+  std::size_t fair_share_cores() const { return fair_share_; }
+
+  // The warm-pool depot shared by this scheduler's jobs (stats for tests
+  // and the amortization bench).
+  engine::PoolDepot& depot() { return depot_; }
+
+  CoreLeaseRegistry& cores() { return cores_; }
+
+ private:
+  struct Job {
+    JobSpec spec;
+    std::function<void(JobContext&)> body;
+    JobId id = 0;
+    JobStatus status = JobStatus::kQueued;
+    common::CancellationToken cancel;
+    CoreLease lease;
+    Clock::time_point submitted{};
+    Clock::time_point started{};
+    double queued_seconds = 0.0;
+    double run_seconds = 0.0;
+    bool warm = false;
+    engine::PlanInfo plan;
+    std::string run_summary;
+    std::string error;
+    std::thread runner;
+  };
+
+  void dispatch_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+
+  // All *_locked helpers require mutex_ held.
+  void finish_locked(Job& job, JobStatus status, std::string error);
+  JobReport report_locked(const Job& job) const;
+  std::vector<std::thread> grab_zombies_locked();
+
+  topo::Topology topo_;
+  Options opts_;
+  std::size_t max_jobs_ = 1;
+  std::size_t fair_share_ = 1;
+  CoreLeaseRegistry cores_;
+  engine::PoolDepot depot_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  JobId next_id_ = 1;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<JobId, std::shared_ptr<Job>> jobs_;
+  std::size_t running_ = 0;
+  std::uint64_t completion_gen_ = 0;
+  std::vector<std::thread> zombies_;  // finished runners awaiting join
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ramr::service

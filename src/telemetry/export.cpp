@@ -222,6 +222,7 @@ void run_report_json(std::ostream& out, const RunReport& report) {
             static_cast<std::uint64_t>(mem.arena_chunk_bytes));
     w.field("arena_resets", static_cast<std::uint64_t>(mem.arena_resets));
     w.field("ring_bytes", static_cast<std::uint64_t>(mem.ring_bytes));
+    w.field("ring_reuses", static_cast<std::uint64_t>(mem.ring_reuses));
     w.field("hugepages", mem.hugepages);
     w.field("mbind", mem.mbind);
     w.end_object();
