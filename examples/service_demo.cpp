@@ -6,9 +6,14 @@
 // concurrently on disjoint leased core sets, and each gets its own report.
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <deque>
 #include <iostream>
+#include <string>
 
 #include "apps/kmeans.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
 #include "common/timing.hpp"
 #include "core/runtime.hpp"
 #include "service/scheduler.hpp"
@@ -50,9 +55,105 @@ double centroid_shift(const std::vector<KmPoint>& next,
   return shift;
 }
 
+// ---- soak mode (--soak[=seconds]) ------------------------------------------
+// A seeded, randomized fault-injected job stream for CI: kmeans jobs with a
+// mix of per-job fault plans (transient map-task faults, emit stalls) and
+// random client cancellations, on top of whatever scheduler-level
+// job-boundary faults RAMR_FAULTS specifies, for the given wall-clock
+// budget. At drain, every job must have reached a terminal status and the
+// scheduler must hold zero cores and zero depot leases.
+int run_soak(double budget_seconds) {
+  const std::size_t seed = env::get_uint("RAMR_SOAK_SEED", 1);
+  const topo::Topology topo = topo::host();
+
+  // Env-driven resilience knobs (RAMR_SERVICE_RETRIES, RAMR_FAULTS, ...),
+  // with soak-friendly floors where the env left a feature off.
+  service::Scheduler::Options opts = service::Scheduler::Options::from_env();
+  opts.max_concurrent_jobs =
+      std::max<std::size_t>(opts.max_concurrent_jobs, 2);
+  opts.queue_depth = std::max<std::size_t>(opts.queue_depth, 16);
+  if (opts.max_retries == 0) opts.max_retries = 3;
+  if (opts.hedge_factor == 0.0) opts.hedge_factor = 3.0;
+  service::Scheduler sched(topo, opts);
+
+  App app;
+  app.num_clusters = kClusters;
+  KmInput input;
+  input.points = make_points(20000, kClusters, /*seed=*/7);
+  input.centroids = initial_centroids(input.points, kClusters);
+  input.split_points = 2048;
+
+  std::cout << "soak on " << topo.name() << ": budget=" << budget_seconds
+            << "s seed=" << seed << " retries=" << opts.max_retries
+            << " faults='" << opts.fault_spec << "'\n";
+
+  Xoshiro256 rng(seed);
+  std::deque<service::JobId> inflight;
+  std::size_t submitted = 0;
+  const auto t0 = now();
+  while (seconds_between(t0, now()) < budget_seconds) {
+    service::JobSpec spec;
+    spec.name = "soak-" + std::to_string(submitted);
+    spec.config = job_runtime_config();
+    const double roll = rng.uniform();
+    if (roll < 0.2) {
+      // Transient map-task faults, absorbed by task-level retry.
+      spec.config.fault_spec = "map_task=3,map_transient=1,map_fires=2";
+      spec.config.max_task_retries = 3;
+    } else if (roll < 0.3) {
+      spec.config.fault_spec = "stall_emit=100,stall_ms=50";  // emit stall
+    }
+    auto [id, future] = sched.submit(spec, app, input);
+    (void)future;
+    ++submitted;
+    if (roll >= 0.3 && roll < 0.35) sched.cancel(id);  // client gives up
+    inflight.push_back(id);
+    while (inflight.size() >= 8) {
+      sched.wait(inflight.front());
+      inflight.pop_front();
+    }
+  }
+
+  std::size_t done = 0, failed = 0, cancelled = 0, rejected = 0, shed = 0;
+  std::size_t hedge_twins = 0, non_terminal = 0;
+  for (const service::JobReport& r : sched.drain()) {
+    if (r.hedge_of != 0) ++hedge_twins;
+    switch (r.status) {
+      case service::JobStatus::kDone: ++done; break;
+      case service::JobStatus::kFailed: ++failed; break;
+      case service::JobStatus::kCancelled: ++cancelled; break;
+      case service::JobStatus::kRejected: ++rejected; break;
+      case service::JobStatus::kShed: ++shed; break;
+      default: ++non_terminal; break;
+    }
+  }
+  const std::size_t leaked = sched.cores().total() - sched.cores().available();
+  const auto depot_stats = sched.depot().stats();
+  std::cout << sched.stats().summary() << '\n'
+            << "soak: submitted=" << submitted << " done=" << done
+            << " failed=" << failed << " cancelled=" << cancelled
+            << " rejected=" << rejected << " shed=" << shed
+            << " hedge_twins=" << hedge_twins
+            << " non_terminal=" << non_terminal << '\n'
+            << "soak: leaked_cores=" << leaked
+            << " depot_leased=" << depot_stats.leased << '\n';
+  if (non_terminal != 0 || leaked != 0 || depot_stats.leased != 0) {
+    std::cerr << "soak failed: non-terminal jobs or leaked leases\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--soak") return run_soak(30.0);
+    if (arg.rfind("--soak=", 0) == 0) {
+      return run_soak(std::atof(arg.c_str() + 7));
+    }
+  }
   App app;
   app.num_clusters = kClusters;
   const topo::Topology topo = topo::host();

@@ -164,6 +164,13 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
       env::get_uint(kEnvServiceJobs, base.service_max_jobs);
   base.service_queue_depth =
       env::get_uint(kEnvServiceQueue, base.service_queue_depth);
+  base.service_max_retries =
+      env::get_uint(kEnvServiceRetries, base.service_max_retries);
+  base.service_hedge_factor =
+      env::get_double(kEnvHedgeFactor, base.service_hedge_factor);
+  base.service_breaker_k = env::get_uint(kEnvBreakerK, base.service_breaker_k);
+  base.service_shed_watermark =
+      env::get_uint(kEnvShedWatermark, base.service_shed_watermark);
 
   // Range checks for the knobs where a parseable-but-absurd value would
   // otherwise fail far from its source (or not at all).
@@ -186,6 +193,25 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   }
   if (env::get(kEnvServiceQueue)) {
     check_env_range(kEnvServiceQueue, base.service_queue_depth, 0, 100'000);
+  }
+  if (env::get(kEnvServiceRetries)) {
+    check_env_range(kEnvServiceRetries, base.service_max_retries, 0, 100);
+  }
+  if (env::get(kEnvHedgeFactor)) {
+    // 0 = off; when on, anything below 1x the EWMA would hedge every job.
+    const double f = base.service_hedge_factor;
+    if (f != 0.0 && (f < 1.0 || f > 100.0)) {
+      throw ConfigError("env knob " + std::string(kEnvHedgeFactor) + "=" +
+                        std::to_string(f) +
+                        " is out of range (0 to disable, else [1, 100])");
+    }
+  }
+  if (env::get(kEnvBreakerK)) {
+    check_env_range(kEnvBreakerK, base.service_breaker_k, 0, 1000);
+  }
+  if (env::get(kEnvShedWatermark)) {
+    check_env_range(kEnvShedWatermark, base.service_shed_watermark, 0,
+                    100'000);
   }
 
   // Remember which plan-relevant knobs the user pinned explicitly so the
@@ -304,6 +330,13 @@ std::string RuntimeConfig::summary() const {
   if (service_mode) {
     os << " service=on service_jobs=" << service_max_jobs
        << " service_queue=" << service_queue_depth;
+  }
+  // Resilience knobs print only when enabled (all default off).
+  if (service_max_retries > 0) os << " service_retries=" << service_max_retries;
+  if (service_hedge_factor > 0.0) os << " hedge_factor=" << service_hedge_factor;
+  if (service_breaker_k > 0) os << " breaker_k=" << service_breaker_k;
+  if (service_shed_watermark > 0) {
+    os << " shed_watermark=" << service_shed_watermark;
   }
   return os.str();
 }

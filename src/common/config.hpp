@@ -103,6 +103,10 @@ inline constexpr const char* kEnvHugePages = "RAMR_HUGEPAGES";
 inline constexpr const char* kEnvService = "RAMR_SERVICE";
 inline constexpr const char* kEnvServiceJobs = "RAMR_SERVICE_JOBS";
 inline constexpr const char* kEnvServiceQueue = "RAMR_SERVICE_QUEUE";
+inline constexpr const char* kEnvServiceRetries = "RAMR_SERVICE_RETRIES";
+inline constexpr const char* kEnvHedgeFactor = "RAMR_HEDGE_FACTOR";
+inline constexpr const char* kEnvBreakerK = "RAMR_BREAKER_K";
+inline constexpr const char* kEnvShedWatermark = "RAMR_SHED_WATERMARK";
 
 // Which plan-relevant knobs were set explicitly via the environment.
 // from_env() fills this so the adaptive controller can honour the
@@ -249,6 +253,32 @@ struct RuntimeConfig {
   // jobs waiting in the queue — a submit beyond it is rejected, not queued.
   std::size_t service_max_jobs = 0;
   std::size_t service_queue_depth = 16;
+
+  // ---- service resilience knobs (see ARCHITECTURE.md §13) ----------------
+  // All default off: the scheduler behaves exactly as before (one attempt
+  // per job, no hedges, no breaker, no shedding) and default output is
+  // byte-identical.
+
+  // Job-level retry budget: a failed job re-enters admission (original
+  // arrival order, exponential backoff + deterministic jitter) up to this
+  // many times. A JobSpec can override it per job.
+  std::size_t service_max_retries = 0;
+
+  // Hedged execution: a running job whose elapsed time exceeds this factor
+  // times its app's EWMA runtime gets a duplicate launched on spare cores;
+  // the first finisher wins, the loser is cancelled. 0 = off.
+  double service_hedge_factor = 0.0;
+
+  // Per-app circuit breaker: after this many *consecutive* job failures of
+  // one app, submissions for it fast-fail until the breaker half-opens on a
+  // timer and a trial job closes it again. 0 = off.
+  std::size_t service_breaker_k = 0;
+
+  // Overload shedding: when the total queued admission cost exceeds this
+  // high watermark, the scheduler sheds lowest-priority queued jobs
+  // (JobStatus::kShed) until the cost falls to the low watermark
+  // (watermark / 2). 0 = off (only the queue-depth bound applies).
+  std::size_t service_shed_watermark = 0;
 
   // Filled by from_env(); defaults mean "nothing pinned".
   EnvOverrides env_overrides;

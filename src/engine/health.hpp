@@ -105,6 +105,11 @@ class Watchdog {
     // protocol as a deadline or stall verdict. Must outlive the watchdog;
     // nullptr = none.
     const common::CancellationToken* forward = nullptr;
+
+    // Second external source, same semantics, so a service job can chain
+    // both the scheduler's per-job token and a client-owned token without
+    // an intermediate forwarding thread (first to trip wins).
+    const common::CancellationToken* forward2 = nullptr;
   };
 
   Watchdog(Options options, common::CancellationToken& token,
@@ -144,13 +149,16 @@ class Watchdog {
       const auto now = Clock::now();
       const Phase phase = static_cast<Phase>(
           phase_.load(std::memory_order_acquire));
-      if (options_.forward != nullptr && options_.forward->cancelled()) {
-        common::CancelState ext = options_.forward->snapshot();
-        token_.cancel(common::CancelCause::kExternal, phase_name(phase),
-                      ext.worker,
-                      ext.detail.empty() ? "external cancellation"
-                                         : ext.detail);
-        return;
+      for (const common::CancellationToken* ext_token :
+           {options_.forward, options_.forward2}) {
+        if (ext_token != nullptr && ext_token->cancelled()) {
+          common::CancelState ext = ext_token->snapshot();
+          token_.cancel(common::CancelCause::kExternal, phase_name(phase),
+                        ext.worker,
+                        ext.detail.empty() ? "external cancellation"
+                                           : ext.detail);
+          return;
+        }
       }
       if (options_.deadline.count() > 0 && now - start >= options_.deadline) {
         token_.cancel(

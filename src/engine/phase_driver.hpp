@@ -77,6 +77,10 @@ struct DriverOptions {
   // throws AbortError(kExternal). A token already tripped at run() entry
   // aborts before any work starts. Must outlive the run; nullptr = none.
   common::CancellationToken* external_cancel = nullptr;
+
+  // Second external source with identical semantics (a client-owned token
+  // chained alongside the scheduler's per-job token). First to trip wins.
+  common::CancellationToken* external_cancel2 = nullptr;
 };
 
 inline DriverOptions driver_options_from(const RuntimeConfig& cfg) {
@@ -113,13 +117,15 @@ class PhaseDriver {
     RunResult<typename St::key_type, typename St::value_type> result;
 
     // A job cancelled before its run started never touches the pools.
-    if (options_.external_cancel != nullptr &&
-        options_.external_cancel->cancelled()) {
-      common::CancelState state = options_.external_cancel->snapshot();
-      if (state.cause == common::CancelCause::kNone) {
-        state.cause = common::CancelCause::kExternal;
+    for (common::CancellationToken* ext :
+         {options_.external_cancel, options_.external_cancel2}) {
+      if (ext != nullptr && ext->cancelled()) {
+        common::CancelState state = ext->snapshot();
+        if (state.cause == common::CancelCause::kNone) {
+          state.cause = common::CancelCause::kExternal;
+        }
+        throw common::AbortError(std::move(state));
       }
-      throw common::AbortError(std::move(state));
     }
 
     // ---- per-run robustness state ---------------------------------------
@@ -132,12 +138,13 @@ class PhaseDriver {
     retry.max_retries = options_.max_task_retries;
     std::optional<Watchdog> watchdog;
     if (options_.deadline_ms > 0 || options_.stall_timeout_ms > 0 ||
-        options_.external_cancel != nullptr) {
+        options_.external_cancel != nullptr ||
+        options_.external_cancel2 != nullptr) {
       watchdog.emplace(
           Watchdog::Options{
               std::chrono::milliseconds(options_.deadline_ms),
               std::chrono::milliseconds(options_.stall_timeout_ms),
-              options_.external_cancel},
+              options_.external_cancel, options_.external_cancel2},
           cancel, beats);
     }
     const auto mark_phase = [&](Phase phase) {

@@ -50,14 +50,16 @@ struct MemStats {
 
 // The execution plan a run actually used, and where it came from. Stamped
 // by PhaseDriver::run from the resolved config + strategy; the adaptive
-// controller overwrites `source` with "probe" or "cache" when it decided.
+// controller overwrites `source` with "probe" or "cache" when it decided;
+// the service scheduler stamps "degraded" on retries that run under a
+// safer plan (see service/scheduler.hpp, the degradation ladder).
 struct PlanInfo {
   std::string strategy;  // "fused" | "pipelined" | "atomic-global"
   std::size_t ratio = 0;
   std::size_t batch_size = 0;
   std::size_t queue_capacity = 0;
   std::string pin_policy;
-  std::string source;  // "env" | "cache" | "probe" | "default"
+  std::string source;  // "env" | "cache" | "probe" | "degraded" | "default"
 
   // True when something other than the built-in defaults chose the plan —
   // the summary() line only mentions the plan then, so default runs keep

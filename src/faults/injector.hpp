@@ -42,7 +42,8 @@ class Injector {
   Injector() = default;  // disabled
   explicit Injector(const FaultPlan& plan)
       : plan_(plan),
-        map_fires_left_(static_cast<std::int64_t>(plan.map_fires)) {}
+        map_fires_left_(static_cast<std::int64_t>(plan.map_fires)),
+        job_fires_left_(static_cast<std::int64_t>(plan.job_fires)) {}
 
   bool enabled() const { return plan_.enabled; }
   const FaultPlan& plan() const { return plan_; }
@@ -112,6 +113,31 @@ class Injector {
     }
   }
 
+  // Called by the service scheduler before each job-run attempt (retries
+  // re-enter, so a retried job draws a fresh ordinal). Always transient —
+  // the job boundary is exactly where job-level retry applies.
+  void on_job_run(const std::string& job_name) {
+    if (!plan_.enabled) return;
+    if (plan_.job_run < 0 && plan_.job_p <= 0.0) return;
+    const std::uint64_t ordinal =
+        job_runs_.fetch_add(1, std::memory_order_relaxed);
+    bool fire = plan_.job_run >= 0 &&
+                ordinal >= static_cast<std::uint64_t>(plan_.job_run);
+    if (!fire && plan_.job_p > 0.0) {
+      // Same deterministic coin as the map-task site, offset so the two
+      // sites draw independent streams from one seed.
+      Xoshiro256 rng(plan_.seed ^ 0xa5a5a5a5a5a5a5a5ULL ^
+                     (ordinal * 0x9e3779b97f4a7c15ULL));
+      fire = rng.uniform() < plan_.job_p;
+    }
+    if (!fire) return;
+    if (job_fires_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw TransientInjectedFault("injected fault: job run attempt " +
+                                 std::to_string(ordinal) + " of " + job_name +
+                                 " (job boundary)");
+  }
+
   // Called before each intermediate-container construction (0-based global
   // ordinal in strategy construction order).
   void on_container_alloc() {
@@ -132,6 +158,8 @@ class Injector {
   std::atomic<bool> combiner_fired_{false};
   std::atomic<std::uint64_t> emits_{0};
   std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> job_runs_{0};
+  std::atomic<std::int64_t> job_fires_left_{0};
   std::atomic<std::size_t> injected_{0};
 };
 

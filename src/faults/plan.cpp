@@ -53,6 +53,12 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   if (spec.empty()) return plan;
   plan.enabled = true;
 
+  // Which modifier keys appeared, for the inert-modifier check below.
+  struct {
+    bool map_fires = false, map_transient = false, combiner = false;
+    bool stall_ms = false, job_fires = false, seed = false;
+  } seen;
+
   std::istringstream tokens(spec);
   std::string token;
   while (std::getline(tokens, token, ',')) {
@@ -67,25 +73,62 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.map_task = static_cast<std::int64_t>(parse_uint(key, value));
     } else if (key == "map_fires") {
       plan.map_fires = static_cast<std::uint32_t>(parse_uint(key, value));
+      seen.map_fires = true;
     } else if (key == "map_transient") {
       plan.map_transient = parse_flag(key, value);
+      seen.map_transient = true;
     } else if (key == "map_p") {
       plan.map_p = parse_probability(key, value);
     } else if (key == "combiner_batch") {
       plan.combiner_batch = static_cast<std::int64_t>(parse_uint(key, value));
     } else if (key == "combiner") {
       plan.combiner = static_cast<std::uint32_t>(parse_uint(key, value));
+      seen.combiner = true;
     } else if (key == "stall_emit") {
       plan.stall_emit = parse_uint(key, value);
     } else if (key == "stall_ms") {
       plan.stall_ms = static_cast<std::uint32_t>(parse_uint(key, value));
+      seen.stall_ms = true;
     } else if (key == "alloc") {
       plan.alloc = static_cast<std::int64_t>(parse_uint(key, value));
+    } else if (key == "job_run") {
+      plan.job_run = static_cast<std::int64_t>(parse_uint(key, value));
+    } else if (key == "job_fires") {
+      plan.job_fires = static_cast<std::uint32_t>(parse_uint(key, value));
+      seen.job_fires = true;
+    } else if (key == "job_p") {
+      plan.job_p = parse_probability(key, value);
     } else if (key == "seed") {
       plan.seed = parse_uint(key, value);
+      seen.seed = true;
     } else {
-      throw ConfigError("fault spec: unknown key '" + key + "'");
+      throw ConfigError(
+          "fault spec: unknown key '" + key +
+          "' (sites: map_task|map_p|combiner_batch|stall_emit|alloc|"
+          "job_run|job_p; modifiers: map_fires|map_transient|combiner|"
+          "stall_ms|job_fires|seed)");
     }
+  }
+
+  // A modifier without its site key would silently do nothing — the same
+  // class of mistake the RAMR_* range checks catch. Fail fast, naming the
+  // inert token and the site it needs.
+  const bool map_site = plan.map_task >= 0 || plan.map_p > 0.0;
+  const bool job_site = plan.job_run >= 0 || plan.job_p > 0.0;
+  auto inert = [](const std::string& token, const std::string& needs) {
+    throw ConfigError("fault spec: '" + token + "' is inert without " + needs);
+  };
+  if (seen.map_fires && !map_site) inert("map_fires", "map_task or map_p");
+  if (seen.map_transient && !map_site) {
+    inert("map_transient", "map_task or map_p");
+  }
+  if (seen.combiner && plan.combiner_batch < 0) {
+    inert("combiner", "combiner_batch");
+  }
+  if (seen.stall_ms && plan.stall_emit == 0) inert("stall_ms", "stall_emit");
+  if (seen.job_fires && !job_site) inert("job_fires", "job_run or job_p");
+  if (seen.seed && plan.map_p <= 0.0 && plan.job_p <= 0.0) {
+    inert("seed", "map_p or job_p");
   }
   return plan;
 }
@@ -106,6 +149,8 @@ std::string FaultPlan::summary() const {
     os << " stall_emit=" << stall_emit << " stall_ms=" << stall_ms;
   }
   if (alloc >= 0) os << " alloc=" << alloc;
+  if (job_run >= 0) os << " job_run=" << job_run << " fires=" << job_fires;
+  if (job_p > 0.0) os << " job_p=" << job_p << " seed=" << seed;
   return os.str();
 }
 

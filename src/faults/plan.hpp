@@ -22,9 +22,16 @@
 //   "combiner_batch=3,combiner=1"         combiner 1 dies on its 3rd batch
 //   "stall_emit=1000,stall_ms=10000"      emission #1000 hangs for 10 s
 //   "alloc=2"                             3rd container allocation fails
+//   "job_run=0,job_fires=2"               first two whole-job runs fail
+//   "job_p=0.05,seed=7"                   seeded 5% per-job-run failures
 //
 // The empty string means "disabled" and parses to a plan whose Injector
 // compiles down to a single predictable branch per site.
+//
+// Parsing is strict: unknown keys, bad values, and modifier keys whose
+// site key is absent (e.g. `stall_ms` without `stall_emit`) are all
+// ConfigErrors naming the offending token — the same fail-fast convention
+// the RAMR_* env knobs follow.
 #pragma once
 
 #include <cstdint>
@@ -59,11 +66,19 @@ struct FaultPlan {
   // (0-based, in strategy construction order) throws.
   std::int64_t alloc = -1;  // -1 = site disabled
 
-  // Seed for the probabilistic map-task site.
+  // Job-boundary site (service mode): the `job_run`-th job-run attempt
+  // (0-based global ordinal across the scheduler) throws transiently before
+  // the job body starts; `job_fires` bounds how many attempts throw.
+  // `job_p` is an independent seeded per-attempt probability, like map_p.
+  std::int64_t job_run = -1;  // -1 = site disabled
+  std::uint32_t job_fires = 1;
+  double job_p = 0.0;
+
+  // Seed for the probabilistic map-task and job-run sites.
   std::uint64_t seed = 0;
 
   // Parse a spec string ("" = disabled plan). Throws ConfigError on unknown
-  // keys or unparsable values.
+  // keys, unparsable values, and modifier keys without their site key.
   static FaultPlan parse(const std::string& spec);
 
   // One-line human-readable form (inverse of parse, for logs).

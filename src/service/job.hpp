@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "common/config.hpp"
 #include "engine/result.hpp"
 
@@ -24,6 +25,7 @@ enum class JobStatus {
   kFailed,     // body threw (deadline, worker failure, app error)
   kCancelled,  // external cancel (Scheduler::cancel or shutdown) won
   kRejected,   // admission control refused it (queue full, impossible cores)
+  kShed,       // dropped from the queue by overload protection
 };
 
 inline const char* to_string(JobStatus status) {
@@ -40,13 +42,16 @@ inline const char* to_string(JobStatus status) {
       return "cancelled";
     case JobStatus::kRejected:
       return "rejected";
+    case JobStatus::kShed:
+      return "shed";
   }
   return "?";
 }
 
 inline bool terminal(JobStatus status) {
   return status == JobStatus::kDone || status == JobStatus::kFailed ||
-         status == JobStatus::kCancelled || status == JobStatus::kRejected;
+         status == JobStatus::kCancelled || status == JobStatus::kRejected ||
+         status == JobStatus::kShed;
 }
 
 struct JobSpec {
@@ -62,6 +67,25 @@ struct JobSpec {
 
   // Per-job wall-clock budget forwarded to the run watchdog (0 = none).
   std::size_t deadline_ms = 0;
+
+  // Job-level retry budget. The default inherits the scheduler's
+  // Options::max_retries; any other value overrides it for this job
+  // (0 = never retry this job even when the scheduler retries).
+  static constexpr std::size_t kInheritRetries =
+      static_cast<std::size_t>(-1);
+  std::size_t max_retries = kInheritRetries;
+
+  // Overload-shedding inputs: when the queued cost exceeds the scheduler's
+  // watermark, the lowest-priority queued jobs are shed first (ties: newest
+  // first). Cost is the job's admission weight (1 = one typical job).
+  int priority = 0;
+  std::size_t cost = 1;
+
+  // Optional client-owned cancellation token. A token already tripped at
+  // submit() makes the job terminal kCancelled without consuming a queue
+  // slot or core lease; tripping it later cancels the job exactly like
+  // Scheduler::cancel(id). Must outlive the job; nullptr = none.
+  common::CancellationToken* cancel = nullptr;
 };
 
 struct JobReport {
@@ -86,6 +110,22 @@ struct JobReport {
   // Failure/rejection detail ("" when the job succeeded).
   std::string error;
 
+  // ---- resilience accounting (all default/empty when the features are
+  // off, so existing report output is unchanged) --------------------------
+
+  // Completed run attempts (0 = never dispatched; >1 = the job retried).
+  std::size_t attempts = 0;
+
+  // Degradation-ladder steps applied across retries, in order (e.g.
+  // "strategy=fused", "cores=8->4", "mem=off").
+  std::vector<std::string> degraded_steps;
+
+  // Hedged execution: non-zero marks this report as the hedge twin of job
+  // `hedge_of`; on a hedged primary, `hedge_winner` records which copy
+  // finished first ("primary" | "hedge").
+  JobId hedge_of = 0;
+  std::string hedge_winner;
+
   std::string describe() const {
     std::string s = "job=" + (name.empty() ? "?" : name) +
                     " id=" + std::to_string(id) +
@@ -103,6 +143,17 @@ struct JobReport {
                   run_seconds);
     s += buf;
     s += std::string(" warm=") + (warm_pools ? "yes" : "no");
+    if (attempts > 1) s += " attempts=" + std::to_string(attempts);
+    if (!degraded_steps.empty()) {
+      s += " degraded=[";
+      for (std::size_t i = 0; i < degraded_steps.size(); ++i) {
+        if (i > 0) s += ";";
+        s += degraded_steps[i];
+      }
+      s += "]";
+    }
+    if (hedge_of != 0) s += " hedge_of=" + std::to_string(hedge_of);
+    if (!hedge_winner.empty()) s += " hedge_winner=" + hedge_winner;
     if (!error.empty()) s += " error=" + error;
     return s;
   }

@@ -1,13 +1,30 @@
 #include "service/scheduler.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "telemetry/export.hpp"
 
 namespace ramr::service {
 
+std::string ServiceStats::summary() const {
+  std::ostringstream os;
+  os << "service_stats submitted=" << submitted << " done=" << done
+     << " failed=" << failed << " cancelled=" << cancelled
+     << " rejected=" << rejected << " shed=" << shed
+     << " retries=" << retries << " degraded=" << degraded
+     << " hedges=" << hedges << " hedge_wins=" << hedge_wins
+     << " breaker_trips=" << breaker_trips
+     << " breaker_rejects=" << breaker_rejects
+     << " job_faults=" << job_faults;
+  return os.str();
+}
+
 Scheduler::Scheduler(topo::Topology topology, Options options)
-    : topo_(std::move(topology)), opts_(options), cores_(topo_) {
+    : topo_(std::move(topology)), opts_(options), cores_(topo_),
+      injector_(faults::FaultPlan::parse(options.fault_spec)) {
   max_jobs_ = opts_.max_concurrent_jobs != 0
                   ? opts_.max_concurrent_jobs
                   : std::max<std::size_t>(1, topo_.num_sockets());
@@ -22,29 +39,49 @@ Scheduler::Scheduler(topo::Topology topology, Options options)
 Scheduler::~Scheduler() { shutdown(); }
 
 JobId Scheduler::submit(JobSpec spec, std::function<void(JobContext&)> body) {
+  return submit_internal(std::move(spec), std::move(body), nullptr);
+}
+
+JobId Scheduler::submit_internal(JobSpec spec,
+                                 std::function<void(JobContext&)> body,
+                                 TerminalCallback on_terminal) {
   std::lock_guard lock(mutex_);
   auto job = std::make_shared<Job>();
   job->spec = std::move(spec);
   job->body = std::move(body);
+  job->on_terminal = std::move(on_terminal);
   job->id = next_id_++;
   job->submitted = now();
+  job->max_retries = job->spec.max_retries == JobSpec::kInheritRetries
+                         ? opts_.max_retries
+                         : job->spec.max_retries;
+  job->want_cores = job->spec.cores != 0 ? job->spec.cores : fair_share_;
   jobs_[job->id] = job;
+  ++stats_.submitted;
 
-  const std::size_t want =
-      job->spec.cores != 0 ? job->spec.cores : fair_share_;
   if (stopping_) {
     finish_locked(*job, JobStatus::kRejected, "scheduler is shutting down");
-  } else if (want > cores_.total()) {
+  } else if (job->spec.cancel != nullptr && job->spec.cancel->cancelled()) {
+    // Satellite fix: a pre-tripped client token is a cancellation, not a
+    // failure — and it must never reach the queue or consume a core lease.
+    finish_locked(*job, JobStatus::kCancelled,
+                  "client token cancelled before admission");
+  } else if (job->want_cores > cores_.total()) {
     finish_locked(*job, JobStatus::kRejected,
-                  "requested " + std::to_string(want) +
+                  "requested " + std::to_string(job->want_cores) +
                       " cores; topology has " +
                       std::to_string(cores_.total()));
+  } else if (!app_stats_.admit(job->spec.name, opts_.breaker_k, now())) {
+    ++stats_.breaker_rejects;
+    finish_locked(*job, JobStatus::kRejected,
+                  "circuit breaker open for app '" + job->spec.name + "'");
   } else if (queue_.size() >= opts_.queue_depth) {
     finish_locked(*job, JobStatus::kRejected,
                   "queue full (depth " + std::to_string(opts_.queue_depth) +
                       ")");
   } else {
     queue_.push_back(job);
+    shed_locked();
     cv_.notify_all();
   }
   return job->id;
@@ -104,6 +141,32 @@ std::vector<JobReport> Scheduler::drain() {
   return reports;
 }
 
+ServiceStats Scheduler::stats() const {
+  std::lock_guard lock(mutex_);
+  ServiceStats s = stats_;
+  s.job_faults = injector_.injected();
+  return s;
+}
+
+std::string Scheduler::stats_json() const {
+  const ServiceStats s = stats();
+  return telemetry::counters_json(
+      "ramr-service-stats-v1",
+      {{"submitted", s.submitted},
+       {"done", s.done},
+       {"failed", s.failed},
+       {"cancelled", s.cancelled},
+       {"rejected", s.rejected},
+       {"shed", s.shed},
+       {"retries", s.retries},
+       {"degraded", s.degraded},
+       {"hedges", s.hedges},
+       {"hedge_wins", s.hedge_wins},
+       {"breaker_trips", s.breaker_trips},
+       {"breaker_rejects", s.breaker_rejects},
+       {"job_faults", s.job_faults}});
+}
+
 void Scheduler::shutdown() {
   {
     std::lock_guard lock(mutex_);
@@ -135,13 +198,43 @@ void Scheduler::shutdown() {
   for (std::thread& t : zombies) t.join();
 }
 
+// First queued job whose retry backoff (if any) has elapsed. The queue is
+// kept in arrival (id) order, so this is the head-of-line job among the
+// dispatchable ones; jobs still backing off do not block the line.
+std::shared_ptr<Scheduler::Job> Scheduler::first_eligible_locked(
+    Clock::time_point t) const {
+  for (const auto& job : queue_) {
+    if (job->not_before <= t) return job;
+  }
+  return nullptr;
+}
+
+bool Scheduler::backoff_pending_locked(Clock::time_point t) const {
+  for (const auto& job : queue_) {
+    if (job->not_before > t) return true;
+  }
+  return false;
+}
+
 void Scheduler::dispatch_loop() {
   std::unique_lock lock(mutex_);
+  const auto tick = std::chrono::milliseconds(1);
   while (true) {
-    cv_.wait(lock, [&] {
+    // Timed waits only when something needs polling: a retry backoff about
+    // to elapse, or hedge triggers while jobs run. Otherwise the dispatcher
+    // sleeps until submit/completion/cancel notifies.
+    const bool timed = backoff_pending_locked(now()) ||
+                       (opts_.hedge_factor > 0.0 && running_ > 0);
+    const auto ready = [&] {
       return stopping_ || !zombies_.empty() ||
-             (!queue_.empty() && running_ < max_jobs_);
-    });
+             (running_primary_ < max_jobs_ &&
+              first_eligible_locked(now()) != nullptr);
+    };
+    if (timed) {
+      cv_.wait_for(lock, tick, ready);
+    } else {
+      cv_.wait(lock, ready);
+    }
     if (!zombies_.empty()) {
       std::vector<std::thread> zombies = grab_zombies_locked();
       lock.unlock();
@@ -150,27 +243,83 @@ void Scheduler::dispatch_loop() {
       continue;
     }
     if (stopping_) break;
+    maybe_hedge_locked();
 
-    // Strict head-of-line FIFO: the job at the head waits for its cores
-    // before anything behind it dispatches, so big jobs cannot starve.
-    std::shared_ptr<Job> job = queue_.front();
-    const std::size_t want =
-        job->spec.cores != 0 ? job->spec.cores : fair_share_;
-    std::optional<CoreLease> lease = cores_.try_acquire(want);
-    if (!lease) {
-      const std::uint64_t gen = completion_gen_;
-      cv_.wait(lock, [&] {
-        return stopping_ || completion_gen_ != gen || queue_.empty();
-      });
+    std::shared_ptr<Job> job = first_eligible_locked(now());
+    if (!job || running_primary_ >= max_jobs_) continue;
+
+    // A client token tripped while the job sat in the queue cancels it in
+    // place — before any core lease is taken.
+    if (job->spec.cancel != nullptr && job->spec.cancel->cancelled()) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+      finish_locked(*job, JobStatus::kCancelled,
+                    "client token cancelled while queued");
       continue;
     }
-    queue_.pop_front();
+
+    // Head-of-line among dispatchable jobs: this job waits for its cores
+    // before anything behind it dispatches, so big jobs cannot starve.
+    std::optional<CoreLease> lease = cores_.try_acquire(job->want_cores);
+    if (!lease) {
+      const std::uint64_t gen = completion_gen_;
+      const auto cores_freed = [&] {
+        return stopping_ || completion_gen_ != gen || queue_.empty();
+      };
+      if (timed) {
+        cv_.wait_for(lock, tick, cores_freed);
+      } else {
+        cv_.wait(lock, cores_freed);
+      }
+      continue;
+    }
+    queue_.erase(std::find(queue_.begin(), queue_.end(), job));
     job->lease = std::move(*lease);
     job->status = JobStatus::kRunning;
     job->started = now();
     job->queued_seconds = seconds_between(job->submitted, job->started);
     ++running_;
+    ++running_primary_;
     job->runner = std::thread(&Scheduler::run_job, this, job);
+  }
+}
+
+// Launch hedge twins for stragglers: a running, un-hedged primary whose
+// elapsed time exceeds hedge_factor × its app's EWMA runtime, when the
+// queue is empty and spare cores exist. Twins run beyond max_jobs_ — they
+// consume only cores nobody else is waiting for.
+void Scheduler::maybe_hedge_locked() {
+  if (opts_.hedge_factor <= 0.0 || stopping_ || !queue_.empty()) return;
+  const auto t = now();
+  for (auto& [id, job] : jobs_) {
+    if (job->status != JobStatus::kRunning || job->hedge || job->hedged) {
+      continue;
+    }
+    const AppStats::App* app = app_stats_.find(job->spec.name);
+    if (app == nullptr || app->samples < opts_.hedge_min_samples) continue;
+    if (seconds_between(job->started, t) <
+        opts_.hedge_factor * app->ewma_seconds) {
+      continue;
+    }
+    std::optional<CoreLease> lease = cores_.try_acquire(job->want_cores);
+    if (!lease) continue;
+    auto hedge = std::make_shared<Job>();
+    hedge->spec = job->spec;
+    hedge->body = job->body;  // shares the primary's captured state
+    hedge->id = next_id_++;
+    hedge->submitted = t;
+    hedge->max_retries = 0;  // a hedge never retries
+    hedge->want_cores = job->want_cores;
+    hedge->hedge = true;
+    hedge->hedge_of = job->id;
+    hedge->lease = std::move(*lease);
+    hedge->status = JobStatus::kRunning;
+    hedge->started = t;
+    jobs_[hedge->id] = hedge;
+    job->hedge_id = hedge->id;
+    job->hedged = true;
+    ++running_;
+    ++stats_.hedges;
+    hedge->runner = std::thread(&Scheduler::run_job, this, hedge);
   }
 }
 
@@ -191,26 +340,51 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
 
   JobContext ctx(topo::Topology(std::move(label), std::move(cpus),
                                 topo_.uniform_l2()),
-                 job->lease, job->spec.config, &job->cancel,
-                 job->spec.deadline_ms, &depot_);
+                 job->lease, job->spec.config, &job->cancel, job->spec.cancel,
+                 job->spec.deadline_ms, &depot_, job->degrade_fused,
+                 job->degrade_level > 0 ? "degraded" : "");
 
   JobStatus status = JobStatus::kDone;
   std::string error;
+  std::exception_ptr error_ep;
+  bool degradable = false;
+  const auto externally_cancelled = [&] {
+    return job->cancel.cancelled() ||
+           (job->spec.cancel != nullptr && job->spec.cancel->cancelled());
+  };
   try {
-    job->body(ctx);
-    // A body that observed the token and returned early still counts as
-    // cancelled — the client asked for the job to stop and it did.
-    if (job->cancel.cancelled()) {
+    if (job->spec.cancel != nullptr && job->spec.cancel->cancelled()) {
+      // Pre-tripped client token: never run the body.
       status = JobStatus::kCancelled;
-      error = job->cancel.snapshot().detail;
+      error = "client token cancelled";
+    } else {
+      injector_.on_job_run(job->spec.name);
+      job->body(ctx);
+      // A body that observed the token and returned early still counts as
+      // cancelled — the client asked for the job to stop and it did.
+      if (externally_cancelled()) {
+        status = JobStatus::kCancelled;
+        error = job->cancel.snapshot().detail;
+      }
     }
   } catch (const common::AbortError& e) {
-    status = job->cancel.cancelled() ? JobStatus::kCancelled
-                                     : JobStatus::kFailed;
+    status = externally_cancelled() ? JobStatus::kCancelled
+                                    : JobStatus::kFailed;
     error = e.what();
+    error_ep = std::current_exception();
+    // A watchdog verdict (the run blew its deadline or stalled) is what
+    // the degradation ladder exists for: retry under a safer plan.
+    degradable = e.cause() == common::CancelCause::kDeadline ||
+                 e.cause() == common::CancelCause::kStall;
+  } catch (const ConfigError& e) {
+    status = JobStatus::kFailed;
+    error = e.what();
+    error_ep = std::current_exception();
+    degradable = true;  // strategy/plan failure: a safer plan may resolve it
   } catch (const std::exception& e) {
     status = JobStatus::kFailed;
     error = e.what();
+    error_ep = std::current_exception();
   }
 
   // Return the cores first (a waiting head-of-line job can take them as
@@ -218,22 +392,220 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   cores_.release(job->lease);
 
   std::lock_guard lock(mutex_);
-  job->warm = ctx.warm_;
-  job->plan = ctx.plan_;
-  job->run_summary = ctx.run_summary_;
-  finish_locked(*job, status, std::move(error));
+  ++job->attempt;
+  // If a hedge twin won while this (primary) attempt was unwinding, the
+  // job as a whole succeeded: the twin's result already fulfilled the
+  // future and its run accounting was copied onto this job.
+  const bool hedge_won = !job->hedge && job->hedge_winner == "hedge";
+  if (hedge_won) {
+    status = JobStatus::kDone;
+    error.clear();
+    error_ep = nullptr;
+  } else {
+    job->warm = ctx.warm_;
+    job->plan = ctx.plan_;
+    job->run_summary = ctx.run_summary_;
+    job->error_ep = error_ep;
+  }
+
+  bool retried = false;
+  if (status == JobStatus::kFailed && !job->hedge && !stopping_ &&
+      !job->cancel.cancelled() && job->attempt <= job->max_retries) {
+    if (degradable) apply_degrade_locked(*job);
+    requeue_locked(job);
+    ++stats_.retries;
+    retried = true;
+  }
+  if (!retried) finish_locked(*job, status, std::move(error));
   --running_;
+  if (!job->hedge) --running_primary_;
   // This thread cannot join itself; park the handle for the dispatcher,
   // wait(), or shutdown() to reap.
   zombies_.push_back(std::move(job->runner));
+  cv_.notify_all();
+}
+
+// Re-admission for a failed attempt with retry budget left: back into the
+// queue at the job's original arrival position (the queue is id-ordered),
+// gated by an exponential backoff with deterministic jitter — the same
+// doubling-to-cap ladder spsc::ExponentialSleepBackoff uses for ring waits,
+// lifted to the job level.
+void Scheduler::requeue_locked(const std::shared_ptr<Job>& job) {
+  const std::size_t shift =
+      std::min<std::size_t>(job->attempt > 0 ? job->attempt - 1 : 0, 20);
+  std::uint64_t delay_us = std::min<std::uint64_t>(
+      opts_.retry_backoff_cap_us,
+      static_cast<std::uint64_t>(opts_.retry_backoff_us) << shift);
+  // ±25% jitter, deterministic in (job id, attempt) so reruns reproduce.
+  Xoshiro256 rng(job->id * 0x9e3779b97f4a7c15ULL ^ job->attempt);
+  delay_us = static_cast<std::uint64_t>(
+      static_cast<double>(delay_us) * rng.uniform(0.75, 1.25));
+  job->status = JobStatus::kQueued;
+  job->lease = CoreLease{};
+  job->not_before =
+      now() + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::microseconds(delay_us));
+  auto pos = std::find_if(queue_.begin(), queue_.end(),
+                          [&](const std::shared_ptr<Job>& queued) {
+                            return queued->id > job->id;
+                          });
+  queue_.insert(pos, job);
+  ++completion_gen_;  // wake a head-of-line core wait to re-evaluate
+  cv_.notify_all();
+}
+
+// One rung further down the graceful-degradation ladder, consumed by the
+// retry that follows: pipelined -> fused, then half the core ask, then the
+// memory subsystem off. Each step is recorded on the report.
+void Scheduler::apply_degrade_locked(Job& job) {
+  ++job.degrade_level;
+  ++stats_.degraded;
+  switch (job.degrade_level) {
+    case 1:
+      job.degrade_fused = true;
+      job.degraded_steps.push_back("strategy=fused");
+      break;
+    case 2: {
+      const std::size_t floor_cores = std::min<std::size_t>(3, cores_.total());
+      const std::size_t halved =
+          std::max(floor_cores, job.want_cores / 2);
+      job.degraded_steps.push_back("cores=" + std::to_string(job.want_cores) +
+                                   "->" + std::to_string(halved));
+      job.want_cores = halved;
+      // Re-derive worker counts from the smaller lease instead of failing
+      // resolution against explicit counts sized for the original lease.
+      job.spec.config.num_mappers = 0;
+      job.spec.config.num_combiners = 0;
+      break;
+    }
+    case 3:
+      job.spec.config.mem_mode = MemMode::kOff;
+      job.degraded_steps.push_back("mem=off");
+      break;
+    default:
+      // Ladder exhausted: further retries rerun the safest plan as-is.
+      job.degraded_steps.push_back("retry");
+      break;
+  }
+}
+
+// Overload protection: when the total queued admission cost exceeds the
+// high watermark, shed lowest-priority queued jobs (ties: newest first)
+// until the cost reaches the low watermark (half the high one).
+void Scheduler::shed_locked() {
+  if (opts_.shed_watermark == 0) return;
+  const auto queued_cost = [&] {
+    std::size_t c = 0;
+    for (const auto& job : queue_) {
+      c += std::max<std::size_t>(1, job->spec.cost);
+    }
+    return c;
+  };
+  std::size_t total = queued_cost();
+  if (total <= opts_.shed_watermark) return;
+  const std::size_t low = std::max<std::size_t>(1, opts_.shed_watermark / 2);
+  while (total > low && !queue_.empty()) {
+    auto victim = queue_.begin();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->spec.priority < (*victim)->spec.priority ||
+          ((*it)->spec.priority == (*victim)->spec.priority &&
+           (*it)->id > (*victim)->id)) {
+        victim = it;
+      }
+    }
+    std::shared_ptr<Job> job = *victim;
+    total -= std::max<std::size_t>(1, job->spec.cost);
+    queue_.erase(victim);
+    finish_locked(*job, JobStatus::kShed,
+                  "shed: queued cost above watermark " +
+                      std::to_string(opts_.shed_watermark));
+  }
 }
 
 void Scheduler::finish_locked(Job& job, JobStatus status, std::string error) {
+  // Idempotent: hedge races can try to finish a job twice; the first
+  // terminal transition wins (matching the token's first-cancel-wins rule).
+  if (terminal(job.status)) return;
   job.status = status;
   job.error = std::move(error);
   if (job.started != Clock::time_point{}) {
     job.run_seconds = seconds_between(job.started, now());
   }
+
+  switch (status) {
+    case JobStatus::kDone:
+      ++stats_.done;
+      break;
+    case JobStatus::kFailed:
+      ++stats_.failed;
+      break;
+    case JobStatus::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case JobStatus::kRejected:
+      ++stats_.rejected;
+      break;
+    case JobStatus::kShed:
+      ++stats_.shed;
+      break;
+    default:
+      break;
+  }
+
+  // App history: successes feed the hedging EWMA and close the breaker;
+  // final failures (budget exhausted) advance the breaker. Hedge twins are
+  // accounted through their primary, and cancel/shed outcomes say nothing
+  // about the app's health.
+  if (!job.hedge) {
+    if (status == JobStatus::kDone) {
+      app_stats_.record_success(job.spec.name, job.run_seconds);
+    } else if (status == JobStatus::kFailed) {
+      if (app_stats_.record_failure(
+              job.spec.name, opts_.breaker_k, now(),
+              std::chrono::milliseconds(opts_.breaker_cooldown_ms))) {
+        ++stats_.breaker_trips;
+      }
+    }
+  }
+
+  // Hedge linkage: first finisher wins, loser is cancelled through the
+  // external-cancel path.
+  if (job.hedge) {
+    auto it = jobs_.find(job.hedge_of);
+    if (it != jobs_.end() && it->second->hedge_id == job.id) {
+      Job& primary = *it->second;
+      if (status == JobStatus::kDone && !terminal(primary.status)) {
+        // The twin won the race: stamp its run accounting onto the primary
+        // and cancel the straggling attempt. run_job flips the primary's
+        // resulting kCancelled to kDone (the job, as a whole, succeeded).
+        primary.hedge_winner = "hedge";
+        primary.warm = job.warm;
+        primary.plan = job.plan;
+        primary.run_summary = job.run_summary;
+        ++stats_.hedge_wins;
+        primary.cancel.cancel(common::CancelCause::kExternal, {}, {},
+                              "hedge twin finished first");
+      }
+    }
+  } else if (job.hedge_id != 0) {
+    auto it = jobs_.find(job.hedge_id);
+    if (it != jobs_.end() && !terminal(it->second->status)) {
+      if (status == JobStatus::kDone && job.hedge_winner.empty()) {
+        job.hedge_winner = "primary";
+      }
+      it->second->cancel.cancel(common::CancelCause::kExternal, {}, {},
+                                "primary finished first");
+    }
+  }
+
+  // Fulfill the typed-submit future for non-done terminal outcomes
+  // (exactly once; the callback clears itself).
+  if (job.on_terminal) {
+    TerminalCallback cb = std::move(job.on_terminal);
+    job.on_terminal = nullptr;
+    cb(job.status, job.error, job.error_ep);
+  }
+
   ++completion_gen_;
   cv_.notify_all();
 }
@@ -250,6 +622,10 @@ JobReport Scheduler::report_locked(const Job& job) const {
   report.run_summary = job.run_summary;
   report.plan = job.plan;
   report.error = job.error;
+  report.attempts = job.attempt;
+  report.degraded_steps = job.degraded_steps;
+  report.hedge_of = job.hedge_of;
+  report.hedge_winner = job.hedge_winner;
   return report;
 }
 

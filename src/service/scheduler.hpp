@@ -22,14 +22,44 @@
 // every job carries its own CancellationToken; Scheduler::cancel(id) trips
 // it, the run watchdog forwards it into the active run (AbortError with
 // cause kExternal), and neighbouring jobs — own tokens, own pools, own
-// cores — are untouched.
+// cores — are untouched. A client-owned token (JobSpec::cancel) chains
+// through the same path.
+//
+// Resilience layer (all features default off; see ARCHITECTURE.md §13):
+//
+//   * job-level retry — a failed job re-enters the queue at its original
+//     arrival position after an exponential backoff with deterministic
+//     jitter (same doubling-to-cap ladder as spsc::ExponentialSleepBackoff),
+//     up to Options::max_retries / JobSpec::max_retries attempts;
+//   * degradation ladder — a retry after a watchdog abort (deadline/stall)
+//     or a strategy ConfigError runs under a safer plan: first forced
+//     FusedCombine (no rings to back up), then half the core ask, then
+//     RAMR_MEM off; each step is recorded in JobReport::degraded_steps and
+//     the run's plan provenance becomes "degraded";
+//   * hedged execution — when a running job exceeds hedge_factor × its
+//     app's EWMA runtime (AppStats), and the queue is empty with spare
+//     cores free, a duplicate launches beyond the concurrency cap; the
+//     first finisher wins and the loser is cancelled through the external-
+//     cancel path. Hedging re-runs the job body concurrently, so it is
+//     only safe for idempotent bodies (the typed submit qualifies);
+//   * circuit breaker — after breaker_k consecutive final failures of one
+//     app, its submissions fast-fail (kRejected) until the breaker
+//     half-opens on a timer (AppStats);
+//   * overload shedding — when the queued admission cost exceeds
+//     shed_watermark, the lowest-priority queued jobs are shed (kShed)
+//     until the cost falls to watermark/2;
+//   * job-boundary fault site — Options::fault_spec arms a faults::Injector
+//     whose on_job_run fires before job bodies (job_run/job_p/job_fires
+//     keys of RAMR_FAULTS), exercising the retry path end to end.
 //
 // Nothing here runs unless a Scheduler is constructed; the one-shot
 // Runtime path is byte-identical with the subsystem unused.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -48,13 +78,35 @@
 #include "engine/app_model.hpp"
 #include "engine/phase_driver.hpp"
 #include "engine/pool_depot.hpp"
+#include "engine/strategy_fused.hpp"
 #include "engine/strategy_pipelined.hpp"
+#include "faults/injector.hpp"
+#include "service/app_stats.hpp"
 #include "service/job.hpp"
 #include "service/lease.hpp"
 #include "telemetry/session.hpp"
 #include "topology/topology.hpp"
 
 namespace ramr::service {
+
+// Scheduler-wide resilience counters (a snapshot; see Scheduler::stats).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retries = 0;        // re-queued attempts
+  std::uint64_t degraded = 0;       // ladder steps applied
+  std::uint64_t hedges = 0;         // hedge twins launched
+  std::uint64_t hedge_wins = 0;     // races the hedge won
+  std::uint64_t breaker_trips = 0;  // closed/half-open -> open transitions
+  std::uint64_t breaker_rejects = 0;
+  std::uint64_t job_faults = 0;  // injected job-boundary faults
+
+  std::string summary() const;
+};
 
 // Handed to a job's body while it runs: the leased sub-topology, the job's
 // cancellation token, and run() — the way a body executes MapReduce work
@@ -73,9 +125,12 @@ class JobContext {
 
   // Executes one MapReduce invocation on the leased cores. Pools are
   // leased from the scheduler's depot (warm after the first run on this
-  // core set); the job's token is wired into the run as the external
-  // cancellation source, and the job's deadline into the watchdog. Throws
-  // common::AbortError when cancelled mid-run.
+  // core set); the job's token — and the client token, when the spec set
+  // one — is wired into the run as an external cancellation source, and
+  // the job's deadline into the watchdog. Throws common::AbortError when
+  // cancelled mid-run. A degraded retry (see the ladder above) runs under
+  // FusedCombine instead of PipelinedSpsc and stamps plan source
+  // "degraded".
   template <mr::AppSpec S>
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
     auto lease = depot_->acquire(topo_, cfg_);
@@ -83,13 +138,23 @@ class JobContext {
     engine::DriverOptions dopts =
         engine::driver_options_from(lease.pools().config());
     dopts.external_cancel = cancel_;
+    dopts.external_cancel2 = client_cancel_;
     if (deadline_ms_ > 0) dopts.deadline_ms = deadline_ms_;
+    if (!plan_source_.empty()) dopts.plan_source = plan_source_;
     engine::PhaseDriver driver(lease.pools(), dopts);
     std::unique_ptr<telemetry::Session> session =
         telemetry::Session::from_config(lease.pools().config());
     driver.set_telemetry(session.get());
-    engine::PipelinedSpsc<S> strategy;
-    auto result = driver.run(strategy, app, input);
+    mr::result_of<S> result;
+    if (fused_) {
+      // Degraded plan: the fused strategy runs on the mapper pool of the
+      // same (dual) pool set — no rings, no combiner pool to stall.
+      engine::FusedCombine<S> strategy;
+      result = driver.run(strategy, app, input);
+    } else {
+      engine::PipelinedSpsc<S> strategy;
+      result = driver.run(strategy, app, input);
+    }
     plan_ = result.plan;
     run_summary_ = result.summary();
     return result;
@@ -101,18 +166,24 @@ class JobContext {
  private:
   friend class Scheduler;
   JobContext(topo::Topology topo, CoreLease lease, RuntimeConfig cfg,
-             common::CancellationToken* cancel, std::size_t deadline_ms,
-             engine::PoolDepot* depot)
+             common::CancellationToken* cancel,
+             common::CancellationToken* client_cancel,
+             std::size_t deadline_ms, engine::PoolDepot* depot, bool fused,
+             std::string plan_source)
       : topo_(std::move(topo)), lease_(std::move(lease)),
-        cfg_(std::move(cfg)), cancel_(cancel), deadline_ms_(deadline_ms),
-        depot_(depot) {}
+        cfg_(std::move(cfg)), cancel_(cancel), client_cancel_(client_cancel),
+        deadline_ms_(deadline_ms), depot_(depot), fused_(fused),
+        plan_source_(std::move(plan_source)) {}
 
   topo::Topology topo_;
   CoreLease lease_;
   RuntimeConfig cfg_;
   common::CancellationToken* cancel_;
+  common::CancellationToken* client_cancel_;
   std::size_t deadline_ms_;
   engine::PoolDepot* depot_;
+  bool fused_;
+  std::string plan_source_;
   bool warm_ = false;
   engine::PlanInfo plan_;
   std::string run_summary_;
@@ -121,19 +192,56 @@ class JobContext {
 class Scheduler {
  public:
   struct Options {
-    // Concurrent-job cap; 0 = one job per socket (min 1).
+    // Concurrent-job cap; 0 = one job per socket (min 1). Hedge twins run
+    // beyond the cap (they only launch when the queue is empty and spare
+    // cores exist).
     std::size_t max_concurrent_jobs = 0;
 
     // Jobs allowed to *wait*; a submit finding the queue at this depth is
     // rejected. Running jobs do not count against it.
     std::size_t queue_depth = 16;
 
-    // Reads the RAMR_SERVICE_JOBS / RAMR_SERVICE_QUEUE knobs.
+    // ---- resilience knobs (all default off) ------------------------------
+
+    // Default per-job retry budget (JobSpec::max_retries overrides).
+    std::size_t max_retries = 0;
+
+    // Retry backoff ladder: initial delay doubling per attempt up to the
+    // cap, with deterministic ±25% jitter keyed by (job id, attempt).
+    std::size_t retry_backoff_us = 1'000;
+    std::size_t retry_backoff_cap_us = 200'000;
+
+    // Hedge when a job runs longer than factor × its app's EWMA runtime
+    // (0 = off). The EWMA needs hedge_min_samples successes first.
+    double hedge_factor = 0.0;
+    std::size_t hedge_min_samples = 3;
+
+    // Circuit breaker: open after k consecutive final failures of one app
+    // (0 = off); half-open after cooldown_ms.
+    std::size_t breaker_k = 0;
+    std::size_t breaker_cooldown_ms = 1'000;
+
+    // Overload shedding: high watermark on the total queued JobSpec::cost
+    // (0 = off); shedding drains to watermark / 2.
+    std::size_t shed_watermark = 0;
+
+    // Fault spec for the job-boundary injection site (job_run/job_p keys;
+    // other sites in the spec are inert at this level). Empty = disabled.
+    std::string fault_spec;
+
+    // Reads RAMR_SERVICE_JOBS / RAMR_SERVICE_QUEUE plus the resilience
+    // knobs RAMR_SERVICE_RETRIES / RAMR_HEDGE_FACTOR / RAMR_BREAKER_K /
+    // RAMR_SHED_WATERMARK and RAMR_FAULTS.
     static Options from_env() {
       const RuntimeConfig cfg = RuntimeConfig::from_env();
       Options o;
       o.max_concurrent_jobs = cfg.service_max_jobs;
       o.queue_depth = cfg.service_queue_depth;
+      o.max_retries = cfg.service_max_retries;
+      o.hedge_factor = cfg.service_hedge_factor;
+      o.breaker_k = cfg.service_breaker_k;
+      o.shed_watermark = cfg.service_shed_watermark;
+      o.fault_spec = cfg.fault_spec;
       return o;
     }
   };
@@ -152,24 +260,39 @@ class Scheduler {
   JobId submit(JobSpec spec, std::function<void(JobContext&)> body);
 
   // Typed convenience: one MapReduce invocation as a job. The app and
-  // input must outlive the job; collect the result via the future *after*
-  // wait(id) reports kDone (a rejected or queue-cancelled job never
-  // fulfills it).
+  // input must outlive the job. The future is always fulfilled once the
+  // job is terminal: with the run's result on kDone (possibly produced by
+  // a retry or a winning hedge), or with an exception describing the
+  // terminal status otherwise.
   template <mr::AppSpec S>
   std::pair<JobId, std::shared_future<mr::result_of<S>>> submit(
       JobSpec spec, const S& app, const typename S::input_type& input) {
     auto promise = std::make_shared<std::promise<mr::result_of<S>>>();
+    auto fulfilled = std::make_shared<std::atomic<bool>>(false);
     std::shared_future<mr::result_of<S>> future =
         promise->get_future().share();
-    JobId id = submit(std::move(spec), [&app, &input, promise](
-                                           JobContext& ctx) {
-      try {
-        promise->set_value(ctx.run(app, input));
-      } catch (...) {
-        promise->set_exception(std::current_exception());
-        throw;
-      }
-    });
+    JobId id = submit_internal(
+        std::move(spec),
+        [&app, &input, promise, fulfilled](JobContext& ctx) {
+          auto result = ctx.run(app, input);
+          // First finisher wins (the primary and a hedge twin share this
+          // body); a retried attempt only fulfills on its success.
+          if (!fulfilled->exchange(true)) {
+            promise->set_value(std::move(result));
+          }
+        },
+        [promise, fulfilled](JobStatus status, const std::string& error,
+                             std::exception_ptr ep) {
+          if (status == JobStatus::kDone) return;  // value already set
+          if (fulfilled->exchange(true)) return;
+          if (ep != nullptr) {
+            promise->set_exception(std::move(ep));
+          } else {
+            promise->set_exception(std::make_exception_ptr(Error(
+                "job " + std::string(to_string(status)) +
+                (error.empty() ? "" : ": " + error))));
+          }
+        });
     return {id, std::move(future)};
   }
 
@@ -186,7 +309,7 @@ class Scheduler {
   JobReport report(JobId id);
 
   // Waits for every submitted job to reach a terminal status and returns
-  // all reports in submission order.
+  // all reports in submission order (hedge twins included).
   std::vector<JobReport> drain();
 
   // Cancels queued and running jobs, waits for runners, stops the
@@ -198,6 +321,12 @@ class Scheduler {
   std::size_t queue_depth() const { return opts_.queue_depth; }
   std::size_t fair_share_cores() const { return fair_share_; }
 
+  // Snapshot of the resilience counters (includes injected job faults).
+  ServiceStats stats() const;
+
+  // The same counters as a ramr-service-stats-v1 JSON document.
+  std::string stats_json() const;
+
   // The warm-pool depot shared by this scheduler's jobs (stats for tests
   // and the amortization bench).
   engine::PoolDepot& depot() { return depot_; }
@@ -205,6 +334,10 @@ class Scheduler {
   CoreLeaseRegistry& cores() { return cores_; }
 
  private:
+  // Invoked exactly once under mutex_ when the job turns terminal.
+  using TerminalCallback =
+      std::function<void(JobStatus, const std::string&, std::exception_ptr)>;
+
   struct Job {
     JobSpec spec;
     std::function<void(JobContext&)> body;
@@ -220,14 +353,38 @@ class Scheduler {
     engine::PlanInfo plan;
     std::string run_summary;
     std::string error;
+    std::exception_ptr error_ep;
     std::thread runner;
+
+    // Resilience state.
+    std::size_t max_retries = 0;  // resolved budget for this job
+    std::size_t attempt = 0;      // completed run attempts
+    std::size_t want_cores = 0;   // current core ask (ladder may halve it)
+    Clock::time_point not_before{};  // backoff gate for a retried job
+    std::size_t degrade_level = 0;
+    bool degrade_fused = false;
+    std::vector<std::string> degraded_steps;
+    bool hedge = false;   // this job is a hedge twin
+    JobId hedge_of = 0;   // twin -> primary
+    JobId hedge_id = 0;   // primary -> twin (0 = none)
+    bool hedged = false;  // primary already hedged once
+    std::string hedge_winner;
+    TerminalCallback on_terminal;
   };
 
+  JobId submit_internal(JobSpec spec, std::function<void(JobContext&)> body,
+                        TerminalCallback on_terminal);
   void dispatch_loop();
   void run_job(const std::shared_ptr<Job>& job);
 
   // All *_locked helpers require mutex_ held.
   void finish_locked(Job& job, JobStatus status, std::string error);
+  void requeue_locked(const std::shared_ptr<Job>& job);
+  void apply_degrade_locked(Job& job);
+  void shed_locked();
+  void maybe_hedge_locked();
+  std::shared_ptr<Job> first_eligible_locked(Clock::time_point t) const;
+  bool backoff_pending_locked(Clock::time_point t) const;
   JobReport report_locked(const Job& job) const;
   std::vector<std::thread> grab_zombies_locked();
 
@@ -237,16 +394,20 @@ class Scheduler {
   std::size_t fair_share_ = 1;
   CoreLeaseRegistry cores_;
   engine::PoolDepot depot_;
+  faults::Injector injector_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
   JobId next_id_ = 1;
-  std::deque<std::shared_ptr<Job>> queue_;
+  std::deque<std::shared_ptr<Job>> queue_;  // id-ordered (arrival order)
   std::map<JobId, std::shared_ptr<Job>> jobs_;
-  std::size_t running_ = 0;
+  std::size_t running_ = 0;          // all runner threads (hedges included)
+  std::size_t running_primary_ = 0;  // counts against max_jobs_
   std::uint64_t completion_gen_ = 0;
   std::vector<std::thread> zombies_;  // finished runners awaiting join
+  ServiceStats stats_;
+  AppStats app_stats_;
 
   std::thread dispatcher_;
 };

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "telemetry/json.hpp"
@@ -340,6 +341,21 @@ void write_json_file(
   content_writer(out);
   out.flush();
   if (!out) throw Error("failed writing '" + path + "'");
+}
+
+std::string counters_json(
+    const std::string& schema,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", schema);
+  w.begin_object("counters");
+  for (const auto& [name, value] : counters) w.field(name, value);
+  w.end_object();
+  w.end_object();
+  os << "\n";
+  return os.str();
 }
 
 }  // namespace ramr::telemetry

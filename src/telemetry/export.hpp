@@ -143,4 +143,15 @@ void run_report_json(std::ostream& out, const RunReport& report);
 void write_json_file(const std::string& path,
                      const std::function<void(std::ostream&)>& content_writer);
 
+// ---- counter documents -----------------------------------------------------
+
+// A flat named-counter JSON document: {"schema": <schema>, "counters":
+// {name: value, ...}} with the counters emitted in the given order.
+// Subsystems with a handful of monotonic counters (e.g. the service
+// scheduler's ramr-service-stats-v1) export through this instead of each
+// hand-rolling JSON.
+std::string counters_json(
+    const std::string& schema,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+
 }  // namespace ramr::telemetry

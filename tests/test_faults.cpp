@@ -111,11 +111,56 @@ TEST(FaultPlan, ParsesAllSites) {
   EXPECT_FALSE(plan.summary().empty());
 }
 
+TEST(FaultPlan, ParsesJobSiteFields) {
+  const auto plan = faults::FaultPlan::parse("job_run=2,job_fires=3");
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_EQ(plan.job_run, 2);
+  EXPECT_EQ(plan.job_fires, 3u);
+  EXPECT_NE(plan.summary().find("job_run=2"), std::string::npos);
+
+  const auto prob = faults::FaultPlan::parse("job_p=0.5,seed=9");
+  EXPECT_DOUBLE_EQ(prob.job_p, 0.5);
+  EXPECT_EQ(prob.seed, 9u);
+  EXPECT_NE(prob.summary().find("job_p=0.5"), std::string::npos);
+}
+
 TEST(FaultPlan, RejectsUnknownKeysAndBadValues) {
   EXPECT_THROW(faults::FaultPlan::parse("bogus=1"), ConfigError);
   EXPECT_THROW(faults::FaultPlan::parse("map_task=abc"), ConfigError);
   EXPECT_THROW(faults::FaultPlan::parse("map_p=1.5"), ConfigError);
+  EXPECT_THROW(faults::FaultPlan::parse("job_p=-0.1"), ConfigError);
   EXPECT_THROW(faults::FaultPlan::parse("map_task"), ConfigError);
+  // The unknown-key error names the valid sites and modifiers, matching
+  // the RAMR_* knob-validation convention.
+  try {
+    faults::FaultPlan::parse("bogus=1");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key 'bogus'"), std::string::npos) << what;
+    EXPECT_NE(what.find("job_run"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlan, RejectsInertModifiersNamingTheMissingSite) {
+  // A modifier without its site key would silently do nothing; the parser
+  // must fail fast and name the inert token.
+  for (const char* spec : {"map_fires=2", "map_transient=1", "combiner=1",
+                           "stall_ms=100", "job_fires=2", "seed=5"}) {
+    try {
+      faults::FaultPlan::parse(spec);
+      FAIL() << "expected ConfigError for '" << spec << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("inert"), std::string::npos)
+          << spec << ": " << e.what();
+    }
+  }
+  // The same modifiers paired with their sites parse fine.
+  EXPECT_NO_THROW(faults::FaultPlan::parse("map_task=0,map_fires=2"));
+  EXPECT_NO_THROW(faults::FaultPlan::parse("map_p=0.2,map_transient=1"));
+  EXPECT_NO_THROW(faults::FaultPlan::parse("combiner_batch=1,combiner=1"));
+  EXPECT_NO_THROW(faults::FaultPlan::parse("stall_emit=10,stall_ms=100"));
+  EXPECT_NO_THROW(faults::FaultPlan::parse("job_p=0.1,job_fires=2,seed=3"));
 }
 
 // ---------- Injector unit behaviour -----------------------------------------
@@ -144,6 +189,23 @@ TEST(Injector, TransientFaultIsRetryClassified) {
   faults::Injector injector(
       faults::FaultPlan::parse("map_task=0,map_transient=1"));
   EXPECT_THROW(injector.on_map_task(0), TransientError);
+}
+
+TEST(Injector, JobSiteFiresTransientAndBounded) {
+  faults::Injector injector(
+      faults::FaultPlan::parse("job_run=0,job_fires=2"));
+  // The job boundary is where job-level retry applies, so the site always
+  // throws the retry-classified fault type.
+  EXPECT_THROW(injector.on_job_run("job-a"), faults::TransientInjectedFault);
+  try {
+    injector.on_job_run("job-b");
+    FAIL() << "expected a job-boundary fault";
+  } catch (const TransientError& e) {
+    EXPECT_NE(std::string(e.what()).find("job boundary"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("job-b"), std::string::npos);
+  }
+  EXPECT_NO_THROW(injector.on_job_run("job-c"));  // budget exhausted
+  EXPECT_EQ(injector.injected(), 2u);
 }
 
 // ---------- injected failures across the three strategies -------------------

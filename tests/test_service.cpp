@@ -311,6 +311,48 @@ TEST(Scheduler, ShutdownCancelsQueuedJobs) {
             JobStatus::kRejected);
 }
 
+TEST(Scheduler, NoLeaseLeaksAfterShutdown) {
+  // Invariant check for every lifecycle path at once: after the scheduler
+  // winds down, every core must be back in the registry and the depot must
+  // hold zero leased pool sets with a bounded warm shelf.
+  Scheduler::Options opts;
+  opts.max_concurrent_jobs = 2;
+  Scheduler sched(small_server(), opts);
+
+  const ModCountApp app;
+  const auto input = make_numbers(10000, 17);
+
+  JobSpec spec;
+  spec.cores = 4;
+  spec.config = job_config(2, 1);
+  spec.name = "clean";
+  sched.wait(sched.submit(spec, app, input).first);
+
+  // A mid-run cancellation (the lease must come back through the abort
+  // path, not just the happy path).
+  std::atomic<bool> running{false};
+  spec.name = "victim";
+  const JobId victim = sched.submit(spec, [&](JobContext& ctx) {
+    running.store(true);
+    for (;;) ctx.run(app, input);
+  });
+  while (!running.load()) std::this_thread::yield();
+  EXPECT_TRUE(sched.cancel(victim));
+  EXPECT_EQ(sched.wait(victim).status, JobStatus::kCancelled);
+
+  // An admission rejection (never held a lease at all).
+  spec.name = "too-big";
+  spec.cores = 9;
+  EXPECT_EQ(sched.wait(sched.submit(spec, [](JobContext&) {})).status,
+            JobStatus::kRejected);
+
+  sched.shutdown();
+  EXPECT_EQ(sched.cores().available(), sched.cores().total());
+  const engine::PoolDepot::Stats stats = sched.depot().stats();
+  EXPECT_EQ(stats.leased, 0u);
+  EXPECT_LE(stats.idle, stats.built);  // the warm shelf stays bounded
+}
+
 TEST(PoolDepot, RecyclesCompatibleSetsAndRebindsKnobs) {
   const topo::Topology topo = small_server();
   engine::PoolDepot depot;
