@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -18,6 +19,7 @@
 #include "core/runtime.hpp"
 #include "service/scheduler.hpp"
 #include "stats/table.hpp"
+#include "telemetry/metrics_export.hpp"
 #include "topology/topology.hpp"
 
 using namespace ramr;
@@ -44,6 +46,55 @@ RuntimeConfig job_runtime_config() {
   return config;
 }
 
+// ---- --report=<path> -------------------------------------------------------
+// Writes the scheduler's live metrics snapshot to `path` (ramr-metrics-v1
+// JSON, or Prometheus text when the path ends in ".prom") and, when the
+// observability plane is on, the stitched service trace next to it.
+void write_report(service::Scheduler& sched, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "report: cannot open " << path << '\n';
+    return;
+  }
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  out << (prom ? sched.metrics_text() : sched.metrics_json());
+  std::cout << "report: wrote " << path << '\n';
+}
+
+// With RAMR_OBS=1, dump the stitched service trace for Perfetto.
+void write_obs_trace(service::Scheduler& sched) {
+  if (!sched.observability()) return;
+  const std::string path = "ramr_service_trace.json";
+  std::ofstream out(path);
+  if (!out) return;
+  sched.write_trace(out);
+  std::cout << "obs: wrote " << path << '\n';
+}
+
+// Per-app EWMA/breaker breakdown from the same frame the exporters use.
+void print_app_breakdown(service::Scheduler& sched) {
+  const telemetry::ServiceMetricsFrame frame = sched.metrics_frame();
+  if (frame.apps.empty()) return;
+  constexpr std::size_t kMaxRows = 10;  // soak names every job uniquely
+  std::cout << "per-app:\n";
+  for (std::size_t i = 0; i < frame.apps.size() && i < kMaxRows; ++i) {
+    const auto& app = frame.apps[i];
+    std::cout << "  " << app.name << ": ewma="
+              << stats::Table::fmt(app.ewma_seconds * 1e3, 2) << "ms samples="
+              << app.samples << " breaker=" << app.breaker;
+    if (app.consecutive_failures > 0) {
+      std::cout << " consecutive_failures=" << app.consecutive_failures;
+    }
+    std::cout << '\n';
+  }
+  if (frame.apps.size() > kMaxRows) {
+    std::cout << "  ... (" << frame.apps.size() - kMaxRows
+              << " more apps)\n";
+  }
+}
+
 double centroid_shift(const std::vector<KmPoint>& next,
                       const std::vector<KmPoint>& prev) {
   double shift = 0.0;
@@ -62,7 +113,7 @@ double centroid_shift(const std::vector<KmPoint>& next,
 // job-boundary faults RAMR_FAULTS specifies, for the given wall-clock
 // budget. At drain, every job must have reached a terminal status and the
 // scheduler must hold zero cores and zero depot leases.
-int run_soak(double budget_seconds) {
+int run_soak(double budget_seconds, const std::string& report_path) {
   const std::size_t seed = env::get_uint("RAMR_SOAK_SEED", 1);
   const topo::Topology topo = topo::host();
 
@@ -102,11 +153,16 @@ int run_soak(double budget_seconds) {
       spec.config.max_task_retries = 3;
     } else if (roll < 0.3) {
       spec.config.fault_spec = "stall_emit=100,stall_ms=50";  // emit stall
+    } else if (roll < 0.33) {
+      // Impossible budget over a stalled emit: a deterministic deadline
+      // abort (and, with RAMR_OBS=1, a post-mortem) even on fast hosts.
+      spec.config.fault_spec = "stall_emit=100,stall_ms=50";
+      spec.deadline_ms = 1;
     }
     auto [id, future] = sched.submit(spec, app, input);
     (void)future;
     ++submitted;
-    if (roll >= 0.3 && roll < 0.35) sched.cancel(id);  // client gives up
+    if (roll >= 0.33 && roll < 0.38) sched.cancel(id);  // client gives up
     inflight.push_back(id);
     while (inflight.size() >= 8) {
       sched.wait(inflight.front());
@@ -137,6 +193,11 @@ int run_soak(double budget_seconds) {
             << " non_terminal=" << non_terminal << '\n'
             << "soak: leaked_cores=" << leaked
             << " depot_leased=" << depot_stats.leased << '\n';
+  if (!report_path.empty()) {
+    print_app_breakdown(sched);
+    write_report(sched, report_path);
+  }
+  write_obs_trace(sched);
   if (non_terminal != 0 || leaked != 0 || depot_stats.leased != 0) {
     std::cerr << "soak failed: non-terminal jobs or leaked leases\n";
     return 1;
@@ -147,13 +208,24 @@ int run_soak(double budget_seconds) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool soak = false;
+  double soak_seconds = 30.0;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--soak") return run_soak(30.0);
-    if (arg.rfind("--soak=", 0) == 0) {
-      return run_soak(std::atof(arg.c_str() + 7));
+    if (arg == "--soak") {
+      soak = true;
+    } else if (arg.rfind("--soak=", 0) == 0) {
+      soak = true;
+      soak_seconds = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else {
+      std::cerr << "usage: service_demo [--soak[=seconds]] [--report=path]\n";
+      return 2;
     }
   }
+  if (soak) return run_soak(soak_seconds, report_path);
   App app;
   app.num_clusters = kClusters;
   const topo::Topology topo = topo::host();
@@ -176,7 +248,9 @@ int main(int argc, char** argv) {
   // Identical pool shape per job, so every job after the first leases a
   // warm pool set from the depot instead of spinning up threads.
   input = make_input();
-  service::Scheduler::Options opts;
+  // from_env() so the observability knobs (RAMR_OBS, RAMR_METRICS_PATH)
+  // apply to the demo scheduler too; with no env set this is the default.
+  service::Scheduler::Options opts = service::Scheduler::Options::from_env();
   opts.max_concurrent_jobs = 2;
   service::Scheduler sched(topo, opts);
 
@@ -258,5 +332,7 @@ int main(int argc, char** argv) {
     std::cout << "  leases serialized (machine smaller than 2x"
               << spec.cores << " cores)\n";
   }
+  if (!report_path.empty()) write_report(sched, report_path);
+  write_obs_trace(sched);
   return 0;
 }

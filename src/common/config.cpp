@@ -171,6 +171,9 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   base.service_breaker_k = env::get_uint(kEnvBreakerK, base.service_breaker_k);
   base.service_shed_watermark =
       env::get_uint(kEnvShedWatermark, base.service_shed_watermark);
+  base.observability = env::get_bool(kEnvObs, base.observability);
+  base.metrics_path = env::get_string(kEnvMetricsPath, base.metrics_path);
+  base.flight_events = env::get_uint(kEnvFlightEvents, base.flight_events);
 
   // Range checks for the knobs where a parseable-but-absurd value would
   // otherwise fail far from its source (or not at all).
@@ -212,6 +215,11 @@ RuntimeConfig RuntimeConfig::from_env(RuntimeConfig base) {
   if (env::get(kEnvShedWatermark)) {
     check_env_range(kEnvShedWatermark, base.service_shed_watermark, 0,
                     100'000);
+  }
+  if (env::get(kEnvFlightEvents)) {
+    // Too small and a post-mortem shows nothing; absurd and the "bounded"
+    // ring stops being a bound on memory.
+    check_env_range(kEnvFlightEvents, base.flight_events, 16, 1'048'576);
   }
 
   // Remember which plan-relevant knobs the user pinned explicitly so the
@@ -337,6 +345,12 @@ std::string RuntimeConfig::summary() const {
   if (service_breaker_k > 0) os << " breaker_k=" << service_breaker_k;
   if (service_shed_watermark > 0) {
     os << " shed_watermark=" << service_shed_watermark;
+  }
+  // Observability plane, printed only when armed (same byte-stability
+  // contract as every section above).
+  if (observability) {
+    os << " obs=on flight_events=" << flight_events;
+    if (!metrics_path.empty()) os << " metrics_path=" << metrics_path;
   }
   return os.str();
 }

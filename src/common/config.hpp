@@ -107,6 +107,9 @@ inline constexpr const char* kEnvServiceRetries = "RAMR_SERVICE_RETRIES";
 inline constexpr const char* kEnvHedgeFactor = "RAMR_HEDGE_FACTOR";
 inline constexpr const char* kEnvBreakerK = "RAMR_BREAKER_K";
 inline constexpr const char* kEnvShedWatermark = "RAMR_SHED_WATERMARK";
+inline constexpr const char* kEnvObs = "RAMR_OBS";
+inline constexpr const char* kEnvMetricsPath = "RAMR_METRICS_PATH";
+inline constexpr const char* kEnvFlightEvents = "RAMR_FLIGHT_EVENTS";
 
 // Which plan-relevant knobs were set explicitly via the environment.
 // from_env() fills this so the adaptive controller can honour the
@@ -279,6 +282,27 @@ struct RuntimeConfig {
   // (JobStatus::kShed) until the cost falls to the low watermark
   // (watermark / 2). 0 = off (only the queue-depth bound applies).
   std::size_t service_shed_watermark = 0;
+
+  // ---- service observability knobs (docs/OBSERVABILITY.md) ---------------
+  // All default off: with RAMR_OBS unset the scheduler records nothing, the
+  // engine's skew-profiler sites are one pointer check, and default output
+  // is byte-identical.
+
+  // RAMR_OBS=1 arms the observability plane: job lifecycle tracing into a
+  // telemetry::ServiceTrace (stitched Chrome/Perfetto trace), the flight
+  // recorder, the low-cadence service metrics sampler, and the per-run
+  // straggler/skew profiler (imbalance scores + sampled hot keys in
+  // RunResult::skew).
+  bool observability = false;
+
+  // RAMR_METRICS_PATH: when set (and RAMR_OBS=1), the scheduler's sampler
+  // periodically rewrites a ramr-metrics-v1 JSON snapshot at this path.
+  // Empty = no periodic file; Scheduler::metrics_text() still works.
+  std::string metrics_path;
+
+  // RAMR_FLIGHT_EVENTS: capacity of the flight recorder's bounded ring of
+  // recent lifecycle events (older events are dropped, counted).
+  std::size_t flight_events = 256;
 
   // Filled by from_env(); defaults mean "nothing pinned".
   EnvOverrides env_overrides;

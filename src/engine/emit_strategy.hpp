@@ -41,6 +41,7 @@
 #include "common/timing.hpp"
 #include "engine/health.hpp"
 #include "engine/pool_set.hpp"
+#include "engine/skew_profiler.hpp"
 #include "engine/tuning.hpp"
 #include "faults/injector.hpp"
 #include "sched/task_queue.hpp"
@@ -100,6 +101,9 @@ struct MapCombineContext {
   // then uses the static config values). Combiners re-read the batch size
   // per sweep; producer backoffs bind the sleep-cap cell.
   TuningControl* tuning = nullptr;
+  // Straggler/skew profiler, null unless RAMR_OBS=1 (one pointer check on
+  // the emit and task paths when off).
+  SkewProfiler* skew = nullptr;
 
   telemetry::EngineMetrics* metrics() const {
     return telemetry != nullptr ? telemetry->engine_metrics() : nullptr;
@@ -119,6 +123,7 @@ struct TaskLoopControl {
   RetryState& retry;
   std::size_t worker;
   telemetry::EngineMetrics* metrics;  // null when telemetry is off
+  SkewProfiler* skew;                 // null unless RAMR_OBS=1
 
   static TaskLoopControl create(MapCombineContext& ctx, std::size_t worker) {
     return TaskLoopControl{ctx.queues,
@@ -130,7 +135,8 @@ struct TaskLoopControl {
                            ctx.beats.mapper(worker),
                            ctx.retry,
                            worker,
-                           ctx.metrics()};
+                           ctx.metrics(),
+                           ctx.skew};
   }
 };
 
@@ -156,18 +162,30 @@ std::size_t drain_map_tasks(const TaskLoopControl& ctl, const App& app,
                             const typename App::input_type& input,
                             Emit&& emit, OnTaskEnd&& on_task_end) {
   std::size_t executed = 0;
+  // Skew-profiler emit shim: one null check per emission when profiling is
+  // off; a tick + (1-in-64) sketch sample when on. Forwards to the
+  // strategy's emit untouched either way.
+  auto profiled_emit = [&](auto&& key, auto&&... rest) {
+    if (ctl.skew != nullptr && ctl.skew->tick(ctl.worker)) {
+      ctl.skew->sample_key(ctl.worker, key);
+    }
+    emit(std::forward<decltype(key)>(key),
+         std::forward<decltype(rest)>(rest)...);
+  };
   while (auto task = ctl.queues.pop(ctl.group)) {
     if (ctl.cancel.cancelled()) break;
     ctl.beat.bump();
     if (ctl.lane != nullptr) {
       ctl.lane->record(ctl.epoch, trace::EventKind::kTaskStart, task->begin);
     }
+    const Clock::time_point task_start =
+        ctl.skew != nullptr ? Clock::now() : Clock::time_point{};
     std::size_t attempt = 0;
     for (;;) {
       try {
         ctl.injector.on_map_task(ctl.worker);
         for (std::size_t split = task->begin; split < task->end; ++split) {
-          app.map(input, split, emit);
+          app.map(input, split, profiled_emit);
         }
         on_task_end();
         break;
@@ -190,6 +208,9 @@ std::size_t drain_map_tasks(const TaskLoopControl& ctl, const App& app,
         }
         ctl.beat.bump();
       }
+    }
+    if (ctl.skew != nullptr) {
+      ctl.skew->add_busy(ctl.worker, seconds_between(task_start, Clock::now()));
     }
     if (ctl.lane != nullptr) {
       ctl.lane->record(ctl.epoch, trace::EventKind::kTaskEnd, task->begin);

@@ -230,13 +230,25 @@ class PhaseDriver {
 
     // ---- map-combine (one timed phase, strategy-defined coupling) -------
     phase_begin(Phase::kMapCombine);
-    MapCombineContext ctx{pools_, queues, lanes,      cancel,  injector,
-                          beats,  retry,  telemetry_, tuning_};
+    // Skew profiler only under RAMR_OBS=1; the null pointer in the context
+    // keeps the emit/task hot paths at one check when off.
+    std::optional<SkewProfiler> skew;
+    if (pools_.config().observability) {
+      skew.emplace(pools_.num_mappers(), pools_.num_combiners());
+    }
+    MapCombineContext ctx{pools_,    queues,  lanes,
+                          cancel,    injector, beats,
+                          retry,     telemetry_, tuning_,
+                          skew ? &*skew : nullptr};
     {
       ScopedPhase t(result.timers, Phase::kMapCombine);
       strategy.map_combine(ctx, app, input, result);
     }
     phase_end(Phase::kMapCombine);
+    if (skew) {
+      result.skew = skew->finalize(
+          [&](std::size_t m) { return beats.worker_name(m); });
+    }
     result.local_pops = queues.local_pops();
     result.steals = queues.steals();
     result.task_retries = retry.retries.load();

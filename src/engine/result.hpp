@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,6 +79,42 @@ struct PlanInfo {
   }
 };
 
+// Straggler/skew profile of one run (RAMR_OBS=1; see
+// src/engine/skew_profiler.hpp). enabled is false — and summary() / the
+// run report print nothing — unless the profiler ran, keeping default
+// output byte-identical.
+struct SkewStats {
+  struct HotKey {
+    std::string key;           // printable form (truncated to 32 chars)
+    std::uint64_t est_count;   // count-min estimate over sampled emits
+    double share;              // est_count / sampled
+  };
+
+  bool enabled = false;
+  double map_imbalance = 0.0;    // max/mean per-mapper busy time
+  double drain_imbalance = 0.0;  // max/mean per-combiner drained elements
+  std::string straggler;         // worker name with the worst busy time
+  std::uint64_t sampled = 0;     // emissions the sketch actually saw
+  std::uint64_t ring_depth = 0;  // deepest ring across combiners
+  std::vector<HotKey> hot_keys;  // top-K, hottest first
+
+  std::string summary() const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "skew: map_imb=%.2f drain_imb=%.2f", map_imbalance,
+                  drain_imbalance);
+    std::string s = buf;
+    if (!straggler.empty()) s += " straggler=" + straggler;
+    if (!hot_keys.empty()) {
+      std::snprintf(buf, sizeof(buf), " hot=%s(%.0f%%)",
+                    hot_keys.front().key.c_str(),
+                    100.0 * hot_keys.front().share);
+      s += buf;
+    }
+    return s;
+  }
+};
+
 template <typename K, typename V>
 struct RunResult {
   // Key-sorted (key, combined value) pairs — the merge phase output.
@@ -117,6 +154,9 @@ struct RunResult {
   // Memory-subsystem stats; enabled() is false (and nothing is printed)
   // unless RAMR_MEM was on.
   MemStats mem;
+
+  // Straggler/skew profile; enabled only under RAMR_OBS=1.
+  SkewStats skew;
 
   std::string summary() const {
     std::string s = timers.summary();
@@ -158,6 +198,8 @@ struct RunResult {
     // Memory stats only when RAMR_MEM was on; the default line stays
     // byte-stable.
     if (mem.enabled()) s += " " + mem.summary();
+    // Skew profile only under RAMR_OBS=1.
+    if (skew.enabled) s += " " + skew.summary();
     return s;
   }
 };

@@ -434,6 +434,21 @@ class PipelinedSpsc {
       result.queue_max_occupancy = std::max(
           result.queue_max_occupancy, ring->consumer_stats().max_occupancy);
     }
+    // Skew profiler (RAMR_OBS=1): attribute each ring's end-of-run stats
+    // to the combiner that drained it. Pools are joined — single-threaded
+    // reads, zero hot-path cost.
+    if (ctx.skew != nullptr) {
+      for (std::size_t j = 0; j < plan.mappers_of_combiner.size(); ++j) {
+        std::uint64_t elements = 0;
+        std::uint64_t occupancy = 0;
+        for (std::size_t m : plan.mappers_of_combiner[j]) {
+          elements += rings_[m]->producer_stats().pushes;
+          occupancy = std::max<std::uint64_t>(
+              occupancy, rings_[m]->consumer_stats().max_occupancy);
+        }
+        ctx.skew->add_drained(j, elements, occupancy);
+      }
+    }
   }
 
   // Reduce and merge run on the general-purpose pool ("the top pool ...

@@ -62,6 +62,10 @@ class AppStats {
   // nullptr when the app has never completed a job.
   const App* find(const std::string& app) const;
 
+  // Full per-app view for the metrics exporter (caller holds the
+  // scheduler lock, like every other accessor here).
+  const std::map<std::string, App>& all() const { return apps_; }
+
  private:
   std::map<std::string, App> apps_;
 };

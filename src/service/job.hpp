@@ -93,6 +93,12 @@ struct JobReport {
   std::string name;
   JobStatus status = JobStatus::kQueued;
 
+  // Stable per-job trace identity ("<name>#<id>"), matching the job's
+  // track in the stitched service trace and the flight-recorder
+  // post-mortems. Always stamped; only *used* by the observability plane,
+  // and deliberately absent from describe() so default output is unchanged.
+  std::string trace_id;
+
   // The disjoint core set this job ran on (empty when never dispatched).
   std::vector<std::size_t> cores;
 

@@ -1,13 +1,77 @@
 #include "service/scheduler.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json.hpp"
 
 namespace ramr::service {
+
+namespace {
+
+const char* to_string(AppStats::Breaker breaker) {
+  switch (breaker) {
+    case AppStats::Breaker::kClosed:
+      return "closed";
+    case AppStats::Breaker::kOpen:
+      return "open";
+    case AppStats::Breaker::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+// The resilience counters in their canonical order, shared by stats_json
+// and the metrics frame so the two surfaces can never disagree.
+std::vector<std::pair<std::string, std::uint64_t>> counter_pairs(
+    const ServiceStats& s) {
+  return {{"submitted", s.submitted},
+          {"done", s.done},
+          {"failed", s.failed},
+          {"cancelled", s.cancelled},
+          {"rejected", s.rejected},
+          {"shed", s.shed},
+          {"retries", s.retries},
+          {"degraded", s.degraded},
+          {"hedges", s.hedges},
+          {"hedge_wins", s.hedge_wins},
+          {"breaker_trips", s.breaker_trips},
+          {"breaker_rejects", s.breaker_rejects},
+          {"job_faults", s.job_faults}};
+}
+
+}  // namespace
+
+// The observability plane: one stitched trace + one flight recorder + a
+// low-cadence sampler thread producing metrics frames. Exists only when
+// Options::observability is on; everything the hot paths touch is a null
+// check on obs_.
+struct Scheduler::Obs {
+  telemetry::ServiceTrace trace;
+  telemetry::FlightRecorder flight;
+  std::string metrics_path;
+  std::string postmortem_path;
+  std::size_t interval_ms = 250;
+
+  // Last few sampler frames, kept for post-mortems (own lock: the sampler
+  // appends without the scheduler mutex; finish_locked reads while holding
+  // it — strictly one direction, no ordering cycle).
+  std::mutex frames_mutex;
+  std::deque<telemetry::ServiceMetricsFrame> frames;
+  static constexpr std::size_t kMaxFrames = 8;
+
+  std::thread sampler;
+  std::mutex stop_mutex;
+  std::condition_variable stop_cv;
+  bool stop = false;
+
+  explicit Obs(std::size_t flight_events) : flight(flight_events) {}
+};
 
 std::string ServiceStats::summary() const {
   std::ostringstream os;
@@ -23,8 +87,8 @@ std::string ServiceStats::summary() const {
 }
 
 Scheduler::Scheduler(topo::Topology topology, Options options)
-    : topo_(std::move(topology)), opts_(options), cores_(topo_),
-      injector_(faults::FaultPlan::parse(options.fault_spec)) {
+    : topo_(std::move(topology)), opts_(options), start_time_(now()),
+      cores_(topo_), injector_(faults::FaultPlan::parse(options.fault_spec)) {
   max_jobs_ = opts_.max_concurrent_jobs != 0
                   ? opts_.max_concurrent_jobs
                   : std::max<std::size_t>(1, topo_.num_sockets());
@@ -33,6 +97,23 @@ Scheduler::Scheduler(topo::Topology topology, Options options)
   // (>=1 mapper + >=1 combiner) plus one spare always fits the lease.
   fair_share_ = std::max(std::min<std::size_t>(3, cores_.total()),
                          cores_.total() / max_jobs_);
+  if (opts_.observability) {
+    obs_ = std::make_unique<Obs>(opts_.flight_events);
+    obs_->metrics_path = opts_.metrics_path;
+    obs_->postmortem_path = opts_.postmortem_path;
+    obs_->interval_ms = std::max<std::size_t>(1, opts_.metrics_interval_ms);
+    std::ostringstream cfg;
+    cfg << "service topo=" << topo_.name() << " cores=" << cores_.total()
+        << " max_jobs=" << max_jobs_ << " queue_depth=" << opts_.queue_depth
+        << " retries=" << opts_.max_retries
+        << " breaker_k=" << opts_.breaker_k
+        << " hedge_factor=" << opts_.hedge_factor
+        << " shed_watermark=" << opts_.shed_watermark
+        << " flight_events=" << opts_.flight_events;
+    if (!opts_.fault_spec.empty()) cfg << " faults=" << opts_.fault_spec;
+    obs_->flight.set_config(cfg.str());
+    obs_->sampler = std::thread(&Scheduler::obs_loop, this);
+  }
   dispatcher_ = std::thread(&Scheduler::dispatch_loop, this);
 }
 
@@ -58,6 +139,12 @@ JobId Scheduler::submit_internal(JobSpec spec,
   job->want_cores = job->spec.cores != 0 ? job->spec.cores : fair_share_;
   jobs_[job->id] = job;
   ++stats_.submitted;
+  if (obs_ != nullptr) {
+    obs_->trace.set_job_name(job->id, trace_id(*job));
+    obs_->flight.record(job->id, "submit",
+                        trace_id(*job) + " cores=" +
+                            std::to_string(job->want_cores));
+  }
 
   if (stopping_) {
     finish_locked(*job, JobStatus::kRejected, "scheduler is shutting down");
@@ -80,6 +167,7 @@ JobId Scheduler::submit_internal(JobSpec spec,
                   "queue full (depth " + std::to_string(opts_.queue_depth) +
                       ")");
   } else {
+    if (obs_ != nullptr) obs_->trace.begin(job->id, "queued");
     queue_.push_back(job);
     shed_locked();
     cv_.notify_all();
@@ -149,22 +237,165 @@ ServiceStats Scheduler::stats() const {
 }
 
 std::string Scheduler::stats_json() const {
-  const ServiceStats s = stats();
-  return telemetry::counters_json(
-      "ramr-service-stats-v1",
-      {{"submitted", s.submitted},
-       {"done", s.done},
-       {"failed", s.failed},
-       {"cancelled", s.cancelled},
-       {"rejected", s.rejected},
-       {"shed", s.shed},
-       {"retries", s.retries},
-       {"degraded", s.degraded},
-       {"hedges", s.hedges},
-       {"hedge_wins", s.hedge_wins},
-       {"breaker_trips", s.breaker_trips},
-       {"breaker_rejects", s.breaker_rejects},
-       {"job_faults", s.job_faults}});
+  return telemetry::counters_json("ramr-service-stats-v1",
+                                  counter_pairs(stats()));
+}
+
+telemetry::ServiceMetricsFrame Scheduler::metrics_frame_locked() const {
+  telemetry::ServiceMetricsFrame frame;
+  frame.uptime_seconds = seconds_between(start_time_, now());
+  frame.queue_depth = queue_.size();
+  frame.running = running_;
+  frame.cores_total = cores_.total();
+  frame.cores_leased = cores_.total() - cores_.available();
+  const engine::PoolDepot::Stats depot = depot_.stats();
+  frame.depot_built = depot.built;
+  frame.depot_reused = depot.reused;
+  frame.depot_shelved = depot.idle;
+  frame.depot_leased = depot.leased;
+  ServiceStats s = stats_;
+  s.job_faults = injector_.injected();
+  frame.counters = counter_pairs(s);
+  for (const auto& [name, app] : app_stats_.all()) {
+    telemetry::ServiceMetricsFrame::AppEntry entry;
+    entry.name = name;
+    entry.ewma_seconds = app.ewma_seconds;
+    entry.samples = app.samples;
+    entry.consecutive_failures = app.consecutive_failures;
+    entry.breaker = to_string(app.breaker);
+    frame.apps.push_back(std::move(entry));
+  }
+  return frame;
+}
+
+telemetry::ServiceMetricsFrame Scheduler::metrics_frame() const {
+  std::lock_guard lock(mutex_);
+  return metrics_frame_locked();
+}
+
+std::string Scheduler::metrics_text() const {
+  return telemetry::metrics_prometheus(metrics_frame());
+}
+
+std::string Scheduler::metrics_json() const {
+  return telemetry::metrics_json(metrics_frame());
+}
+
+void Scheduler::write_trace(std::ostream& out) const {
+  if (obs_ == nullptr) {
+    throw Error("service: observability is off (set RAMR_OBS=1)");
+  }
+  obs_->trace.write_chrome(out);
+}
+
+std::string Scheduler::trace_id(const Job& job) {
+  return job.spec.name + "#" + std::to_string(job.id);
+}
+
+void Scheduler::obs_event_locked(const Job& job, const char* kind,
+                                 const std::string& detail) {
+  if (obs_ == nullptr) return;
+  obs_->flight.record(job.id, kind, detail);
+  obs_->trace.instant(job.id, kind, detail);
+}
+
+// One post-mortem document per trigger: flight events + config + the
+// failing job's identity + counters + the last sampler frames. Runs under
+// mutex_ on paths that are already exceptional; file I/O is best-effort.
+void Scheduler::obs_postmortem_locked(const std::string& reason,
+                                      const Job* job) {
+  if (obs_ == nullptr || obs_->postmortem_path.empty()) return;
+  ServiceStats s = stats_;
+  s.job_faults = injector_.injected();
+  std::vector<telemetry::ServiceMetricsFrame> frames;
+  {
+    std::lock_guard frames_lock(obs_->frames_mutex);
+    frames.assign(obs_->frames.begin(), obs_->frames.end());
+  }
+  obs_->flight.dump_file(
+      obs_->postmortem_path, reason, [&](telemetry::JsonWriter& w) {
+        if (job != nullptr) {
+          w.begin_object("job");
+          w.field("trace_id", trace_id(*job));
+          w.field("id", job->id);
+          w.field("name", job->spec.name);
+          w.field("status", service::to_string(job->status));
+          w.field("error", job->error);
+          w.field("attempts", static_cast<std::uint64_t>(job->attempt));
+          w.begin_array("degraded_steps");
+          for (const std::string& step : job->degraded_steps) {
+            w.element(step);
+          }
+          w.end_array();
+          w.end_object();
+        }
+        w.begin_object("stats");
+        for (const auto& [name, value] : counter_pairs(s)) {
+          w.field(name, value);
+        }
+        w.end_object();
+        w.begin_array("recent_frames");
+        for (const telemetry::ServiceMetricsFrame& f : frames) {
+          w.begin_object();
+          w.field("uptime_seconds", f.uptime_seconds);
+          w.field("queue_depth", f.queue_depth);
+          w.field("running", f.running);
+          w.field("cores_leased", f.cores_leased);
+          w.end_object();
+        }
+        w.end_array();
+      });
+}
+
+void Scheduler::obs_sample_frame() {
+  const telemetry::ServiceMetricsFrame frame = metrics_frame();
+  obs_->trace.counter("cores_leased", static_cast<double>(frame.cores_leased));
+  obs_->trace.counter("queue_depth", static_cast<double>(frame.queue_depth));
+  obs_->trace.counter("running_jobs", static_cast<double>(frame.running));
+  {
+    std::lock_guard lock(obs_->frames_mutex);
+    obs_->frames.push_back(frame);
+    if (obs_->frames.size() > Obs::kMaxFrames) obs_->frames.pop_front();
+  }
+  if (!obs_->metrics_path.empty()) {
+    try {
+      std::ofstream out(obs_->metrics_path);
+      if (out) {
+        const bool prom =
+            obs_->metrics_path.size() >= 5 &&
+            obs_->metrics_path.rfind(".prom") == obs_->metrics_path.size() - 5;
+        out << (prom ? telemetry::metrics_prometheus(frame)
+                     : telemetry::metrics_json(frame));
+      }
+    } catch (...) {
+      // Scrape dumps are best-effort; the next tick retries.
+    }
+  }
+}
+
+void Scheduler::obs_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(obs_->stop_mutex);
+      if (obs_->stop_cv.wait_for(lock,
+                                 std::chrono::milliseconds(obs_->interval_ms),
+                                 [&] { return obs_->stop; })) {
+        break;
+      }
+    }
+    obs_sample_frame();
+  }
+  obs_sample_frame();  // final frame so short-lived services still scrape
+}
+
+void Scheduler::stop_obs() {
+  if (obs_ == nullptr || !obs_->sampler.joinable()) return;
+  {
+    std::lock_guard lock(obs_->stop_mutex);
+    obs_->stop = true;
+  }
+  obs_->stop_cv.notify_all();
+  obs_->sampler.join();
 }
 
 void Scheduler::shutdown() {
@@ -196,6 +427,22 @@ void Scheduler::shutdown() {
     zombies = grab_zombies_locked();
   }
   for (std::thread& t : zombies) t.join();
+  // Everything is quiescent now: a shutdown that leaves failed jobs
+  // behind dumps one final post-mortem, then the sampler stops (its last
+  // tick writes the final metrics frame).
+  {
+    std::lock_guard lock(mutex_);
+    if (obs_ != nullptr && stats_.failed > 0) {
+      // Name the most recent failed job so the dump points somewhere even
+      // when the per-failure dump was overwritten.
+      const Job* last_failed = nullptr;
+      for (const auto& [id, j] : jobs_) {
+        if (j->status == JobStatus::kFailed) last_failed = j.get();
+      }
+      obs_postmortem_locked("shutdown-with-failures", last_failed);
+    }
+  }
+  stop_obs();
 }
 
 // First queued job whose retry backoff (if any) has elapsed. The queue is
@@ -277,6 +524,12 @@ void Scheduler::dispatch_loop() {
     job->status = JobStatus::kRunning;
     job->started = now();
     job->queued_seconds = seconds_between(job->submitted, job->started);
+    if (obs_ != nullptr) {
+      obs_->trace.end(job->id, "queued");
+      obs_->flight.record(job->id, "lease",
+                          std::to_string(job->lease.size()) + " cores");
+      obs_->trace.begin(job->id, "run");
+    }
     ++running_;
     ++running_primary_;
     job->runner = std::thread(&Scheduler::run_job, this, job);
@@ -319,6 +572,14 @@ void Scheduler::maybe_hedge_locked() {
     job->hedged = true;
     ++running_;
     ++stats_.hedges;
+    if (obs_ != nullptr) {
+      obs_->trace.set_job_name(
+          hedge->id,
+          trace_id(*hedge) + " (hedge of " + std::to_string(job->id) + ")");
+      obs_->trace.begin(hedge->id, "run");
+      obs_event_locked(*job, "hedge",
+                       "twin job " + std::to_string(hedge->id));
+    }
     hedge->runner = std::thread(&Scheduler::run_job, this, hedge);
   }
 }
@@ -342,7 +603,8 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
                                 topo_.uniform_l2()),
                  job->lease, job->spec.config, &job->cancel, job->spec.cancel,
                  job->spec.deadline_ms, &depot_, job->degrade_fused,
-                 job->degrade_level > 0 ? "degraded" : "");
+                 job->degrade_level > 0 ? "degraded" : "",
+                 obs_ != nullptr ? &obs_->trace : nullptr, job->id);
 
   JobStatus status = JobStatus::kDone;
   std::string error;
@@ -393,6 +655,15 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
 
   std::lock_guard lock(mutex_);
   ++job->attempt;
+  if (obs_ != nullptr) {
+    obs_->trace.end(job->id, "run");
+    // A watchdog verdict is worth its own flight event even when a retry
+    // absorbs it (the post-mortem question is "how often does this app
+    // blow its deadline", not just "did the last one").
+    if (degradable && status == JobStatus::kFailed) {
+      obs_event_locked(*job, "watchdog", error);
+    }
+  }
   // If a hedge twin won while this (primary) attempt was unwinding, the
   // job as a whole succeeded: the twin's result already fulfilled the
   // future and its run accounting was copied onto this job.
@@ -415,6 +686,10 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
     requeue_locked(job);
     ++stats_.retries;
     retried = true;
+    obs_event_locked(*job, "retry",
+                     "attempt " + std::to_string(job->attempt) + " failed: " +
+                         error);
+    if (obs_ != nullptr) obs_->trace.begin(job->id, "queued");
   }
   if (!retried) finish_locked(*job, status, std::move(error));
   --running_;
@@ -487,6 +762,7 @@ void Scheduler::apply_degrade_locked(Job& job) {
       job.degraded_steps.push_back("retry");
       break;
   }
+  obs_event_locked(job, "degrade", job.degraded_steps.back());
 }
 
 // Overload protection: when the total queued admission cost exceeds the
@@ -556,6 +832,7 @@ void Scheduler::finish_locked(Job& job, JobStatus status, std::string error) {
   // final failures (budget exhausted) advance the breaker. Hedge twins are
   // accounted through their primary, and cancel/shed outcomes say nothing
   // about the app's health.
+  bool breaker_tripped = false;
   if (!job.hedge) {
     if (status == JobStatus::kDone) {
       app_stats_.record_success(job.spec.name, job.run_seconds);
@@ -564,7 +841,21 @@ void Scheduler::finish_locked(Job& job, JobStatus status, std::string error) {
               job.spec.name, opts_.breaker_k, now(),
               std::chrono::milliseconds(opts_.breaker_cooldown_ms))) {
         ++stats_.breaker_trips;
+        breaker_tripped = true;
       }
+    }
+  }
+  // Observability: terminal instant, breaker transition, and the
+  // post-mortem triggers (job abort — which covers watchdog-fired
+  // deadline/stall failures — and breaker-open).
+  if (obs_ != nullptr) {
+    obs_event_locked(job, service::to_string(status), job.error);
+    if (breaker_tripped) {
+      obs_event_locked(job, "breaker-open", "app '" + job.spec.name + "'");
+    }
+    if (status == JobStatus::kFailed) {
+      obs_postmortem_locked(breaker_tripped ? "breaker-open" : "job-failed",
+                            &job);
     }
   }
 
@@ -614,6 +905,7 @@ JobReport Scheduler::report_locked(const Job& job) const {
   JobReport report;
   report.id = job.id;
   report.name = job.spec.name;
+  report.trace_id = trace_id(job);
   report.status = job.status;
   report.cores = job.lease.cpu_os_ids;
   report.queued_seconds = job.queued_seconds;

@@ -64,9 +64,11 @@
 #include <exception>
 #include <functional>
 #include <future>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -84,8 +86,11 @@
 #include "service/app_stats.hpp"
 #include "service/job.hpp"
 #include "service/lease.hpp"
+#include "telemetry/metrics_export.hpp"
+#include "telemetry/service_trace.hpp"
 #include "telemetry/session.hpp"
 #include "topology/topology.hpp"
+#include "trace/trace.hpp"
 
 namespace ramr::service {
 
@@ -145,6 +150,21 @@ class JobContext {
     std::unique_ptr<telemetry::Session> session =
         telemetry::Session::from_config(lease.pools().config());
     driver.set_telemetry(session.get());
+    // Observability (RAMR_OBS=1): a per-attempt recorder whose lanes land
+    // under this job's process in the stitched service trace, added on
+    // every exit path — an aborted run's partial lanes are exactly what a
+    // post-mortem wants to see.
+    std::optional<trace::Recorder> recorder;
+    if (service_trace_ != nullptr) recorder.emplace();
+    if (recorder) driver.set_recorder(&*recorder);
+    struct RunTraceScope {
+      telemetry::ServiceTrace* strace;
+      JobId job;
+      trace::Recorder* rec;
+      ~RunTraceScope() {
+        if (strace != nullptr && rec != nullptr) strace->add_run(job, *rec);
+      }
+    } trace_scope{service_trace_, job_id_, recorder ? &*recorder : nullptr};
     mr::result_of<S> result;
     if (fused_) {
       // Degraded plan: the fused strategy runs on the mapper pool of the
@@ -169,11 +189,14 @@ class JobContext {
              common::CancellationToken* cancel,
              common::CancellationToken* client_cancel,
              std::size_t deadline_ms, engine::PoolDepot* depot, bool fused,
-             std::string plan_source)
+             std::string plan_source,
+             telemetry::ServiceTrace* service_trace = nullptr,
+             JobId job_id = 0)
       : topo_(std::move(topo)), lease_(std::move(lease)),
         cfg_(std::move(cfg)), cancel_(cancel), client_cancel_(client_cancel),
         deadline_ms_(deadline_ms), depot_(depot), fused_(fused),
-        plan_source_(std::move(plan_source)) {}
+        plan_source_(std::move(plan_source)), service_trace_(service_trace),
+        job_id_(job_id) {}
 
   topo::Topology topo_;
   CoreLease lease_;
@@ -184,6 +207,8 @@ class JobContext {
   engine::PoolDepot* depot_;
   bool fused_;
   std::string plan_source_;
+  telemetry::ServiceTrace* service_trace_ = nullptr;
+  JobId job_id_ = 0;
   bool warm_ = false;
   engine::PlanInfo plan_;
   std::string run_summary_;
@@ -229,9 +254,31 @@ class Scheduler {
     // other sites in the spec are inert at this level). Empty = disabled.
     std::string fault_spec;
 
+    // ---- observability knobs (default off; docs/OBSERVABILITY.md) --------
+
+    // Master switch (RAMR_OBS): lifecycle tracing into the stitched
+    // service trace, the flight recorder, the metrics sampler thread, and
+    // post-mortem dumps. Off = none of it exists and the scheduler's
+    // behaviour and output are byte-identical.
+    bool observability = false;
+
+    // Periodic metrics dump target (RAMR_METRICS_PATH; "" = no dump).
+    // A ".prom" suffix selects Prometheus text, anything else JSON.
+    std::string metrics_path;
+
+    // Flight-recorder ring capacity (RAMR_FLIGHT_EVENTS).
+    std::size_t flight_events = 256;
+
+    // Cadence of the observability sampler thread.
+    std::size_t metrics_interval_ms = 250;
+
+    // Post-mortem dump target for the flight recorder ("" = no dumps).
+    std::string postmortem_path = "ramr_postmortem.json";
+
     // Reads RAMR_SERVICE_JOBS / RAMR_SERVICE_QUEUE plus the resilience
     // knobs RAMR_SERVICE_RETRIES / RAMR_HEDGE_FACTOR / RAMR_BREAKER_K /
-    // RAMR_SHED_WATERMARK and RAMR_FAULTS.
+    // RAMR_SHED_WATERMARK, RAMR_FAULTS, and the observability knobs
+    // RAMR_OBS / RAMR_METRICS_PATH / RAMR_FLIGHT_EVENTS.
     static Options from_env() {
       const RuntimeConfig cfg = RuntimeConfig::from_env();
       Options o;
@@ -242,6 +289,9 @@ class Scheduler {
       o.breaker_k = cfg.service_breaker_k;
       o.shed_watermark = cfg.service_shed_watermark;
       o.fault_spec = cfg.fault_spec;
+      o.observability = cfg.observability;
+      o.metrics_path = cfg.metrics_path;
+      o.flight_events = cfg.flight_events;
       return o;
     }
   };
@@ -327,6 +377,27 @@ class Scheduler {
   // The same counters as a ramr-service-stats-v1 JSON document.
   std::string stats_json() const;
 
+  // ---- observability scrape surface (docs/OBSERVABILITY.md) --------------
+  // The frame/text/json accessors work regardless of Options::observability
+  // (an on-demand scrape needs no background plane); the stitched trace
+  // only exists when the plane is on.
+
+  // One consistent snapshot of queue/lease/depot/counter/per-app state.
+  telemetry::ServiceMetricsFrame metrics_frame() const;
+
+  // The snapshot in Prometheus text exposition format ("ramr_" prefix).
+  std::string metrics_text() const;
+
+  // The snapshot as a ramr-metrics-v1 JSON document.
+  std::string metrics_json() const;
+
+  // True when the observability plane is on (Options::observability).
+  bool observability() const { return obs_ != nullptr; }
+
+  // Writes the stitched Chrome/Perfetto service trace (per-job tracks +
+  // core-lease timeline). Throws ramr::Error when the plane is off.
+  void write_trace(std::ostream& out) const;
+
   // The warm-pool depot shared by this scheduler's jobs (stats for tests
   // and the amortization bench).
   engine::PoolDepot& depot() { return depot_; }
@@ -377,7 +448,19 @@ class Scheduler {
   void dispatch_loop();
   void run_job(const std::shared_ptr<Job>& job);
 
+  // Observability plane (only exists when Options::observability is on):
+  // stitched service trace + flight recorder + sampler thread state.
+  struct Obs;
+  static std::string trace_id(const Job& job);
+  void obs_loop();
+  void obs_sample_frame();
+  void stop_obs();
+
   // All *_locked helpers require mutex_ held.
+  void obs_event_locked(const Job& job, const char* kind,
+                        const std::string& detail = {});
+  void obs_postmortem_locked(const std::string& reason, const Job* job);
+  telemetry::ServiceMetricsFrame metrics_frame_locked() const;
   void finish_locked(Job& job, JobStatus status, std::string error);
   void requeue_locked(const std::shared_ptr<Job>& job);
   void apply_degrade_locked(Job& job);
@@ -392,9 +475,11 @@ class Scheduler {
   Options opts_;
   std::size_t max_jobs_ = 1;
   std::size_t fair_share_ = 1;
+  Clock::time_point start_time_{};
   CoreLeaseRegistry cores_;
   engine::PoolDepot depot_;
   faults::Injector injector_;
+  std::unique_ptr<Obs> obs_;  // null when observability is off
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

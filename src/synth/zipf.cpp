@@ -1,0 +1,52 @@
+#include "synth/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ramr::synth {
+
+ZipfGenerator::ZipfGenerator(std::size_t num_keys, double exponent,
+                             std::uint64_t seed)
+    : exponent_(exponent), rng_(seed) {
+  if (num_keys == 0) {
+    throw Error("zipf: num_keys must be >= 1");
+  }
+  if (!(exponent >= 0.0)) {  // also rejects NaN
+    throw Error("zipf: exponent must be >= 0");
+  }
+  cdf_.resize(num_keys);
+  double total = 0.0;
+  for (std::size_t r = 0; r < num_keys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint64_t ZipfGenerator::next() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::probability(std::uint64_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - lo;
+}
+
+std::vector<std::uint64_t> ZipfGenerator::sample(std::size_t count,
+                                                 std::size_t num_keys,
+                                                 double exponent,
+                                                 std::uint64_t seed) {
+  ZipfGenerator gen(num_keys, exponent, seed);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(gen.next());
+  return out;
+}
+
+}  // namespace ramr::synth

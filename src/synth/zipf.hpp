@@ -1,0 +1,53 @@
+// Zipf-distributed key generator for skew experiments.
+//
+// The paper's synthetic inputs are uniform; real-world key streams (text,
+// logs, graph degrees) are zipfian — a handful of hot keys dominate, one
+// combiner becomes the straggler, and its ring backs up. This generator
+// feeds the skew-profiler tests (PR 8) and the ROADMAP's skew-proof
+// execution item (operation-level rebalancing needs a workload that
+// actually skews).
+//
+// Sampling is inverse-CDF over a precomputed table: rank r in [0, n) is
+// drawn with probability (1/(r+1)^s) / H(n,s). Construction is O(n),
+// next() is O(log n), and the stream is fully deterministic in
+// (num_keys, exponent, seed) — goldens and TSan runs reproduce exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ramr::synth {
+
+class ZipfGenerator {
+ public:
+  // exponent s >= 0: s = 0 degenerates to uniform, s ~ 1 is classic zipf
+  // (text-like), larger s concentrates harder. Throws ramr::Error on
+  // num_keys == 0 or a negative exponent.
+  ZipfGenerator(std::size_t num_keys, double exponent, std::uint64_t seed);
+
+  // The next key rank, hot keys first: rank 0 is the most frequent key.
+  std::uint64_t next();
+
+  std::size_t num_keys() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  // Exact probability of rank r under the distribution (tests assert the
+  // empirical frequencies converge to this).
+  double probability(std::uint64_t rank) const;
+
+  // Convenience: a whole stream in one call.
+  static std::vector<std::uint64_t> sample(std::size_t count,
+                                           std::size_t num_keys,
+                                           double exponent,
+                                           std::uint64_t seed);
+
+ private:
+  double exponent_ = 1.0;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); cdf_.back() == 1
+  Xoshiro256 rng_;
+};
+
+}  // namespace ramr::synth

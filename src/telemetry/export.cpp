@@ -14,15 +14,80 @@ namespace {
 // Trace-event timestamps are microseconds.
 double micros(double seconds) { return seconds * 1e6; }
 
-void event_common(JsonWriter& w, const char* ph, double ts,
+void event_common(JsonWriter& w, const char* ph, double ts, std::uint64_t pid,
                   std::uint64_t tid) {
   w.field("ph", ph);
   w.field("ts", ts);
-  w.field("pid", std::uint64_t{1});
+  w.field("pid", pid);
   w.field("tid", tid);
 }
 
 }  // namespace
+
+void chrome_process_name_json(JsonWriter& w, std::uint64_t pid,
+                              const std::string& name) {
+  w.begin_object();
+  w.field("ph", "M");
+  w.field("name", "process_name");
+  w.field("pid", pid);
+  w.begin_object("args");
+  w.field("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void chrome_thread_name_json(JsonWriter& w, std::uint64_t pid,
+                             std::uint64_t tid, const std::string& name) {
+  w.begin_object();
+  w.field("ph", "M");
+  w.field("name", "thread_name");
+  w.field("pid", pid);
+  w.field("tid", tid);
+  w.begin_object("args");
+  w.field("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void chrome_lane_events_json(JsonWriter& w, const LaneView& lane,
+                             std::uint64_t pid, std::uint64_t tid,
+                             double ts_offset_us) {
+  for (const trace::Event& e : lane.events) {
+    const double ts = micros(e.seconds) + ts_offset_us;
+    w.begin_object();
+    switch (e.kind) {
+      case trace::EventKind::kTaskStart:
+        w.field("name", "task");
+        event_common(w, "B", ts, pid, tid);
+        w.begin_object("args");
+        w.field("first_split", e.arg);
+        w.end_object();
+        break;
+      case trace::EventKind::kTaskEnd:
+        w.field("name", "task");
+        event_common(w, "E", ts, pid, tid);
+        break;
+      case trace::EventKind::kPhaseStart:
+        w.field("name", phase_name(static_cast<Phase>(e.arg)));
+        event_common(w, "B", ts, pid, tid);
+        break;
+      case trace::EventKind::kPhaseEnd:
+        w.field("name", phase_name(static_cast<Phase>(e.arg)));
+        event_common(w, "E", ts, pid, tid);
+        break;
+      default:
+        // Instant event named after the kind; arg carried for reference.
+        w.field("name", trace::to_string(e.kind));
+        event_common(w, "i", ts, pid, tid);
+        w.field("s", "t");  // thread-scoped instant
+        w.begin_object("args");
+        w.field("arg", e.arg);
+        w.end_object();
+        break;
+    }
+    w.end_object();
+  }
+}
 
 std::vector<LaneView> lane_views(const trace::Recorder& recorder) {
   std::vector<LaneView> views;
@@ -42,64 +107,14 @@ void chrome_trace_json(std::ostream& out, const std::vector<LaneView>& lanes,
   w.begin_array("traceEvents");
 
   // Metadata: process name and one thread_name entry per lane.
-  w.begin_object();
-  w.field("ph", "M");
-  w.field("name", "process_name");
-  w.field("pid", std::uint64_t{1});
-  w.begin_object("args");
-  w.field("name", process_name);
-  w.end_object();
-  w.end_object();
+  chrome_process_name_json(w, 1, process_name);
   for (std::size_t i = 0; i < lanes.size(); ++i) {
-    w.begin_object();
-    w.field("ph", "M");
-    w.field("name", "thread_name");
-    w.field("pid", std::uint64_t{1});
-    w.field("tid", static_cast<std::uint64_t>(i));
-    w.begin_object("args");
-    w.field("name", lanes[i].name);
-    w.end_object();
-    w.end_object();
+    chrome_thread_name_json(w, 1, static_cast<std::uint64_t>(i),
+                            lanes[i].name);
   }
 
   for (std::size_t i = 0; i < lanes.size(); ++i) {
-    const auto tid = static_cast<std::uint64_t>(i);
-    for (const trace::Event& e : lanes[i].events) {
-      w.begin_object();
-      switch (e.kind) {
-        case trace::EventKind::kTaskStart:
-          w.field("name", "task");
-          event_common(w, "B", micros(e.seconds), tid);
-          w.begin_object("args");
-          w.field("first_split", e.arg);
-          w.end_object();
-          break;
-        case trace::EventKind::kTaskEnd:
-          w.field("name", "task");
-          event_common(w, "E", micros(e.seconds), tid);
-          break;
-        case trace::EventKind::kPhaseStart:
-          w.field("name",
-                  phase_name(static_cast<Phase>(e.arg)));
-          event_common(w, "B", micros(e.seconds), tid);
-          break;
-        case trace::EventKind::kPhaseEnd:
-          w.field("name",
-                  phase_name(static_cast<Phase>(e.arg)));
-          event_common(w, "E", micros(e.seconds), tid);
-          break;
-        default:
-          // Instant event named after the kind; arg carried for reference.
-          w.field("name", trace::to_string(e.kind));
-          event_common(w, "i", micros(e.seconds), tid);
-          w.field("s", "t");  // thread-scoped instant
-          w.begin_object("args");
-          w.field("arg", e.arg);
-          w.end_object();
-          break;
-      }
-      w.end_object();
-    }
+    chrome_lane_events_json(w, lanes[i], 1, static_cast<std::uint64_t>(i));
   }
 
   // Sampler series as counter tracks on their own tids (after the lanes).
@@ -108,7 +123,7 @@ void chrome_trace_json(std::ostream& out, const std::vector<LaneView>& lanes,
     for (const auto& [t, v] : series[s].points) {
       w.begin_object();
       w.field("name", series[s].name);
-      event_common(w, "C", micros(t), tid);
+      event_common(w, "C", micros(t), 1, tid);
       w.begin_object("args");
       w.field("value", v);
       w.end_object();
@@ -197,9 +212,13 @@ void run_report_json(std::ostream& out, const RunReport& report) {
           static_cast<std::uint64_t>(report.result.task_aborts));
   w.end_object();
 
-  // Plan provenance (ISSUE 4 satellite); only emitted when the result was
-  // actually stamped so hand-built reports (and their goldens) stay as-is.
-  if (!report.result.plan.strategy.empty()) {
+  // Plan provenance; emitted whenever the result carries *any* stamped
+  // subsystem state — not just a named strategy — so a mem-only run still
+  // reports its plan.source uniformly (consumers saw the object vanish when
+  // adapt was off but RAMR_MEM was on; schema note in
+  // docs/OBSERVABILITY.md). Hand-built reports with neither stay as-is so
+  // their goldens are unchanged.
+  if (!report.result.plan.strategy.empty() || report.result.mem.enabled()) {
     const engine::PlanInfo& plan = report.result.plan;
     w.begin_object("plan");
     w.field("strategy", plan.strategy);
@@ -208,7 +227,8 @@ void run_report_json(std::ostream& out, const RunReport& report) {
     w.field("queue_capacity",
             static_cast<std::uint64_t>(plan.queue_capacity));
     w.field("pin_policy", plan.pin_policy);
-    w.field("source", plan.source);
+    w.field("source",
+            plan.source.empty() ? std::string("default") : plan.source);
     w.end_object();
   }
   // Memory-subsystem outcome (RAMR_MEM); omitted entirely when the
@@ -226,6 +246,27 @@ void run_report_json(std::ostream& out, const RunReport& report) {
     w.field("ring_reuses", static_cast<std::uint64_t>(mem.ring_reuses));
     w.field("hugepages", mem.hugepages);
     w.field("mbind", mem.mbind);
+    w.end_object();
+  }
+  // Skew profile (RAMR_OBS=1); omitted when the profiler was off so
+  // default reports are unchanged.
+  if (report.result.skew.enabled) {
+    const engine::SkewStats& skew = report.result.skew;
+    w.begin_object("skew");
+    w.field("map_imbalance", skew.map_imbalance);
+    w.field("drain_imbalance", skew.drain_imbalance);
+    w.field("straggler", skew.straggler);
+    w.field("sampled", skew.sampled);
+    w.field("ring_depth", skew.ring_depth);
+    w.begin_array("hot_keys");
+    for (const engine::SkewStats::HotKey& k : skew.hot_keys) {
+      w.begin_object();
+      w.field("key", k.key);
+      w.field("est_count", k.est_count);
+      w.field("share", k.share);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   if (!report.result.governor_actions.empty()) {

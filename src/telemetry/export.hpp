@@ -31,6 +31,8 @@
 
 namespace ramr::telemetry {
 
+class JsonWriter;
+
 // ---- chrome trace ----------------------------------------------------------
 
 // One thread timeline: a lane name plus its (time-ordered) events.
@@ -46,6 +48,19 @@ std::vector<LaneView> lane_views(const trace::Recorder& recorder);
 void chrome_trace_json(std::ostream& out, const std::vector<LaneView>& lanes,
                        const std::vector<Sampler::Series>& series,
                        const std::string& process_name = "ramr");
+
+// Building blocks for multi-process trace documents (the service-wide
+// stitched trace, src/telemetry/service_trace.hpp, reuses the single-run
+// event mapping with its own pid/tid layout). Each writes complete event
+// objects into an already-open "traceEvents" array; ts_offset_us shifts a
+// lane recorded against a later epoch onto the document's shared timeline.
+void chrome_process_name_json(JsonWriter& w, std::uint64_t pid,
+                              const std::string& name);
+void chrome_thread_name_json(JsonWriter& w, std::uint64_t pid,
+                             std::uint64_t tid, const std::string& name);
+void chrome_lane_events_json(JsonWriter& w, const LaneView& lane,
+                             std::uint64_t pid, std::uint64_t tid,
+                             double ts_offset_us = 0.0);
 
 // ---- run report ------------------------------------------------------------
 
@@ -76,6 +91,10 @@ struct RunInfo {
   // Memory-subsystem outcome; mem.enabled() is false (and the report emits
   // no "memory" object) unless RAMR_MEM was on.
   engine::MemStats mem;
+
+  // Straggler/skew profile; skew.enabled is false (and the report emits no
+  // "skew" object) unless RAMR_OBS was on.
+  engine::SkewStats skew;
 };
 
 template <typename K, typename V>
@@ -100,6 +119,7 @@ RunInfo make_run_info(const engine::RunResult<K, V>& r) {
   info.plan = r.plan;
   info.governor_actions = r.governor_actions;
   info.mem = r.mem;
+  info.skew = r.skew;
   return info;
 }
 

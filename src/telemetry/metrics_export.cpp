@@ -1,0 +1,150 @@
+#include "telemetry/metrics_export.hpp"
+
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace ramr::telemetry {
+
+namespace {
+
+// One Prometheus sample with HELP/TYPE headers (every metric here appears
+// exactly once, so headers stay adjacent to their sample).
+void prom_metric(std::ostream& os, const std::string& name,
+                 const char* type, const char* help, double value) {
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " " << type << "\n";
+  os << name << " " << JsonWriter::number(value) << "\n";
+}
+
+// Prometheus label values escape backslash, double-quote, and newline.
+std::string prom_label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int breaker_state_value(const std::string& breaker) {
+  if (breaker == "open") return 1;
+  if (breaker == "half-open") return 2;
+  return 0;  // closed (and anything unknown degrades to closed)
+}
+
+std::string metrics_prometheus(const ServiceMetricsFrame& frame) {
+  std::ostringstream os;
+  prom_metric(os, "ramr_service_uptime_seconds", "gauge",
+              "Seconds since the scheduler started.", frame.uptime_seconds);
+  prom_metric(os, "ramr_service_queue_depth", "gauge",
+              "Jobs waiting for admission.",
+              static_cast<double>(frame.queue_depth));
+  prom_metric(os, "ramr_service_running_jobs", "gauge",
+              "Jobs currently holding a lease.",
+              static_cast<double>(frame.running));
+  prom_metric(os, "ramr_service_cores_total", "gauge",
+              "Cores the lease registry manages.",
+              static_cast<double>(frame.cores_total));
+  prom_metric(os, "ramr_service_cores_leased", "gauge",
+              "Cores currently leased to running jobs.",
+              static_cast<double>(frame.cores_leased));
+  prom_metric(os, "ramr_depot_built", "gauge",
+              "Warm pool sets built since startup.",
+              static_cast<double>(frame.depot_built));
+  prom_metric(os, "ramr_depot_reused", "gauge",
+              "Warm pool set reuses since startup.",
+              static_cast<double>(frame.depot_reused));
+  prom_metric(os, "ramr_depot_shelved", "gauge",
+              "Idle warm pool sets on the depot shelf.",
+              static_cast<double>(frame.depot_shelved));
+  prom_metric(os, "ramr_depot_leased", "gauge",
+              "Warm pool sets leased to running jobs.",
+              static_cast<double>(frame.depot_leased));
+
+  for (const auto& [name, value] : frame.counters) {
+    const std::string full = "ramr_service_" + name + "_total";
+    os << "# HELP " << full << " Scheduler lifecycle counter '" << name
+       << "'.\n";
+    os << "# TYPE " << full << " counter\n";
+    os << full << " " << value << "\n";
+  }
+
+  if (!frame.apps.empty()) {
+    os << "# HELP ramr_app_ewma_seconds "
+          "EWMA of successful run times per app.\n";
+    os << "# TYPE ramr_app_ewma_seconds gauge\n";
+    for (const auto& app : frame.apps) {
+      os << "ramr_app_ewma_seconds{app=\"" << prom_label_escape(app.name)
+         << "\"} " << JsonWriter::number(app.ewma_seconds) << "\n";
+    }
+    os << "# HELP ramr_app_samples Successful runs folded into the EWMA.\n";
+    os << "# TYPE ramr_app_samples gauge\n";
+    for (const auto& app : frame.apps) {
+      os << "ramr_app_samples{app=\"" << prom_label_escape(app.name)
+         << "\"} " << app.samples << "\n";
+    }
+    os << "# HELP ramr_app_consecutive_failures "
+          "Current final-failure streak per app.\n";
+    os << "# TYPE ramr_app_consecutive_failures gauge\n";
+    for (const auto& app : frame.apps) {
+      os << "ramr_app_consecutive_failures{app=\""
+         << prom_label_escape(app.name) << "\"} "
+         << app.consecutive_failures << "\n";
+    }
+    os << "# HELP ramr_app_breaker_state "
+          "Circuit breaker state per app (0=closed 1=open 2=half-open).\n";
+    os << "# TYPE ramr_app_breaker_state gauge\n";
+    for (const auto& app : frame.apps) {
+      os << "ramr_app_breaker_state{app=\"" << prom_label_escape(app.name)
+         << "\"} " << breaker_state_value(app.breaker) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string metrics_json(const ServiceMetricsFrame& frame) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "ramr-metrics-v1");
+  w.field("uptime_seconds", frame.uptime_seconds);
+  w.field("queue_depth", frame.queue_depth);
+  w.field("running", frame.running);
+  w.field("cores_total", frame.cores_total);
+  w.field("cores_leased", frame.cores_leased);
+  w.begin_object("depot");
+  w.field("built", frame.depot_built);
+  w.field("reused", frame.depot_reused);
+  w.field("shelved", frame.depot_shelved);
+  w.field("leased", frame.depot_leased);
+  w.end_object();
+  w.begin_object("counters");
+  for (const auto& [name, value] : frame.counters) w.field(name, value);
+  w.end_object();
+  w.begin_array("apps");
+  for (const auto& app : frame.apps) {
+    w.begin_object();
+    w.field("name", app.name);
+    w.field("ewma_seconds", app.ewma_seconds);
+    w.field("samples", app.samples);
+    w.field("consecutive_failures", app.consecutive_failures);
+    w.field("breaker", app.breaker);
+    w.field("breaker_state",
+            static_cast<std::uint64_t>(breaker_state_value(app.breaker)));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace ramr::telemetry

@@ -1,0 +1,68 @@
+// Service metrics scrape surface: one snapshot struct, two render formats.
+//
+// The scheduler assembles a ServiceMetricsFrame under its lock (queue
+// depth, lease occupancy, depot shelf state, resilience counters, per-app
+// EWMA/breaker rows) and hands it here; rendering happens lock-free.
+//
+//   metrics_prometheus  —  Prometheus text exposition format, ramr_-
+//                          prefixed: gauges for instantaneous state,
+//                          ramr_service_<name>_total counters, per-app
+//                          series labeled {app="..."}.
+//   metrics_json        —  the same frame as one JSON document, schema
+//                          "ramr-metrics-v1" (the golden tests assert the
+//                          two formats carry identical numbers).
+//
+// Delivery paths (see docs/OBSERVABILITY.md): Scheduler::metrics_text() /
+// metrics_json() on demand, a low-cadence background dump to
+// RAMR_METRICS_PATH, and `service_demo --report=<path>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ramr::telemetry {
+
+struct ServiceMetricsFrame {
+  double uptime_seconds = 0.0;
+
+  // Instantaneous scheduler state.
+  std::uint64_t queue_depth = 0;
+  std::uint64_t running = 0;
+  std::uint64_t cores_total = 0;
+  std::uint64_t cores_leased = 0;
+
+  // Pool-depot shelf occupancy.
+  std::uint64_t depot_built = 0;
+  std::uint64_t depot_reused = 0;
+  std::uint64_t depot_shelved = 0;  // idle warm sets on the shelf
+  std::uint64_t depot_leased = 0;
+
+  // Monotonic resilience counters, in ServiceStats order (the parity test
+  // asserts these match Scheduler::stats() exactly).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  // Per-app EWMA + breaker rows.
+  struct AppEntry {
+    std::string name;
+    double ewma_seconds = 0.0;
+    std::uint64_t samples = 0;
+    std::uint64_t consecutive_failures = 0;
+    std::string breaker;  // "closed" | "open" | "half-open"
+  };
+  std::vector<AppEntry> apps;
+};
+
+// Prometheus text exposition format (0.0.4): "# HELP"/"# TYPE" headers,
+// one sample per line, trailing newline.
+std::string metrics_prometheus(const ServiceMetricsFrame& frame);
+
+// The same frame as JSON, schema "ramr-metrics-v1".
+std::string metrics_json(const ServiceMetricsFrame& frame);
+
+// Numeric breaker state used by both formats (closed=0, open=1,
+// half-open=2) so dashboards can graph transitions.
+int breaker_state_value(const std::string& breaker);
+
+}  // namespace ramr::telemetry

@@ -1,0 +1,173 @@
+#include "telemetry/service_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace ramr::telemetry {
+
+ServiceTrace::ServiceTrace() : epoch_(Clock::now()) {}
+
+double ServiceTrace::now_us_locked() const {
+  return seconds_between(epoch_, Clock::now()) * 1e6;
+}
+
+void ServiceTrace::life_locked(LifeEvent e) {
+  if (life_.size() >= kMaxLifeEvents) {
+    ++dropped_events_;
+    return;
+  }
+  life_.push_back(std::move(e));
+}
+
+void ServiceTrace::set_job_name(std::uint64_t job, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_names_[job] = name;
+}
+
+void ServiceTrace::begin(std::uint64_t job, const std::string& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  life_locked(LifeEvent{now_us_locked(), 'B', job, span, {}});
+}
+
+void ServiceTrace::end(std::uint64_t job, const std::string& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  life_locked(LifeEvent{now_us_locked(), 'E', job, span, {}});
+}
+
+void ServiceTrace::instant(std::uint64_t job, const std::string& name,
+                           const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  life_locked(LifeEvent{now_us_locked(), 'i', job, name, detail});
+}
+
+void ServiceTrace::counter(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double ts = now_us_locked();
+  for (Counter& c : counters_) {
+    if (c.name == name) {
+      c.points.emplace_back(ts, value);
+      return;
+    }
+  }
+  counters_.push_back(Counter{name, {{ts, value}}});
+}
+
+void ServiceTrace::add_run(std::uint64_t job,
+                           const trace::Recorder& recorder) {
+  std::vector<LaneView> lanes = lane_views(recorder);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (runs_.size() >= kMaxRuns) {
+    ++dropped_runs_;
+    return;
+  }
+  Run run;
+  run.job = job;
+  // tid 0 is the lifecycle lane; each attempt's lanes stack after the
+  // previous attempt's so retries stay visually separate.
+  auto [it, inserted] = job_next_tid_.emplace(job, 1);
+  run.tid_base = it->second;
+  it->second += lanes.size();
+  run.offset_us = seconds_between(epoch_, recorder.epoch()) * 1e6;
+  run.lanes = std::move(lanes);
+  runs_.push_back(std::move(run));
+}
+
+void ServiceTrace::write_chrome(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w(out);
+  w.begin_object();
+  w.begin_array("traceEvents");
+
+  // pid 0: the scheduler process with its counter tracks.
+  chrome_process_name_json(w, 0, "scheduler");
+  if (dropped_events_ > 0 || dropped_runs_ > 0) {
+    w.begin_object();
+    w.field("name", "trace_drops");
+    w.field("ph", "i");
+    w.field("ts", 0.0);
+    w.field("pid", std::uint64_t{0});
+    w.field("tid", std::uint64_t{0});
+    w.field("s", "p");  // process-scoped instant
+    w.begin_object("args");
+    w.field("dropped_events", dropped_events_);
+    w.field("dropped_runs", dropped_runs_);
+    w.end_object();
+    w.end_object();
+  }
+  for (std::size_t c = 0; c < counters_.size(); ++c) {
+    for (const auto& [ts, value] : counters_[c].points) {
+      w.begin_object();
+      w.field("name", counters_[c].name);
+      w.field("ph", "C");
+      w.field("ts", ts);
+      w.field("pid", std::uint64_t{0});
+      w.field("tid", static_cast<std::uint64_t>(c));
+      w.begin_object("args");
+      w.field("value", value);
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  // Per-job process tracks: name metadata + lifecycle lane.
+  for (const auto& [job, name] : job_names_) {
+    chrome_process_name_json(w, job,
+                             "job " + std::to_string(job) + ": " + name);
+    chrome_thread_name_json(w, job, 0, "lifecycle");
+  }
+  for (const LifeEvent& e : life_) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("ph", std::string_view(&e.ph, 1));
+    w.field("ts", e.ts_us);
+    w.field("pid", e.job);
+    w.field("tid", std::uint64_t{0});
+    if (e.ph == 'i') {
+      w.field("s", "t");
+      if (!e.detail.empty()) {
+        w.begin_object("args");
+        w.field("detail", e.detail);
+        w.end_object();
+      }
+    }
+    w.end_object();
+  }
+
+  // Per-run engine lanes under their job's process.
+  for (const Run& run : runs_) {
+    for (std::size_t i = 0; i < run.lanes.size(); ++i) {
+      const std::uint64_t tid = run.tid_base + i;
+      chrome_thread_name_json(w, run.job, tid, run.lanes[i].name);
+      chrome_lane_events_json(w, run.lanes[i], run.job, tid, run.offset_us);
+    }
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  out << "\n";
+}
+
+void ServiceTrace::write_file(const std::string& path) const {
+  try {
+    std::ofstream out(path);
+    if (!out) return;
+    write_chrome(out);
+  } catch (...) {
+    // Best-effort by contract.
+  }
+}
+
+std::uint64_t ServiceTrace::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_events_;
+}
+
+std::uint64_t ServiceTrace::dropped_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_runs_;
+}
+
+}  // namespace ramr::telemetry

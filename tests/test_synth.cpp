@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <set>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/error.hpp"
@@ -11,6 +12,7 @@
 #include "phoenix/runtime.hpp"
 #include "synth/kernels.hpp"
 #include "synth/synth_app.hpp"
+#include "synth/zipf.hpp"
 #include "topology/topology.hpp"
 
 namespace ramr::synth {
@@ -168,6 +170,58 @@ TEST(SynthApp, ExpectedPayloadSumFormula) {
   EXPECT_EQ(synth_expected_payload_sum(0), 0u);
   EXPECT_EQ(synth_expected_payload_sum(1), 0u);
   EXPECT_EQ(synth_expected_payload_sum(5), 10u);  // 0+1+2+3+4
+}
+
+// ---------- zipf key generator ----------------------------------------------
+
+TEST(Zipf, DeterministicInSeed) {
+  const auto a = ZipfGenerator::sample(1000, 64, 1.0, 7);
+  const auto b = ZipfGenerator::sample(1000, 64, 1.0, 7);
+  const auto c = ZipfGenerator::sample(1000, 64, 1.0, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Zipf, RanksStayInRange) {
+  ZipfGenerator gen(32, 1.5, 11);
+  EXPECT_EQ(gen.num_keys(), 32u);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.next(), 32u);
+}
+
+TEST(Zipf, FrequenciesDecreaseByRank) {
+  // Rank 0 must dominate and empirical frequencies must track the exact
+  // probabilities within a loose tolerance.
+  const std::size_t n = 200000;
+  ZipfGenerator gen(16, 1.0, 3);
+  std::vector<std::size_t> hist(16, 0);
+  for (std::size_t i = 0; i < n; ++i) hist[gen.next()]++;
+  EXPECT_GT(hist[0], hist[4]);
+  EXPECT_GT(hist[4], hist[15]);
+  for (std::size_t r = 0; r < 16; ++r) {
+    const double expected = gen.probability(r);
+    const double observed =
+        static_cast<double>(hist[r]) / static_cast<double>(n);
+    EXPECT_NEAR(observed, expected, 0.01) << "rank " << r;
+  }
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfGenerator gen(100, 1.2, 1);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < 100; ++r) sum += gen.probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfGenerator gen(8, 0.0, 5);
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(gen.probability(r), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(Zipf, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0, 1), Error);
+  EXPECT_THROW(ZipfGenerator(8, -0.5, 1), Error);
 }
 
 }  // namespace
