@@ -1,0 +1,136 @@
+// Streaming-input bench (src/io/): wordcount over one on-disk corpus,
+// slurped (load_text_file + materialized run) vs streamed through the two
+// window sources (RAMR_IO=mmap / direct). Reports wall-clock, throughput,
+// peak RSS, and the IO-lane balance counters (io_stalls = feeder waited on
+// map compute; map_waits = mappers waited on the feeder) — the overlap
+// diagnostic TUNING.md describes.
+//
+// Corpus size defaults to 32 MiB (RAMR_BENCH_IO_MB overrides); each cell
+// is the min over RAMR_BENCH_REPEATS runs (default 2). Wall-clock numbers
+// are host-dependent; CI consumes the JSON (`--json`) for shape only.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "apps/io.hpp"
+#include "apps/streaming.hpp"
+#include "apps/suite.hpp"
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/timing.hpp"
+#include "core/runtime.hpp"
+#include "stats/table.hpp"
+#include "topology/topology.hpp"
+
+using namespace ramr;
+
+namespace {
+
+struct Cell {
+  double seconds = 0.0;
+  std::size_t peak_rss = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t io_stalls = 0;
+  std::uint64_t map_waits = 0;
+};
+
+Cell best_of(const std::function<Cell()>& run, std::size_t repeats) {
+  Cell best = run();
+  for (std::size_t i = 1; i < repeats; ++i) {
+    const Cell c = run();
+    if (c.seconds < best.seconds) best = c;
+  }
+  return best;
+}
+
+RuntimeConfig engine_config() {
+  RuntimeConfig cfg;
+  cfg.mapper_combiner_ratio = 2;
+  cfg.pin_policy = PinPolicy::kOsDefault;
+  return cfg;
+}
+
+Cell run_slurped(const std::string& path) {
+  const auto t0 = now();
+  const apps::TextInput input = apps::load_text_file(path, 256 * 1024);
+  apps::WordCountApp<apps::ContainerFlavor::kDefault> app;
+  app.max_distinct_words = 64 * 1024;
+  core::Runtime<apps::WordCountApp<apps::ContainerFlavor::kDefault>> rt(
+      topo::host(), engine_config());
+  const auto result = rt.run(app, input);
+  Cell cell;
+  cell.seconds = seconds_between(t0, now());
+  cell.peak_rss = result.peak_rss_bytes;
+  return cell;
+}
+
+Cell run_streamed(const std::string& path, io::IoMode mode) {
+  apps::StreamOptions opts;
+  opts.config = engine_config();
+  opts.io.mode = mode;
+  opts.max_distinct_words = 64 * 1024;
+  const auto t0 = now();
+  const auto result = apps::run_wordcount_stream(path, opts);
+  Cell cell;
+  cell.seconds = seconds_between(t0, now());
+  cell.peak_rss = result.peak_rss_bytes;
+  cell.windows = result.io.windows;
+  cell.io_stalls = result.io.io_stalls;
+  cell.map_waits = result.io.map_waits;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "streaming_io");
+
+  const std::size_t mb =
+      static_cast<std::size_t>(env::get_uint("RAMR_BENCH_IO_MB", 32));
+  const std::size_t repeats =
+      static_cast<std::size_t>(env::get_uint("RAMR_BENCH_REPEATS", 2));
+  const std::string path = "bench_streaming_io_corpus.txt";
+  {
+    // Deterministic corpus, written in 1 MiB slices so the generator does
+    // not itself hold a multi-GB string.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (std::size_t i = 0; i < mb; ++i) {
+      const std::string slice =
+          apps::make_text(1 << 20, 5000, static_cast<std::uint32_t>(i + 1));
+      out.write(slice.data(), static_cast<std::streamsize>(slice.size()));
+    }
+  }
+
+  bench::banner("Streaming input: slurp vs windowed IO lane (wordcount, " +
+                    std::to_string(mb) + " MiB corpus)",
+                "the out-of-core streaming subsystem, docs/ARCHITECTURE.md "
+                "S15");
+
+  stats::Table table({"input path", "seconds", "MB/s", "peak RSS (MiB)",
+                      "windows", "io_stalls", "map_waits"});
+  const double total_mb = static_cast<double>(mb);
+  const auto add = [&](const std::string& name, const Cell& cell) {
+    table.add_row({name, stats::Table::fmt(cell.seconds, 3),
+                   stats::Table::fmt(total_mb / cell.seconds, 1),
+                   stats::Table::fmt(
+                       static_cast<double>(cell.peak_rss) / (1 << 20), 1),
+                   std::to_string(cell.windows),
+                   std::to_string(cell.io_stalls),
+                   std::to_string(cell.map_waits)});
+  };
+
+  add("slurp", best_of([&] { return run_slurped(path); }, repeats));
+  add("stream-mmap",
+      best_of([&] { return run_streamed(path, io::IoMode::kMmap); },
+              repeats));
+  add("stream-direct",
+      best_of([&] { return run_streamed(path, io::IoMode::kDirect); },
+              repeats));
+  bench::print(table);
+
+  std::remove(path.c_str());
+  return 0;
+}

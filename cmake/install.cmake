@@ -6,7 +6,7 @@ include(CMakePackageConfigHelpers)
 
 set(RAMR_LIBRARIES
   ramr_common ramr_faults ramr_trace ramr_telemetry ramr_stats ramr_spsc
-  ramr_topology ramr_mem ramr_sched ramr_containers ramr_engine ramr_adapt
+  ramr_topology ramr_mem ramr_sched ramr_containers ramr_engine ramr_io ramr_adapt
   ramr_service ramr_phoenix ramr_mrphi ramr_core ramr_perf ramr_apps
   ramr_synth ramr_sim)
 
@@ -27,6 +27,10 @@ install(EXPORT ramrTargets
   NAMESPACE ramr::
   DESTINATION ${CMAKE_INSTALL_LIBDIR}/cmake/ramr)
 
+# Re-probe zlib in this scope: src/io's find_package result is directory-
+# scoped, and the generated config must know whether ramr_io's link
+# interface references ZLIB::ZLIB.
+find_package(ZLIB QUIET)
 configure_package_config_file(
   ${CMAKE_SOURCE_DIR}/cmake/ramrConfig.cmake.in
   ${CMAKE_BINARY_DIR}/ramrConfig.cmake

@@ -1,0 +1,54 @@
+#include "apps/streaming.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "core/runtime.hpp"
+#include "io/chunk_source.hpp"
+#include "io/stream_feeder.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr::apps {
+
+StreamWordCountResult run_wordcount_stream(const std::string& path,
+                                           const StreamOptions& opts) {
+  io::StreamInput input(opts.io, opts.split_bytes);
+  io::StreamFeeder feeder(
+      io::open_chunk_source(path, opts.io, io::text_record_break), input,
+      opts.io);
+  StreamWordCountApp app;
+  app.fold_words = opts.fold_words;
+  app.max_distinct_words = opts.max_distinct_words;
+  core::Runtime<StreamWordCountApp> rt(topo::host(), opts.config);
+  return rt.run_stream(app, input, feeder);
+}
+
+StreamMatchResult run_string_match_stream(
+    const std::string& path, const std::vector<std::string>& patterns,
+    const StreamOptions& opts) {
+  io::StreamInput stream(opts.io, opts.split_bytes);
+  io::StreamFeeder feeder(
+      io::open_chunk_source(path, opts.io, io::text_record_break), stream,
+      opts.io);
+  StreamSmInput input;
+  input.stream = &stream;
+  input.patterns = patterns;
+  StreamStringMatchApp app;
+  app.num_patterns = patterns.size();
+  app.fold_words = opts.fold_words;
+  core::Runtime<StreamStringMatchApp> rt(topo::host(), opts.config);
+  return rt.run_stream(app, input, feeder);
+}
+
+StreamHistogramResult run_histogram_stream(const std::string& path,
+                                           const StreamOptions& opts) {
+  io::StreamInput input(opts.io, opts.split_bytes);
+  // Binary stream: windows cut anywhere (null record break).
+  io::StreamFeeder feeder(io::open_chunk_source(path, opts.io, nullptr),
+                          input, opts.io);
+  StreamHistogramApp app;
+  core::Runtime<StreamHistogramApp> rt(topo::host(), opts.config);
+  return rt.run_stream(app, input, feeder);
+}
+
+}  // namespace ramr::apps

@@ -1,0 +1,32 @@
+// Process-wide peak resident set size, for the memory high-water line in
+// RunResult / the run report. One getrusage syscall; stamped at the end of
+// every run so the streaming-IO flat-memory claim is checkable from
+// artifacts even when RAMR_MEM is off.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ramr::common {
+
+// Peak RSS in bytes, 0 where unsupported. Note the value is monotonic over
+// a process lifetime (the kernel never lowers ru_maxrss), so cross-run
+// comparisons are only meaningful from fresh processes.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ramr::common

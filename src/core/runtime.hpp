@@ -99,6 +99,20 @@ class Runtime {
     return driver_->run(strategy, app, input);
   }
 
+  // Streaming variant (src/io/): the run is fed live by an IO-lane task
+  // pump (io::StreamFeeder over a ChunkSource) instead of a materialized
+  // split count. Always the static pipelined plan — the adaptive probe
+  // path replays the input, which a stream cannot do. The pump must be
+  // freshly constructed per call.
+  template <engine::TaskPump Pump>
+  mr::result_of<S> run_stream(const S& app,
+                              const typename S::input_type& input,
+                              Pump& pump) {
+    engine::PipelinedSpsc<S> strategy;
+    ensure_pools();
+    return driver_->run_stream(strategy, app, input, pump);
+  }
+
  private:
   engine::PoolSet& ensure_pools() {
     if (!lease_) {

@@ -32,9 +32,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <concepts>
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cancellation.hpp"
@@ -172,7 +175,24 @@ std::size_t drain_map_tasks(const TaskLoopControl& ctl, const App& app,
     emit(std::forward<decltype(key)>(key),
          std::forward<decltype(rest)>(rest)...);
   };
-  while (auto task = ctl.queues.pop(ctl.group)) {
+  for (;;) {
+    std::optional<sched::TaskRange> task = ctl.queues.pop(ctl.group);
+    if (!task) {
+      // Streaming mode (src/io/): an empty pop while the feeder's stream
+      // is open means "wait, more windows are coming". The closed-then-
+      // repop order matters: close_stream() is release-ordered after the
+      // feeder's final push, so re-popping after observing the closed flag
+      // sees every task (a plain break could strand the last window).
+      if (ctl.queues.stream_open()) {
+        if (ctl.cancel.cancelled()) break;
+        ctl.beat.bump();
+        ctl.queues.note_stream_wait();
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      task = ctl.queues.pop(ctl.group);
+      if (!task) break;
+    }
     if (ctl.cancel.cancelled()) break;
     ctl.beat.bump();
     if (ctl.lane != nullptr) {
@@ -220,6 +240,11 @@ std::size_t drain_map_tasks(const TaskLoopControl& ctl, const App& app,
     if (ctl.metrics != nullptr) {
       ctl.metrics->tasks_executed->increment(ctl.worker);
     }
+    // Streaming backpressure: report the completed task so its window slot
+    // can retire (one pointer check outside streaming mode). Only fully
+    // successful tasks report — an aborted task leaves its slot pending
+    // and the feeder's cancel-aware slot wait bails instead.
+    ctl.queues.notify_complete(*task);
   }
   return executed;
 }

@@ -26,14 +26,17 @@
 // watchdog thread, a disabled injector, and one token poll per task.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/cancellation.hpp"
 #include "common/config.hpp"
+#include "common/rss.hpp"
 #include "common/timing.hpp"
 #include "engine/app_model.hpp"
 #include "engine/emit_strategy.hpp"
@@ -90,6 +93,48 @@ inline DriverOptions driver_options_from(const RuntimeConfig& cfg) {
                        cfg.env_overrides.any_plan_knob() ? "env" : "default"};
 }
 
+// Streaming-run plumbing (PhaseDriver::run_stream): everything an IO-lane
+// task pump needs to publish map tasks into a live run. The driver fills
+// one of these during the split phase and hands it to Pump::start; the
+// pump's feeder thread then pushes TaskRanges through `queues` (whose
+// stream was already opened), fires the io_read fault site through
+// `injector`, traces window/stall events onto `lane`, and polls `cancel`
+// in every wait loop so a failed or aborted run never strands it.
+struct StreamHooks {
+  sched::TaskQueues* queues = nullptr;
+  common::CancellationToken* cancel = nullptr;
+  faults::Injector* injector = nullptr;
+  trace::Lane* lane = nullptr;  // the "io-lane"; null when tracing is off
+  Clock::time_point epoch{};
+  std::size_t task_size = 4;
+  std::size_t num_groups = 1;
+  std::size_t max_retries = 0;  // transient io_read retry budget
+};
+
+// A task pump produces map tasks from an external source on its own
+// thread (the IO lane; io::StreamFeeder is the implementation).
+//   start(hooks)     — spawn the feeder thread; returns immediately;
+//   finish()         — join and rethrow the feeder's failure, if any;
+//   cancel_and_join()— noexcept unwind path: stop + join, swallow errors;
+//   stats()          — IoStats of the finished stream.
+template <typename P>
+concept TaskPump = requires(P pump, const StreamHooks& hooks) {
+  pump.start(hooks);
+  pump.finish();
+  pump.cancel_and_join();
+  { pump.stats() } -> std::convertible_to<IoStats>;
+};
+
+namespace detail {
+// Sentinel pump for the materialized-input path; never started.
+struct NullPump {
+  void start(const StreamHooks&) {}
+  void finish() {}
+  void cancel_and_join() noexcept {}
+  IoStats stats() const { return {}; }
+};
+}  // namespace detail
+
 class PhaseDriver {
  public:
   explicit PhaseDriver(PoolSet& pools, DriverOptions options = {})
@@ -114,6 +159,32 @@ class PhaseDriver {
   template <EmitStrategy St, typename App>
   RunResult<typename St::key_type, typename St::value_type> run(
       St& strategy, const App& app, const typename App::input_type& input) {
+    detail::NullPump pump;
+    return run_impl(strategy, app, input, pump);
+  }
+
+  // Streaming variant (src/io/): instead of distributing a precomputed
+  // split count, the split phase opens the queues' stream and starts the
+  // pump's IO-lane thread; mappers wait on the open stream
+  // (drain_map_tasks) while the feeder publishes tasks window by window.
+  // pump.finish() runs right after the map-combine phase and rethrows the
+  // feeder's failure, if any — a failed read cancels the run cooperatively
+  // (cause kWorkerFailed, so workers unwind quietly) and the root cause
+  // surfaces here, attributed to the io-lane. The pump must be freshly
+  // constructed per run.
+  template <EmitStrategy St, typename App, TaskPump Pump>
+  RunResult<typename St::key_type, typename St::value_type> run_stream(
+      St& strategy, const App& app, const typename App::input_type& input,
+      Pump& pump) {
+    return run_impl(strategy, app, input, pump);
+  }
+
+ private:
+  template <EmitStrategy St, typename App, typename Pump>
+  RunResult<typename St::key_type, typename St::value_type> run_impl(
+      St& strategy, const App& app, const typename App::input_type& input,
+      Pump& pump) {
+    constexpr bool kStreaming = !std::is_same_v<Pump, detail::NullPump>;
     RunResult<typename St::key_type, typename St::value_type> result;
 
     // A job cancelled before its run started never touches the pools.
@@ -167,6 +238,11 @@ class PhaseDriver {
     // the driver's own phase-mark lane first, then one lane per worker.
     trace::Lane* driver_lane =
         recorder_ != nullptr ? &recorder_->lane("driver") : nullptr;
+    // The IO lane's trace lane must also exist before the recorder seals.
+    trace::Lane* io_lane = nullptr;
+    if constexpr (kStreaming) {
+      if (recorder_ != nullptr) io_lane = &recorder_->lane("io-lane");
+    }
     TraceLanes lanes = TraceLanes::create(recorder_, pools_);
     if (telemetry_ != nullptr) {
       telemetry_->attach_pools(pools_.mapper_pool().os_tids(),
@@ -218,9 +294,38 @@ class PhaseDriver {
     // ---- split ----------------------------------------------------------
     phase_begin(Phase::kSplit);
     sched::TaskQueues queues(pools_.num_groups());
+    // The pump's feeder thread must never outlive the run: on any unwind
+    // before finish() (a worker failure, a watchdog abort, a strategy
+    // ConfigError) this scope cancels the run token and joins the feeder.
+    // finish() disarms it on the success path.
+    struct PumpScope {
+      Pump* pump = nullptr;
+      common::CancellationToken* cancel = nullptr;
+      ~PumpScope() {
+        if (pump == nullptr) return;
+        cancel->cancel(common::CancelCause::kWorkerFailed, "split",
+                       "io-lane", "run unwound before the stream finished");
+        pump->cancel_and_join();
+      }
+      void disarm() { pump = nullptr; }
+    } pump_scope;
     {
       ScopedPhase t(result.timers, Phase::kSplit);
-      if (options_.split_distribution == SplitDistribution::kBlocked) {
+      if constexpr (kStreaming) {
+        queues.open_stream();
+        StreamHooks hooks;
+        hooks.queues = &queues;
+        hooks.cancel = &cancel;
+        hooks.injector = &injector;
+        hooks.lane = io_lane;
+        hooks.epoch = lanes.epoch;
+        hooks.task_size = options_.task_size;
+        hooks.num_groups = pools_.num_groups();
+        hooks.max_retries = options_.max_task_retries;
+        pump.start(hooks);
+        pump_scope.pump = &pump;
+        pump_scope.cancel = &cancel;
+      } else if (options_.split_distribution == SplitDistribution::kBlocked) {
         queues.distribute_blocked(app.num_splits(input), options_.task_size);
       } else {
         queues.distribute(app.num_splits(input), options_.task_size);
@@ -253,6 +358,16 @@ class PhaseDriver {
     result.steals = queues.steals();
     result.task_retries = retry.retries.load();
     result.task_aborts = retry.aborts.load();
+    if constexpr (kStreaming) {
+      // Join the IO lane and surface its failure before anything else —
+      // the feeder cancels with cause kWorkerFailed, which
+      // throw_if_aborted deliberately skips (workers unwound quietly; the
+      // root cause is the stored feeder exception rethrown here).
+      pump_scope.disarm();
+      pump.finish();
+      result.io = pump.stats();
+      result.io.map_waits = queues.stream_waits();
+    }
     throw_if_aborted();
 
     // ---- reduce ---------------------------------------------------------
@@ -315,10 +430,14 @@ class PhaseDriver {
       result.plan.pin_policy = to_string(cfg.pin_policy);
       result.plan.source = options_.plan_source;
     }
+
+    // Memory high-water, stamped unconditionally (one syscall): the
+    // streaming path's flat-memory claim is checkable from the run report
+    // even with RAMR_MEM off.
+    result.peak_rss_bytes = common::peak_rss_bytes();
     return result;
   }
 
- private:
   PoolSet& pools_;
   DriverOptions options_;
   trace::Recorder* recorder_ = nullptr;

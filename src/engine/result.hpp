@@ -49,6 +49,42 @@ struct MemStats {
   }
 };
 
+// Streaming-input outcome of one run (RAMR_IO; see src/io/). An empty mode
+// means the run was fed by a materialized input, not an IO-lane source —
+// summary() and the run report then print nothing, keeping default output
+// byte-identical.
+struct IoStats {
+  std::string mode;    // "" (off) | "mmap" | "direct"
+  std::string source;  // actual source after capability fallback:
+                       // "mmap" | "direct" | "buffered" | "gzip"
+  std::uint64_t bytes_read = 0;    // fresh bytes the IO lane delivered
+  std::uint64_t windows = 0;       // windows published as map tasks
+  std::uint64_t window_bytes = 0;  // configured window size (RAMR_IO_WINDOW)
+  std::uint64_t depth = 0;         // in-flight window budget (RAMR_IO_DEPTH)
+  std::uint64_t io_stalls = 0;     // feeder waits for a free window slot
+                                   // (map compute behind the IO lane)
+  std::uint64_t map_waits = 0;     // mapper polls on an open-but-empty
+                                   // queue (IO lane behind map compute)
+  std::uint64_t io_retries = 0;    // transient read faults retried
+  std::uint64_t carry_bytes = 0;   // record-boundary carry-over copied
+
+  bool enabled() const { return !mode.empty(); }
+
+  std::string summary() const {
+    std::string s = "io=" + mode;
+    if (source != mode && !source.empty()) s += "(" + source + ")";
+    s += " bytes=" + std::to_string(bytes_read) +
+         " windows=" + std::to_string(windows) +
+         " window_bytes=" + std::to_string(window_bytes) +
+         " depth=" + std::to_string(depth);
+    if (io_stalls > 0) s += " io_stalls=" + std::to_string(io_stalls);
+    if (map_waits > 0) s += " map_waits=" + std::to_string(map_waits);
+    if (io_retries > 0) s += " io_retries=" + std::to_string(io_retries);
+    if (carry_bytes > 0) s += " carry=" + std::to_string(carry_bytes);
+    return s;
+  }
+};
+
 // The execution plan a run actually used, and where it came from. Stamped
 // by PhaseDriver::run from the resolved config + strategy; the adaptive
 // controller overwrites `source` with "probe" or "cache" when it decided;
@@ -155,6 +191,18 @@ struct RunResult {
   // unless RAMR_MEM was on.
   MemStats mem;
 
+  // Streaming-input stats; enabled() only when the run was fed by an
+  // IO-lane source (RAMR_IO / PhaseDriver::run_stream).
+  IoStats io;
+
+  // Process-wide peak RSS (bytes) sampled as the run finishes — always
+  // stamped (getrusage is one syscall) so the flat-memory claim of the
+  // streaming path is checkable from the run report even with RAMR_MEM
+  // off. Deliberately absent from summary(): it is monotonic across a
+  // process, so the console line would drift between otherwise identical
+  // runs; consumers read it from the report's "memory" object.
+  std::size_t peak_rss_bytes = 0;
+
   // Straggler/skew profile; enabled only under RAMR_OBS=1.
   SkewStats skew;
 
@@ -195,6 +243,8 @@ struct RunResult {
     if (!governor_actions.empty()) {
       s += " governor=" + std::to_string(governor_actions.size());
     }
+    // Streaming-IO stats only when an IO-lane source fed the run.
+    if (io.enabled()) s += " " + io.summary();
     // Memory stats only when RAMR_MEM was on; the default line stays
     // byte-stable.
     if (mem.enabled()) s += " " + mem.summary();

@@ -43,7 +43,8 @@ class Injector {
   explicit Injector(const FaultPlan& plan)
       : plan_(plan),
         map_fires_left_(static_cast<std::int64_t>(plan.map_fires)),
-        job_fires_left_(static_cast<std::int64_t>(plan.job_fires)) {}
+        job_fires_left_(static_cast<std::int64_t>(plan.job_fires)),
+        io_fires_left_(static_cast<std::int64_t>(plan.io_fires)) {}
 
   bool enabled() const { return plan_.enabled; }
   const FaultPlan& plan() const { return plan_; }
@@ -138,6 +139,24 @@ class Injector {
                                  " (job boundary)");
   }
 
+  // Called by the IO-lane feeder before each window-read attempt
+  // (streaming runs; feeder retries re-enter and draw a fresh ordinal).
+  // Fires *before* the read is issued, so a transient fire retried by the
+  // feeder re-reads exactly the same stream position.
+  void on_io_read(std::uint64_t window) {
+    if (!plan_.enabled || plan_.io_read < 0) return;
+    const std::uint64_t ordinal =
+        io_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (ordinal < static_cast<std::uint64_t>(plan_.io_read)) return;
+    if (io_fires_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    const std::string what = "injected fault: io read attempt " +
+                             std::to_string(ordinal) + " of window " +
+                             std::to_string(window) + " (io-lane)";
+    if (plan_.io_transient) throw TransientInjectedFault(what);
+    throw InjectedFault(what);
+  }
+
   // Called before each intermediate-container construction (0-based global
   // ordinal in strategy construction order).
   void on_container_alloc() {
@@ -160,6 +179,8 @@ class Injector {
   std::atomic<std::uint64_t> allocs_{0};
   std::atomic<std::uint64_t> job_runs_{0};
   std::atomic<std::int64_t> job_fires_left_{0};
+  std::atomic<std::uint64_t> io_reads_{0};
+  std::atomic<std::int64_t> io_fires_left_{0};
   std::atomic<std::size_t> injected_{0};
 };
 

@@ -57,6 +57,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   struct {
     bool map_fires = false, map_transient = false, combiner = false;
     bool stall_ms = false, job_fires = false, seed = false;
+    bool io_fires = false, io_transient = false;
   } seen;
 
   std::istringstream tokens(spec);
@@ -98,6 +99,14 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       seen.job_fires = true;
     } else if (key == "job_p") {
       plan.job_p = parse_probability(key, value);
+    } else if (key == "io_read") {
+      plan.io_read = static_cast<std::int64_t>(parse_uint(key, value));
+    } else if (key == "io_fires") {
+      plan.io_fires = static_cast<std::uint32_t>(parse_uint(key, value));
+      seen.io_fires = true;
+    } else if (key == "io_transient") {
+      plan.io_transient = parse_flag(key, value);
+      seen.io_transient = true;
     } else if (key == "seed") {
       plan.seed = parse_uint(key, value);
       seen.seed = true;
@@ -105,8 +114,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       throw ConfigError(
           "fault spec: unknown key '" + key +
           "' (sites: map_task|map_p|combiner_batch|stall_emit|alloc|"
-          "job_run|job_p; modifiers: map_fires|map_transient|combiner|"
-          "stall_ms|job_fires|seed)");
+          "job_run|job_p|io_read; modifiers: map_fires|map_transient|"
+          "combiner|stall_ms|job_fires|io_fires|io_transient|seed)");
     }
   }
 
@@ -115,8 +124,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   // inert token and the site it needs.
   const bool map_site = plan.map_task >= 0 || plan.map_p > 0.0;
   const bool job_site = plan.job_run >= 0 || plan.job_p > 0.0;
-  auto inert = [](const std::string& token, const std::string& needs) {
-    throw ConfigError("fault spec: '" + token + "' is inert without " + needs);
+  auto inert = [](const std::string& key, const std::string& needs) {
+    throw ConfigError("fault spec: '" + key + "' is inert without " + needs);
   };
   if (seen.map_fires && !map_site) inert("map_fires", "map_task or map_p");
   if (seen.map_transient && !map_site) {
@@ -127,6 +136,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   }
   if (seen.stall_ms && plan.stall_emit == 0) inert("stall_ms", "stall_emit");
   if (seen.job_fires && !job_site) inert("job_fires", "job_run or job_p");
+  if (seen.io_fires && plan.io_read < 0) inert("io_fires", "io_read");
+  if (seen.io_transient && plan.io_read < 0) {
+    inert("io_transient", "io_read");
+  }
   if (seen.seed && plan.map_p <= 0.0 && plan.job_p <= 0.0) {
     inert("seed", "map_p or job_p");
   }
@@ -151,6 +164,10 @@ std::string FaultPlan::summary() const {
   if (alloc >= 0) os << " alloc=" << alloc;
   if (job_run >= 0) os << " job_run=" << job_run << " fires=" << job_fires;
   if (job_p > 0.0) os << " job_p=" << job_p << " seed=" << seed;
+  if (io_read >= 0) {
+    os << " io_read=" << io_read << " fires=" << io_fires
+       << (io_transient ? " transient" : " permanent");
+  }
   return os.str();
 }
 

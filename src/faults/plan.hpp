@@ -24,6 +24,7 @@
 //   "alloc=2"                             3rd container allocation fails
 //   "job_run=0,job_fires=2"               first two whole-job runs fail
 //   "job_p=0.05,seed=7"                   seeded 5% per-job-run failures
+//   "io_read=3,io_transient=1"            4th window read fails transiently
 //
 // The empty string means "disabled" and parses to a plan whose Injector
 // compiles down to a single predictable branch per site.
@@ -73,6 +74,16 @@ struct FaultPlan {
   std::int64_t job_run = -1;  // -1 = site disabled
   std::uint32_t job_fires = 1;
   double job_p = 0.0;
+
+  // IO-read site (streaming runs, src/io/): the `io_read`-th window-read
+  // attempt on the IO lane (0-based ordinal; feeder retries re-enter, so a
+  // retried read draws a fresh ordinal) throws before the read is issued;
+  // `io_fires` bounds how many attempts throw; `io_transient` selects
+  // TransientError classification (the feeder retries up to the task-retry
+  // budget, modelling a short read; permanent models EIO).
+  std::int64_t io_read = -1;  // -1 = site disabled
+  std::uint32_t io_fires = 1;
+  bool io_transient = false;
 
   // Seed for the probabilistic map-task and job-run sites.
   std::uint64_t seed = 0;

@@ -1,0 +1,133 @@
+#include "io/gzip.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+#if defined(RAMR_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace ramr::io {
+
+#if defined(RAMR_HAVE_ZLIB)
+
+namespace {
+
+// windowBits 15 + 16 selects the gzip wrapper (RFC 1952) rather than raw
+// deflate or zlib framing.
+constexpr int kGzipWindowBits = 15 + 16;
+
+class GzipReader final : public ByteReader {
+ public:
+  explicit GzipReader(const std::string& path)
+      : path_(path), in_(path, std::ios::binary) {
+    if (!in_) throw Error("cannot open gzip input '" + path + "'");
+    stream_.zalloc = Z_NULL;
+    stream_.zfree = Z_NULL;
+    stream_.opaque = Z_NULL;
+    if (inflateInit2(&stream_, kGzipWindowBits) != Z_OK) {
+      throw Error("inflateInit2 failed for '" + path + "'");
+    }
+    inited_ = true;
+    compressed_.resize(1 << 16);
+  }
+  ~GzipReader() override {
+    if (inited_) inflateEnd(&stream_);
+  }
+
+  std::size_t read_some(char* dst, std::size_t n) override {
+    if (done_) return 0;
+    stream_.next_out = reinterpret_cast<Bytef*>(dst);
+    stream_.avail_out = static_cast<uInt>(n);
+    while (stream_.avail_out > 0) {
+      if (stream_.avail_in == 0) {
+        in_.read(compressed_.data(),
+                 static_cast<std::streamsize>(compressed_.size()));
+        const std::streamsize got = in_.gcount();
+        if (in_.bad()) {
+          throw Error("read of gzip input '" + path_ + "' failed");
+        }
+        if (got == 0) {
+          // Compressed stream exhausted before Z_STREAM_END.
+          throw Error("gzip input '" + path_ + "' is truncated");
+        }
+        stream_.next_in = reinterpret_cast<Bytef*>(compressed_.data());
+        stream_.avail_in = static_cast<uInt>(got);
+      }
+      const int rc = inflate(&stream_, Z_NO_FLUSH);
+      if (rc == Z_STREAM_END) {
+        done_ = true;
+        break;
+      }
+      if (rc != Z_OK) {
+        throw Error("gzip inflate of '" + path_ + "' failed: " +
+                    (stream_.msg != nullptr ? stream_.msg
+                                            : std::to_string(rc)));
+      }
+    }
+    return n - stream_.avail_out;
+  }
+  const char* kind() const override { return "gzip"; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  z_stream stream_{};
+  bool inited_ = false;
+  bool done_ = false;
+  std::vector<char> compressed_;
+};
+
+}  // namespace
+
+bool gzip_supported() { return true; }
+
+std::unique_ptr<ByteReader> open_gzip_reader(const std::string& path) {
+  return std::make_unique<GzipReader>(path);
+}
+
+void write_gzip_file(const std::string& path, std::string_view data) {
+  z_stream stream{};
+  if (deflateInit2(&stream, Z_DEFAULT_COMPRESSION, Z_DEFLATED,
+                   kGzipWindowBits, 8, Z_DEFAULT_STRATEGY) != Z_OK) {
+    throw Error("deflateInit2 failed for '" + path + "'");
+  }
+  std::vector<char> out(deflateBound(&stream, static_cast<uLong>(data.size())));
+  stream.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(data.data()));
+  stream.avail_in = static_cast<uInt>(data.size());
+  stream.next_out = reinterpret_cast<Bytef*>(out.data());
+  stream.avail_out = static_cast<uInt>(out.size());
+  const int rc = deflate(&stream, Z_FINISH);
+  deflateEnd(&stream);
+  if (rc != Z_STREAM_END) {
+    throw Error("gzip deflate for '" + path + "' failed");
+  }
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open '" + path + "' for writing");
+  f.write(out.data(),
+          static_cast<std::streamsize>(out.size() - stream.avail_out));
+  if (!f) throw Error("write of '" + path + "' failed");
+}
+
+#else  // !RAMR_HAVE_ZLIB
+
+bool gzip_supported() { return false; }
+
+std::unique_ptr<ByteReader> open_gzip_reader(const std::string& path) {
+  throw Error("cannot open gzip input '" + path +
+              "': this build has no zlib (gzip_supported() is false); "
+              "decompress the input or rebuild with zlib available");
+}
+
+void write_gzip_file(const std::string& path, std::string_view /*data*/) {
+  throw Error("cannot write gzip file '" + path +
+              "': this build has no zlib (gzip_supported() is false)");
+}
+
+#endif  // RAMR_HAVE_ZLIB
+
+}  // namespace ramr::io

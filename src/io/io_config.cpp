@@ -1,0 +1,63 @@
+#include "io/io_config.hpp"
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace ramr::io {
+namespace {
+
+// Same failure shape as common/config.cpp's check_env_range, repeated here
+// so the io library stays independent of the config layer.
+void check_env_range(const char* name, std::size_t value, std::size_t lo,
+                     std::size_t hi) {
+  if (value < lo || value > hi) {
+    throw ConfigError("env knob " + std::string(name) + ": value " +
+                      std::to_string(value) + " is out of range [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+}
+
+}  // namespace
+
+const char* to_string(IoMode mode) {
+  switch (mode) {
+    case IoMode::kOff: return "off";
+    case IoMode::kMmap: return "mmap";
+    case IoMode::kDirect: return "direct";
+  }
+  return "?";
+}
+
+IoMode parse_io_mode(const std::string& value) {
+  if (value == "off" || value == "0" || value == "no") return IoMode::kOff;
+  if (value == "mmap") return IoMode::kMmap;
+  if (value == "direct") return IoMode::kDirect;
+  throw ConfigError("env knob RAMR_IO: unknown mode '" + value +
+                    "' (expected off|mmap|direct)");
+}
+
+IoConfig IoConfig::from_env() { return from_env(IoConfig{}); }
+
+IoConfig IoConfig::from_env(IoConfig base) {
+  if (auto v = env::get(kEnvIo)) base.mode = parse_io_mode(*v);
+  base.window_bytes = static_cast<std::size_t>(
+      env::get_uint(kEnvIoWindow, base.window_bytes));
+  if (env::get(kEnvIoWindow)) {
+    check_env_range(kEnvIoWindow, base.window_bytes, 64 * 1024,
+                    1024u * 1024 * 1024);
+  }
+  base.depth =
+      static_cast<std::size_t>(env::get_uint(kEnvIoDepth, base.depth));
+  if (env::get(kEnvIoDepth)) {
+    check_env_range(kEnvIoDepth, base.depth, 2, 64);
+  }
+  return base;
+}
+
+std::string IoConfig::summary() const {
+  return std::string("io=") + to_string(mode) +
+         " window=" + std::to_string(window_bytes) +
+         " depth=" + std::to_string(depth);
+}
+
+}  // namespace ramr::io

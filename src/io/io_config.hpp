@@ -1,0 +1,56 @@
+// Streaming-input configuration: the RAMR_IO* env knobs (src/io/).
+//
+// RAMR_IO selects the source machinery:
+//
+//   off    (default) every app materializes its input up front
+//          (apps/io.hpp) — byte-identical to the pre-streaming runtime;
+//   mmap   sliding per-window mmap/munmap with MADV_SEQUENTIAL on arrival
+//          and MADV_DONTNEED + munmap on retirement — note *per-window*
+//          mappings, so address-space usage (ulimit -v) stays bounded by
+//          the window budget, never the file size;
+//   direct O_DIRECT double-buffered reads on the IO lane, falling back to
+//          buffered + posix_fadvise where the filesystem refuses O_DIRECT
+//          (the PMU/hugepage capability-probe convention).
+//
+// RAMR_IO_WINDOW bounds one window's bytes and RAMR_IO_DEPTH the in-flight
+// window budget, so the streaming working set is window_bytes × depth
+// regardless of input size — the flat memory high-water line the run
+// report's "memory" object proves.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ramr::io {
+
+enum class IoMode { kOff, kMmap, kDirect };
+
+const char* to_string(IoMode mode);
+
+// "off"/"0"/"no" -> kOff, "mmap" -> kMmap, "direct" -> kDirect; anything
+// else is a ConfigError naming RAMR_IO (the RAMR_ADAPT/RAMR_MEM precedent).
+IoMode parse_io_mode(const std::string& value);
+
+inline constexpr const char* kEnvIo = "RAMR_IO";
+inline constexpr const char* kEnvIoWindow = "RAMR_IO_WINDOW";
+inline constexpr const char* kEnvIoDepth = "RAMR_IO_DEPTH";
+
+struct IoConfig {
+  IoMode mode = IoMode::kOff;
+  std::size_t window_bytes = 8 * 1024 * 1024;  // RAMR_IO_WINDOW (bytes)
+  std::size_t depth = 3;                       // RAMR_IO_DEPTH (windows)
+
+  bool enabled() const { return mode != IoMode::kOff; }
+
+  // Reads RAMR_IO / RAMR_IO_WINDOW / RAMR_IO_DEPTH over `base`. Strict:
+  // unknown modes and out-of-range values (window outside [64 KiB, 1 GiB],
+  // depth outside [2, 64]) are ConfigErrors naming the variable, matching
+  // the RAMR_RATIO / RAMR_FAULTS fail-fast convention.
+  static IoConfig from_env();
+  static IoConfig from_env(IoConfig base);
+
+  // "io=mmap window=8388608 depth=3" (for logs).
+  std::string summary() const;
+};
+
+}  // namespace ramr::io

@@ -1,0 +1,82 @@
+// StreamFeeder — the IO-lane thread that turns a ChunkSource into live
+// map tasks (the engine::TaskPump behind PhaseDriver::run_stream).
+//
+// One dedicated thread overlaps IO with map compute: while workers chew on
+// window w's tasks, the feeder is already filling window w+1. The loop per
+// window:
+//
+//   1. wait for the window's slot (ordinal % depth) to drain — the
+//      bounded-budget backpressure; counted as an io_stall and traced as
+//      kIoStall when it actually blocks;
+//   2. retire the slot's previous window (for mmap: MADV_DONTNEED+munmap —
+//      this is what keeps the resident set flat);
+//   3. fire the io_read fault site, then ChunkSource::next(); an injected
+//      transient fault re-reads the same position up to the run's retry
+//      budget (the source was never advanced — the site fires *before*
+//      the read);
+//   4. publish the window into the slot and push its TaskRanges
+//      round-robin across the locality groups; traced as kIoWindow.
+//
+// On end of stream the feeder closes the queue stream (release-ordered
+// after its final push), waits for the remaining windows to drain, and
+// retires them. On failure it stores the exception, cancels the run token
+// (cause kWorkerFailed so workers unwind quietly), closes the stream, and
+// leaves cleanup to the source's destructor; finish() rethrows the stored
+// failure on the driver thread, attributed to the io-lane.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/phase_driver.hpp"
+#include "engine/result.hpp"
+#include "io/chunk_source.hpp"
+#include "io/io_config.hpp"
+#include "io/stream_input.hpp"
+
+namespace ramr::io {
+
+class StreamFeeder {
+ public:
+  // `input` must outlive the feeder; the source is owned. Construct a
+  // fresh feeder (and source) for every run_stream call.
+  StreamFeeder(std::unique_ptr<ChunkSource> source, StreamInput& input,
+               IoConfig cfg);
+  ~StreamFeeder();
+
+  StreamFeeder(const StreamFeeder&) = delete;
+  StreamFeeder& operator=(const StreamFeeder&) = delete;
+
+  // engine::TaskPump surface (see engine/phase_driver.hpp).
+  void start(const engine::StreamHooks& hooks);
+  void finish();
+  void cancel_and_join() noexcept;
+  engine::IoStats stats() const;
+
+ private:
+  void run(engine::StreamHooks hooks);
+  void feed(const engine::StreamHooks& hooks);
+
+  std::unique_ptr<ChunkSource> source_;
+  StreamInput& input_;
+  IoConfig cfg_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::exception_ptr error_;
+
+  // Per-slot scratch for copying sources (unused when zero_copy()).
+  std::vector<std::vector<char>> scratch_;
+
+  // Stats, written by the feeder thread, read after the join.
+  std::uint64_t windows_ = 0;
+  std::uint64_t io_stalls_ = 0;
+  std::uint64_t io_retries_ = 0;
+};
+
+}  // namespace ramr::io

@@ -25,6 +25,16 @@ struct TaskRange {
   bool operator==(const TaskRange&) const = default;
 };
 
+// Streaming-mode completion callback (see src/io/stream_input.hpp): the
+// worker that finished a task reports it so the window slot the task's
+// splits live in can be retired once its last task completes. Must be
+// cheap and must not throw.
+class TaskCompletionListener {
+ public:
+  virtual ~TaskCompletionListener() = default;
+  virtual void on_task_complete(const TaskRange& task) noexcept = 0;
+};
+
 class TaskQueues {
  public:
   explicit TaskQueues(std::size_t num_groups);
@@ -58,6 +68,41 @@ class TaskQueues {
   std::size_t local_pops() const { return local_pops_.load(); }
   std::size_t steals() const { return steals_.load(); }
 
+  // ---- streaming mode (src/io/: an IO-lane feeder pushes tasks live) ----
+  //
+  // Between open_stream() and close_stream() an empty pop() means "wait,
+  // more tasks may arrive", not "all work done" — the mapper task loop
+  // polls stream_open() to tell the cases apart. close_stream() is a
+  // release store ordered after the feeder's final push, so a worker that
+  // observes the closed flag and then re-pops is guaranteed to see every
+  // task (see drain_map_tasks in engine/emit_strategy.hpp).
+  void open_stream() { stream_open_.store(true, std::memory_order_release); }
+  void close_stream() {
+    stream_open_.store(false, std::memory_order_release);
+  }
+  bool stream_open() const {
+    return stream_open_.load(std::memory_order_acquire);
+  }
+
+  // Completion routing for streaming backpressure: workers call
+  // notify_complete() after a task fully succeeded (map + strategy flush)
+  // so the listener can release the task's window slot. Install before the
+  // workers start; null (the default) keeps the call a single pointer
+  // check.
+  void set_completion_listener(TaskCompletionListener* listener) {
+    listener_ = listener;
+  }
+  void notify_complete(const TaskRange& task) {
+    if (listener_ != nullptr) listener_->on_task_complete(task);
+  }
+
+  // Times a worker found every queue empty while the stream was still open
+  // (map compute outran the IO lane — the inverse of IoStats::io_stalls).
+  std::size_t stream_waits() const { return stream_waits_.load(); }
+  void note_stream_wait() {
+    stream_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   struct Queue {
     mutable std::mutex mutex;
@@ -71,6 +116,9 @@ class TaskQueues {
   std::vector<Queue> queues_;
   std::atomic<std::size_t> local_pops_{0};
   std::atomic<std::size_t> steals_{0};
+  std::atomic<bool> stream_open_{false};
+  std::atomic<std::size_t> stream_waits_{0};
+  TaskCompletionListener* listener_ = nullptr;
 };
 
 }  // namespace ramr::sched

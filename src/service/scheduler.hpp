@@ -138,6 +138,37 @@ class JobContext {
   // "degraded".
   template <mr::AppSpec S>
   mr::result_of<S> run(const S& app, const typename S::input_type& input) {
+    return run_with<S>([&](engine::PhaseDriver& driver, auto& strategy) {
+      return driver.run(strategy, app, input);
+    });
+  }
+
+  // Streaming variant (src/io/): one MapReduce invocation fed live by an
+  // IO-lane task pump instead of a materialized split count. The pump must
+  // be freshly constructed for this call — a retried job body re-enters
+  // run_stream and must build a new source + pump (a stream cannot be
+  // rewound mid-object). Everything else (warm pools, cancellation wiring,
+  // deadline, degraded-plan ladder, per-attempt trace) matches run().
+  template <mr::AppSpec S, engine::TaskPump Pump>
+  mr::result_of<S> run_stream(const S& app,
+                              const typename S::input_type& input,
+                              Pump& pump) {
+    return run_with<S>([&](engine::PhaseDriver& driver, auto& strategy) {
+      return driver.run_stream(strategy, app, input, pump);
+    });
+  }
+
+  // True when the last run() executed on a warm pool set.
+  bool warm_pools() const { return warm_; }
+
+ private:
+  // Shared attempt plumbing behind run()/run_stream(): lease warm pools,
+  // wire cancellation + deadline into the driver, build the per-attempt
+  // telemetry session and (under RAMR_OBS) trace recorder, pick the
+  // strategy (FusedCombine on a degraded retry — no rings to stall —
+  // PipelinedSpsc otherwise), and stamp plan/summary for the job report.
+  template <mr::AppSpec S, typename Invoke>
+  mr::result_of<S> run_with(Invoke&& invoke) {
     auto lease = depot_->acquire(topo_, cfg_);
     warm_ = lease.warm();
     engine::DriverOptions dopts =
@@ -170,20 +201,16 @@ class JobContext {
       // Degraded plan: the fused strategy runs on the mapper pool of the
       // same (dual) pool set — no rings, no combiner pool to stall.
       engine::FusedCombine<S> strategy;
-      result = driver.run(strategy, app, input);
+      result = invoke(driver, strategy);
     } else {
       engine::PipelinedSpsc<S> strategy;
-      result = driver.run(strategy, app, input);
+      result = invoke(driver, strategy);
     }
     plan_ = result.plan;
     run_summary_ = result.summary();
     return result;
   }
 
-  // True when the last run() executed on a warm pool set.
-  bool warm_pools() const { return warm_; }
-
- private:
   friend class Scheduler;
   JobContext(topo::Topology topo, CoreLease lease, RuntimeConfig cfg,
              common::CancellationToken* cancel,

@@ -231,21 +231,45 @@ void run_report_json(std::ostream& out, const RunReport& report) {
             plan.source.empty() ? std::string("default") : plan.source);
     w.end_object();
   }
-  // Memory-subsystem outcome (RAMR_MEM); omitted entirely when the
-  // subsystem was off so default reports (and their goldens) are unchanged.
-  if (report.result.mem.enabled()) {
+  // Memory outcome: always emitted, because peak_rss_bytes is stamped on
+  // every run — the streaming path's flat-memory claim must be checkable
+  // from any report, RAMR_MEM or not. The arena/ring fields still appear
+  // only when the memory subsystem was actually on.
+  {
     const engine::MemStats& mem = report.result.mem;
     w.begin_object("memory");
-    w.field("mode", mem.mode);
-    w.field("arena_high_water",
-            static_cast<std::uint64_t>(mem.arena_high_water));
-    w.field("arena_chunk_bytes",
-            static_cast<std::uint64_t>(mem.arena_chunk_bytes));
-    w.field("arena_resets", static_cast<std::uint64_t>(mem.arena_resets));
-    w.field("ring_bytes", static_cast<std::uint64_t>(mem.ring_bytes));
-    w.field("ring_reuses", static_cast<std::uint64_t>(mem.ring_reuses));
-    w.field("hugepages", mem.hugepages);
-    w.field("mbind", mem.mbind);
+    w.field("peak_rss_bytes",
+            static_cast<std::uint64_t>(report.result.peak_rss_bytes));
+    if (mem.enabled()) {
+      w.field("mode", mem.mode);
+      w.field("arena_high_water",
+              static_cast<std::uint64_t>(mem.arena_high_water));
+      w.field("arena_chunk_bytes",
+              static_cast<std::uint64_t>(mem.arena_chunk_bytes));
+      w.field("arena_resets", static_cast<std::uint64_t>(mem.arena_resets));
+      w.field("ring_bytes", static_cast<std::uint64_t>(mem.ring_bytes));
+      w.field("ring_reuses", static_cast<std::uint64_t>(mem.ring_reuses));
+      w.field("hugepages", mem.hugepages);
+      w.field("mbind", mem.mbind);
+    }
+    w.end_object();
+  }
+  // Streaming-input outcome (RAMR_IO); omitted when the run was fed by a
+  // materialized input so non-streaming reports gain only the "memory"
+  // object above.
+  if (report.result.io.enabled()) {
+    const engine::IoStats& io = report.result.io;
+    w.begin_object("io");
+    w.field("mode", io.mode);
+    w.field("source", io.source);
+    w.field("bytes_read", io.bytes_read);
+    w.field("windows", io.windows);
+    w.field("window_bytes", io.window_bytes);
+    w.field("depth", io.depth);
+    w.field("io_stalls", io.io_stalls);
+    w.field("map_waits", io.map_waits);
+    w.field("io_retries", io.io_retries);
+    w.field("carry_bytes", io.carry_bytes);
     w.end_object();
   }
   // Skew profile (RAMR_OBS=1); omitted when the profiler was off so

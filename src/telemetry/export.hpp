@@ -88,9 +88,15 @@ struct RunInfo {
   engine::PlanInfo plan;
   std::vector<engine::GovernorAction> governor_actions;
 
-  // Memory-subsystem outcome; mem.enabled() is false (and the report emits
-  // no "memory" object) unless RAMR_MEM was on.
+  // Memory-subsystem outcome. The report always emits a "memory" object —
+  // peak_rss_bytes is stamped on every run — but the arena/ring fields
+  // inside it appear only when mem.enabled() (RAMR_MEM was on).
   engine::MemStats mem;
+  std::size_t peak_rss_bytes = 0;
+
+  // Streaming-input outcome; io.enabled() is false (and the report emits
+  // no "io" object) unless an IO-lane source fed the run (RAMR_IO).
+  engine::IoStats io;
 
   // Straggler/skew profile; skew.enabled is false (and the report emits no
   // "skew" object) unless RAMR_OBS was on.
@@ -119,6 +125,8 @@ RunInfo make_run_info(const engine::RunResult<K, V>& r) {
   info.plan = r.plan;
   info.governor_actions = r.governor_actions;
   info.mem = r.mem;
+  info.peak_rss_bytes = r.peak_rss_bytes;
+  info.io = r.io;
   info.skew = r.skew;
   return info;
 }

@@ -1,0 +1,442 @@
+// Tests for the out-of-core streaming input subsystem (src/io/): window
+// chunking invariants (record-aligned cuts, carry-over, EOF probe), the
+// RAMR_IO* knob validation, streaming-vs-slurped result parity for the
+// three text/byte suite apps under both window sources, gzip round-trip,
+// IO-lane fault injection, and streaming through the service scheduler.
+// Time bounds are generous — this suite runs under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/io.hpp"
+#include "apps/streaming.hpp"
+#include "apps/string_match.hpp"
+#include "apps/suite.hpp"
+#include "common/config.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "engine/phase_driver.hpp"
+#include "engine/pool_set.hpp"
+#include "engine/strategy_fused.hpp"
+#include "io/chunk_source.hpp"
+#include "io/gzip.hpp"
+#include "io/io_config.hpp"
+#include "io/stream_feeder.hpp"
+#include "io/stream_input.hpp"
+#include "service/scheduler.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr {
+namespace {
+
+using apps::StreamOptions;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "ramr_io_" + name;
+}
+
+std::string write_temp(const std::string& name, std::string_view content) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  EXPECT_TRUE(out.good()) << path;
+  return path;
+}
+
+// Engine knobs shared by the streaming runs: small worker counts and
+// advisory pinning so the suite runs on any host.
+RuntimeConfig stream_config() {
+  RuntimeConfig cfg;
+  cfg.num_mappers = 2;
+  cfg.num_combiners = 2;
+  cfg.pin_policy = PinPolicy::kOsDefault;
+  cfg.queue_capacity = 512;
+  cfg.batch_size = 32;
+  return cfg;
+}
+
+StreamOptions stream_options(io::IoMode mode,
+                             std::size_t window = 4096,
+                             std::size_t split = 1024) {
+  StreamOptions opts;
+  opts.config = stream_config();
+  opts.io.mode = mode;
+  opts.io.window_bytes = window;
+  opts.io.depth = 3;
+  opts.split_bytes = split;
+  return opts;
+}
+
+template <typename K, typename V>
+std::map<std::string, V> as_map(const std::vector<std::pair<K, V>>& pairs) {
+  std::map<std::string, V> m;
+  for (const auto& [k, v] : pairs) m[std::string(k)] += v;
+  return m;
+}
+
+// std::string-keyed view of a reference map (whose keys are views into
+// the slurped input).
+template <typename K, typename V>
+std::map<std::string, V> as_map(const std::map<K, V>& ref) {
+  std::map<std::string, V> m;
+  for (const auto& [k, v] : ref) m[std::string(k)] += v;
+  return m;
+}
+
+// ---------- RAMR_IO* knob validation ----------------------------------------
+
+TEST(IoConfig, ParseModeAcceptsKnownAndNamesKnobOnError) {
+  EXPECT_EQ(io::parse_io_mode("off"), io::IoMode::kOff);
+  EXPECT_EQ(io::parse_io_mode("mmap"), io::IoMode::kMmap);
+  EXPECT_EQ(io::parse_io_mode("direct"), io::IoMode::kDirect);
+  try {
+    io::parse_io_mode("weird");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("RAMR_IO"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("weird"), std::string::npos);
+  }
+}
+
+TEST(IoConfig, FromEnvReadsAllThreeKnobs) {
+  env::ScopedOverride mode("RAMR_IO", "mmap");
+  env::ScopedOverride window("RAMR_IO_WINDOW", "131072");
+  env::ScopedOverride depth("RAMR_IO_DEPTH", "4");
+  const io::IoConfig cfg = io::IoConfig::from_env();
+  EXPECT_EQ(cfg.mode, io::IoMode::kMmap);
+  EXPECT_EQ(cfg.window_bytes, 131072u);
+  EXPECT_EQ(cfg.depth, 4u);
+  EXPECT_TRUE(cfg.enabled());
+}
+
+TEST(IoConfig, FromEnvRejectsOutOfRangeNamingTheVariable) {
+  {
+    env::ScopedOverride window("RAMR_IO_WINDOW", "1024");  // < 64 KiB floor
+    try {
+      io::IoConfig::from_env();
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("RAMR_IO_WINDOW"),
+                std::string::npos);
+    }
+  }
+  {
+    env::ScopedOverride depth("RAMR_IO_DEPTH", "1");  // < 2 floor
+    try {
+      io::IoConfig::from_env();
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("RAMR_IO_DEPTH"),
+                std::string::npos);
+    }
+  }
+  {
+    env::ScopedOverride mode("RAMR_IO", "turbo");
+    EXPECT_THROW(io::IoConfig::from_env(), ConfigError);
+  }
+}
+
+TEST(IoConfig, DefaultIsOffAndFactoryRefusesOff) {
+  const io::IoConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  const std::string path = write_temp("off.txt", "hello world");
+  EXPECT_THROW(io::open_chunk_source(path, cfg, io::text_record_break),
+               ConfigError);
+}
+
+// ---------- window chunking invariants --------------------------------------
+
+// Reassemble the stream from windows and check every cut landed on a
+// record break; shared by the copy and mmap source tests.
+void expect_windowed_exactly(io::ChunkSource& source, std::size_t window,
+                             const std::string& expected) {
+  std::vector<char> scratch(window);
+  std::string reassembled;
+  std::uint64_t next_offset = 0;
+  for (;;) {
+    const io::WindowData w = source.next(scratch.data(), window);
+    if (w.size == 0) break;
+    EXPECT_LE(w.size, window);
+    EXPECT_EQ(w.base_offset, next_offset);
+    next_offset += w.size;
+    reassembled.append(w.data, w.size);
+    const bool final_window = reassembled.size() == expected.size();
+    if (!final_window) {
+      EXPECT_TRUE(io::text_record_break(w.data[w.size - 1]))
+          << "window cut mid-word at offset " << next_offset;
+    }
+    source.retire(w);
+  }
+  EXPECT_EQ(reassembled, expected);
+  EXPECT_EQ(source.bytes_read(), expected.size());
+}
+
+TEST(ChunkSource, CopySourceCutsOnlyAtRecordBreaks) {
+  const std::string text = apps::make_text(20000, 120, 5);
+  const std::string path = write_temp("copy_cuts.txt", text);
+  io::CopyChunkSource source(io::open_buffered_reader(path),
+                             io::text_record_break, 96);
+  expect_windowed_exactly(source, 96, text);
+  EXPECT_GT(source.carry_bytes(), 0u);  // words straddled window edges
+}
+
+TEST(ChunkSource, MmapSourceCutsOnlyAtRecordBreaks) {
+  const std::string text = apps::make_text(20000, 120, 6);
+  const std::string path = write_temp("mmap_cuts.txt", text);
+  io::MmapChunkSource source(path, 96, io::text_record_break);
+  EXPECT_TRUE(source.zero_copy());
+  expect_windowed_exactly(source, 96, text);
+}
+
+TEST(ChunkSource, EmptyFileYieldsNoWindows) {
+  const std::string path = write_temp("empty.txt", "");
+  std::vector<char> scratch(64);
+  io::CopyChunkSource copy(io::open_buffered_reader(path),
+                           io::text_record_break, 64);
+  EXPECT_EQ(copy.next(scratch.data(), 64).size, 0u);
+  io::MmapChunkSource mapped(path, 64, io::text_record_break);
+  EXPECT_EQ(mapped.next(nullptr, 64).size, 0u);
+}
+
+TEST(ChunkSource, RecordLargerThanWindowNamesTheKnob) {
+  const std::string giant(300, 'x');  // one record, no break
+  const std::string path = write_temp("giant.txt", giant + " tail");
+  std::vector<char> scratch(64);
+  io::CopyChunkSource copy(io::open_buffered_reader(path),
+                           io::text_record_break, 64);
+  try {
+    copy.next(scratch.data(), 64);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("RAMR_IO_WINDOW"),
+              std::string::npos);
+  }
+  io::MmapChunkSource mapped(path, 64, io::text_record_break);
+  EXPECT_THROW(mapped.next(nullptr, 64), ConfigError);
+}
+
+TEST(ChunkSource, ExactlyWindowSizedFinalRecordIsNotTooBig) {
+  // 64 bytes, no whitespace, EOF right at the window edge: the one-byte
+  // probe must discover EOF instead of reporting the record too big.
+  const std::string record(64, 'y');
+  const std::string path = write_temp("exact.txt", record);
+  std::vector<char> scratch(64);
+  io::CopyChunkSource source(io::open_buffered_reader(path),
+                             io::text_record_break, 64);
+  const io::WindowData w = source.next(scratch.data(), 64);
+  EXPECT_EQ(w.size, 64u);
+  EXPECT_EQ(std::string(w.data, w.size), record);
+  EXPECT_EQ(source.next(scratch.data(), 64).size, 0u);
+}
+
+TEST(ChunkSource, BinaryStreamCutsAnywhere) {
+  const std::string blob(1000, 'z');  // no record breaks at all
+  const std::string path = write_temp("binary.bin", blob);
+  std::vector<char> scratch(256);
+  io::CopyChunkSource source(io::open_buffered_reader(path), nullptr, 256);
+  std::size_t total = 0;
+  for (;;) {
+    const io::WindowData w = source.next(scratch.data(), 256);
+    if (w.size == 0) break;
+    total += w.size;
+  }
+  EXPECT_EQ(total, blob.size());
+}
+
+// ---------- streaming vs slurped parity -------------------------------------
+
+TEST(StreamingParity, WordCountMatchesSlurpedUnderBothSources) {
+  const std::string text = apps::make_text(200000, 300, 7);
+  const std::string path = write_temp("wc_parity.txt", text);
+  const apps::TextInput slurped = apps::load_text_file(path, 1024);
+  const auto ref = apps::wordcount_reference(slurped);
+
+  for (const io::IoMode mode : {io::IoMode::kMmap, io::IoMode::kDirect}) {
+    const auto result =
+        apps::run_wordcount_stream(path, stream_options(mode));
+    EXPECT_EQ(as_map(result.pairs), as_map(ref))
+        << "mode " << io::to_string(mode);
+    EXPECT_TRUE(result.io.enabled());
+    EXPECT_EQ(result.io.mode, io::to_string(mode));
+    EXPECT_EQ(result.io.bytes_read, text.size());
+    EXPECT_GE(result.io.windows,
+              text.size() / stream_options(mode).io.window_bytes);
+    EXPECT_EQ(result.io.window_bytes, 4096u);
+    EXPECT_EQ(result.io.depth, 3u);
+    EXPECT_GT(result.peak_rss_bytes, 0u);
+  }
+}
+
+TEST(StreamingParity, FoldedWordCountMatchesNormalizedSlurp) {
+  const std::string prose =
+      "The quick brown Fox, the QUICK fox; jumps!\nOver the lazy dog. "
+      "fox Fox FOX?";
+  const std::string path = write_temp("wc_fold.txt", prose);
+  const apps::TextInput slurped = apps::load_text_file(path, 16, true);
+  const auto ref = apps::wordcount_reference(slurped);
+
+  StreamOptions opts = stream_options(io::IoMode::kMmap, 4096, 16);
+  opts.fold_words = true;
+  const auto result = apps::run_wordcount_stream(path, opts);
+  EXPECT_EQ(as_map(result.pairs), as_map(ref));
+  EXPECT_EQ(as_map(result.pairs).at("fox"), 5u);
+}
+
+TEST(StreamingParity, StringMatchMatchesReference) {
+  const std::string text = apps::make_text(120000, 200, 8);
+  const std::string path = write_temp("sm_parity.txt", text);
+  const std::vector<std::string> patterns = {"w0", "w1", "w42",
+                                             "not-in-text"};
+  const apps::SmInput slurped{apps::load_text_file(path, 1024), patterns};
+  const auto ref = apps::string_match_reference(slurped);
+
+  const auto result = apps::run_string_match_stream(
+      path, patterns, stream_options(io::IoMode::kDirect));
+  std::map<std::uint64_t, std::uint64_t> got(result.pairs.begin(),
+                                             result.pairs.end());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(StreamingParity, HistogramRotationSurvivesWindowCuts) {
+  // Windows of a binary stream cut anywhere; the channel of a byte is its
+  // absolute offset mod 3, so any base_offset bug shifts whole windows
+  // into the wrong channel.
+  const std::vector<std::uint8_t> pixels = apps::make_pixels(100000, 9);
+  const std::string path = write_temp(
+      "hg_parity.bin",
+      std::string_view(reinterpret_cast<const char*>(pixels.data()),
+                       pixels.size()));
+  const auto ref = apps::histogram_reference({pixels, 1024});
+
+  // 1000-byte window: not a multiple of 3, so the rotation is exercised.
+  const auto result = apps::run_histogram_stream(
+      path, stream_options(io::IoMode::kMmap, 1000, 300));
+  std::map<std::uint64_t, std::uint64_t> got;
+  for (const auto& [k, v] : result.pairs) {
+    if (v != 0) got[k] += v;
+  }
+  EXPECT_EQ(got, ref);
+}
+
+TEST(StreamingParity, EmptyInputProducesEmptyResult) {
+  const std::string path = write_temp("empty_run.txt", "");
+  const auto result =
+      apps::run_wordcount_stream(path, stream_options(io::IoMode::kMmap));
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.io.windows, 0u);
+  EXPECT_EQ(result.io.bytes_read, 0u);
+}
+
+TEST(StreamingParity, GzipRoundTripMatchesPlainText) {
+  if (!io::gzip_supported()) {
+    GTEST_SKIP() << "built without zlib";
+  }
+  const std::string text = apps::make_text(80000, 150, 10);
+  const std::string plain = write_temp("gz_ref.txt", text);
+  const std::string gz = temp_path("gz_input.txt.gz");
+  io::write_gzip_file(gz, text);
+
+  const apps::TextInput slurped = apps::load_text_file(plain, 1024);
+  const auto ref = apps::wordcount_reference(slurped);
+  const auto result =
+      apps::run_wordcount_stream(gz, stream_options(io::IoMode::kMmap));
+  EXPECT_EQ(as_map(result.pairs), as_map(ref));
+  EXPECT_EQ(result.io.source, "gzip");  // .gz routes through inflate
+  EXPECT_EQ(result.io.bytes_read, text.size());  // decompressed bytes
+}
+
+TEST(Streaming, MissingFileCarriesErrnoDetail) {
+  try {
+    apps::run_wordcount_stream(temp_path("does_not_exist.txt"),
+                               stream_options(io::IoMode::kMmap));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("errno"), std::string::npos);
+  }
+}
+
+// ---------- IO-lane fault injection ----------------------------------------
+
+TEST(StreamingFaults, PermanentReadFaultAbortsNamingTheIoLane) {
+  const std::string text = apps::make_text(60000, 100, 11);
+  const std::string path = write_temp("fault_perm.txt", text);
+  StreamOptions opts = stream_options(io::IoMode::kMmap);
+  opts.config.fault_spec = "io_read=1,io_fires=1";
+  try {
+    apps::run_wordcount_stream(path, opts);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("io-lane"), std::string::npos);
+  }
+}
+
+TEST(StreamingFaults, TransientReadFaultIsRetriedWithParity) {
+  const std::string text = apps::make_text(60000, 100, 12);
+  const std::string path = write_temp("fault_transient.txt", text);
+  const apps::TextInput slurped = apps::load_text_file(path, 1024);
+  const auto ref = apps::wordcount_reference(slurped);
+
+  StreamOptions opts = stream_options(io::IoMode::kMmap);
+  opts.config.fault_spec = "io_read=1,io_fires=1,io_transient=1";
+  opts.config.max_task_retries = 2;
+  const auto result = apps::run_wordcount_stream(path, opts);
+  EXPECT_EQ(result.io.io_retries, 1u);
+  EXPECT_EQ(as_map(result.pairs), as_map(ref));
+}
+
+// ---------- strategy and service coverage -----------------------------------
+
+TEST(Streaming, FusedStrategyMatchesPipelined) {
+  const std::string text = apps::make_text(100000, 200, 13);
+  const std::string path = write_temp("fused.txt", text);
+  const apps::TextInput slurped = apps::load_text_file(path, 1024);
+  const auto ref = apps::wordcount_reference(slurped);
+
+  const StreamOptions opts = stream_options(io::IoMode::kMmap);
+  io::StreamInput input(opts.io, opts.split_bytes);
+  io::StreamFeeder feeder(
+      io::open_chunk_source(path, opts.io, io::text_record_break), input,
+      opts.io);
+  apps::StreamWordCountApp app;
+  engine::PoolSet pools(topo::host(), 2, PinPolicy::kOsDefault);
+  engine::PhaseDriver driver(pools);
+  engine::FusedCombine<apps::StreamWordCountApp> strategy;
+  const auto result = driver.run_stream(strategy, app, input, feeder);
+  EXPECT_EQ(as_map(result.pairs), as_map(ref));
+  EXPECT_EQ(result.io.source, "mmap");
+}
+
+TEST(Streaming, ServiceJobRunsStreamThroughScheduler) {
+  const std::string text = apps::make_text(100000, 200, 14);
+  const std::string path = write_temp("service.txt", text);
+  const apps::TextInput slurped = apps::load_text_file(path, 1024);
+  const auto ref = apps::wordcount_reference(slurped);
+
+  service::Scheduler sched(topo::make_server("io-test", 1, 4, 2));
+  service::JobSpec spec;
+  spec.cores = 4;
+  spec.config = stream_config();
+  spec.name = "wc-stream";
+  std::map<std::string, std::uint64_t> got;
+  const service::JobId id =
+      sched.submit(spec, [&](service::JobContext& ctx) {
+        const StreamOptions opts = stream_options(io::IoMode::kMmap);
+        io::StreamInput input(opts.io, opts.split_bytes);
+        io::StreamFeeder feeder(
+            io::open_chunk_source(path, opts.io, io::text_record_break),
+            input, opts.io);
+        apps::StreamWordCountApp app;
+        got = as_map(ctx.run_stream(app, input, feeder).pairs);
+      });
+  const service::JobReport report = sched.wait(id);
+  EXPECT_EQ(report.status, service::JobStatus::kDone) << report.error;
+  EXPECT_EQ(got, as_map(ref));
+}
+
+}  // namespace
+}  // namespace ramr

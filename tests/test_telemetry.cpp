@@ -369,6 +369,7 @@ TEST(Exporters, RunReportMatchesGolden) {
       R"("queue_batches":0,"queue_push_batches":0,)"
       R"("queue_max_occupancy":0,"backoff_sleeps":0,)"
       R"("task_retries":0,"task_aborts":0},)"
+      R"("memory":{"peak_rss_bytes":0},)"
       R"("phases":[{"phase":"map-combine","pool":"mapper","source":"model",)"
       R"("seconds":0.01,"instructions":8192,"mem_stall_cycles":512,)"
       R"("resource_stall_cycles":256,"input_bytes":1024,)"
