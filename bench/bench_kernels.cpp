@@ -1,0 +1,255 @@
+// Hot-path microbench: the SIMD map kernels (RAMR_SIMD) and the radix-
+// sharded atomic global container (RAMR_ATOMIC_SHARDS), measured as real
+// wall-clock on THIS host.
+//
+// Section 1 times each map-side kernel primitive through the scalar table
+// and through the widest table the CPU supports (what RAMR_SIMD=native
+// dispatches to) over suite-shaped inputs, and reports the speedup. Section
+// 2 times concurrent histogram-shaped emission into the single
+// AtomicArrayContainer versus the sharded variant across thread counts —
+// the contention cliff the sharding exists to flatten.
+//
+// Inputs scale with RAMR_BENCH_SCALE (default 4; larger = smaller inputs)
+// and each cell is the best of RAMR_BENCH_REPS timed repetitions (default
+// 5) to suppress scheduler noise. NOTE: the atomic section needs real cores
+// to show contention; on a single-core host the ratio mostly validates
+// functionality.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/histogram.hpp"
+#include "apps/inputs.hpp"
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/timing.hpp"
+#include "containers/atomic_array_container.hpp"
+#include "containers/sharded_atomic_container.hpp"
+#include "simd/kernels.hpp"
+#include "stats/table.hpp"
+#include "topology/topology.hpp"
+
+using namespace ramr;
+
+namespace {
+
+// Defeats dead-code elimination of the measured loops.
+volatile std::uint64_t g_sink = 0;
+void sink(std::uint64_t v) { g_sink = g_sink + v; }
+
+template <typename F>
+double best_seconds(std::size_t reps, F&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = now();
+    body();
+    best = std::min(best, seconds_between(t0, now()));
+  }
+  return best;
+}
+
+void report_kernel(stats::Table& table, const char* name, std::size_t bytes,
+                   double scalar_s, double native_s, const char* path) {
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  table.add_row({name, stats::Table::fmt(mb, 1),
+                 stats::Table::fmt(scalar_s * 1e3, 3),
+                 stats::Table::fmt(native_s * 1e3, 3), path,
+                 stats::Table::fmt(scalar_s / native_s, 2)});
+}
+
+// One full tokenize pass (the WC/SM inner loop shape); returns word count.
+std::uint64_t tokenize_pass(const simd::Kernels& k, const std::string& text) {
+  std::uint64_t words = 0;
+  const char* d = text.data();
+  const std::size_t n = text.size();
+  std::size_t pos = 0;
+  for (;;) {
+    pos = k.skip_separators(d, pos, n);
+    if (pos >= n) break;
+    pos = k.find_separator(d, pos, n);
+    ++words;
+  }
+  return words;
+}
+
+// The SM single-pattern scan: first-byte probe + boundary + tail compare.
+std::uint64_t match_pass(const simd::Kernels& k, const std::string& text,
+                         const std::string& pat) {
+  std::uint64_t hits = 0;
+  const char* d = text.data();
+  const std::size_t n = text.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    const std::size_t c = k.find_byte(d, pos, n, pat[0]);
+    if (c >= n) break;
+    if (c == 0 || simd::is_word_separator(text[c - 1])) {
+      const std::size_t we = c + pat.size();
+      if (we <= n && (we == n || simd::is_word_separator(text[we])) &&
+          k.range_equal(d + c + 1, pat.data() + 1, pat.size() - 1)) {
+        ++hits;
+        pos = we;
+        continue;
+      }
+    }
+    pos = c + 1;
+  }
+  return hits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "kernels");
+  const std::uint64_t scale = env::get_uint("RAMR_BENCH_SCALE", 4);
+  const std::size_t reps =
+      static_cast<std::size_t>(env::get_uint("RAMR_BENCH_REPS", 5));
+
+  const simd::Active scalar = simd::resolve(simd::Mode::kScalar);
+  const simd::Active native = simd::resolve(simd::Mode::kNative);
+  const simd::Kernels& ks = *scalar.kernels;
+  const simd::Kernels& kn = *native.kernels;
+
+  bench::banner(
+      "Map kernel throughput: scalar table vs native (" +
+          std::string(native.path) + ") on this host",
+      "the RAMR_SIMD fast path; methodology of the native benches");
+  std::cout << "host: " << topo::host().summary()
+            << "  probed isa: " << common::to_string(native.isa) << "\n\n";
+
+  stats::Table table({"kernel", "input (MiB)", "scalar (ms)", "native (ms)",
+                      "path", "speedup"});
+
+  {
+    const std::string text =
+        apps::make_text(16 * 1024 * 1024 / scale, 4096, 7);
+    const double ts =
+        best_seconds(reps, [&] { sink(tokenize_pass(ks, text)); });
+    const double tn =
+        best_seconds(reps, [&] { sink(tokenize_pass(kn, text)); });
+    report_kernel(table, "wc tokenize", text.size(), ts, tn, native.path);
+
+    // Pattern: a mid-frequency vocabulary word pulled from the text.
+    const std::size_t w0 = text.find_first_not_of(' ');
+    const std::string pat =
+        text.substr(w0, text.find(' ', w0) - w0);
+    const double ss =
+        best_seconds(reps, [&] { sink(match_pass(ks, text, pat)); });
+    const double sn =
+        best_seconds(reps, [&] { sink(match_pass(kn, text, pat)); });
+    report_kernel(table, "sm scan", text.size(), ss, sn, native.path);
+  }
+  {
+    const std::vector<std::uint8_t> pixels =
+        apps::make_pixels(24 * 1024 * 1024 / scale, 11);
+    std::vector<std::uint64_t> bins(apps::kHistogramBins);
+    const auto run = [&](const simd::Kernels& k) {
+      std::memset(bins.data(), 0, bins.size() * sizeof(bins[0]));
+      k.histogram_channels(pixels.data(), pixels.size(), 0, bins.data());
+      sink(bins[0]);
+    };
+    const double hs = best_seconds(reps, [&] { run(ks); });
+    const double hn = best_seconds(reps, [&] { run(kn); });
+    report_kernel(table, "hg bin", pixels.size(), hs, hn, native.path);
+  }
+  {
+    const std::vector<apps::LrPoint> pts =
+        apps::make_lr_points(8 * 1024 * 1024 / scale, 13);
+    const auto run = [&](const simd::Kernels& k) {
+      std::int64_t m[5] = {};
+      k.lr_moments(reinterpret_cast<const std::int16_t*>(pts.data()),
+                   pts.size(), m);
+      sink(static_cast<std::uint64_t>(m[4]));
+    };
+    const double ls = best_seconds(reps, [&] { run(ks); });
+    const double ln = best_seconds(reps, [&] { run(kn); });
+    report_kernel(table, "lr moments", pts.size() * sizeof(apps::LrPoint),
+                  ls, ln, native.path);
+  }
+  {
+    const apps::Matrix m = apps::make_matrix(2, 1024 * 1024 / scale, 17);
+    const double* a = m.data.data();
+    const double* b = a + m.cols;
+    const auto run = [&](const simd::Kernels& k) {
+      sink(static_cast<std::uint64_t>(
+          k.dot_centered_f64(a, b, 0.01, -0.02, m.cols)));
+      sink(static_cast<std::uint64_t>(k.sum_f64(a, m.cols)));
+    };
+    const double ps = best_seconds(reps, [&] { run(ks); });
+    const double pn = best_seconds(reps, [&] { run(kn); });
+    report_kernel(table, "pca reduce", 2 * m.cols * sizeof(double), ps, pn,
+                  native.path);
+  }
+  bench::print(table);
+  std::cout << "\n(speedup > 1: the native table is faster; RAMR_SIMD=native"
+               " enables it in the apps)\n";
+
+  bench::banner(
+      "AtomicGlobal emission: single container vs radix-sharded "
+      "(RAMR_ATOMIC_SHARDS)",
+      "the MRPhi global-container contention cliff, Sec. II");
+
+  // Histogram-shaped key stream: 768 keys, skewed like real pixel data.
+  const std::size_t emits_per_thread =
+      static_cast<std::size_t>(4 * 1024 * 1024 / scale);
+  const std::vector<std::uint8_t> stream =
+      apps::make_pixels(emits_per_thread, 23);
+  std::vector<std::uint16_t> keys(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    keys[i] = static_cast<std::uint16_t>((i % 3) * 256 + stream[i]);
+  }
+
+  stats::Series single_s{"single (Mops/s)", {}, {}};
+  stats::Series sharded_s{"sharded (Mops/s)", {}, {}};
+  stats::Table atable({"threads", "shards", "single (ms)", "sharded (ms)",
+                       "sharded speedup"});
+  const std::size_t atomic_reps = std::min<std::size_t>(reps, 3);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const auto drive = [&](auto&& emit_fn) {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          for (const std::uint16_t k : keys) emit_fn(t, k);
+        });
+      }
+      for (auto& th : pool) th.join();
+    };
+    containers::AtomicArrayContainer<std::uint64_t> single(
+        apps::kHistogramBins);
+    const double ds = best_seconds(atomic_reps, [&] {
+      single.clear();
+      drive([&](std::size_t, std::uint16_t k) {
+        single.emit(k, 1);
+      });
+    });
+    containers::ShardedAtomicContainer<std::uint64_t> sharded(
+        apps::kHistogramBins, threads);
+    const double dh = best_seconds(atomic_reps, [&] {
+      sharded.clear();
+      drive([&](std::size_t t, std::uint16_t k) {
+        sharded.emit(t, k, 1);
+      });
+    });
+    sink(single.at(0) + sharded.at(0));
+    const double total_ops =
+        static_cast<double>(threads) * static_cast<double>(keys.size());
+    single_s.add(static_cast<double>(threads), total_ops / ds / 1e6);
+    sharded_s.add(static_cast<double>(threads), total_ops / dh / 1e6);
+    atable.add_row({std::to_string(threads), std::to_string(threads),
+                    stats::Table::fmt(ds * 1e3, 2),
+                    stats::Table::fmt(dh * 1e3, 2),
+                    stats::Table::fmt(ds / dh, 2)});
+  }
+  bench::print(atable);
+  std::cout << '\n';
+  bench::print_series("threads", {single_s, sharded_s});
+  std::cout << "\n(sharded speedup > 1: per-worker shards relieve the "
+               "fetch-add contention; needs real cores to show)\n";
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "containers/combiners.hpp"
 #include "containers/fixed_array_container.hpp"
 #include "containers/hash_container.hpp"
+#include "simd/kernels.hpp"
 
 namespace ramr::apps {
 
@@ -56,9 +57,25 @@ struct HistogramApp {
     const std::size_t begin = split * in.split_bytes;
     const std::size_t end =
         std::min(begin + in.split_bytes, in.bytes.size());
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint64_t channel = i % 3;
-      emit(channel * 256 + in.bytes[i], std::uint64_t{1});
+    const simd::Active& sk = simd::active();
+    if (sk.mode == simd::Mode::kOff) {
+      // Historical per-byte emission (RAMR_SIMD unset/off).
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint64_t channel = i % 3;
+        emit(channel * 256 + in.bytes[i], std::uint64_t{1});
+      }
+      return;
+    }
+    // Kernel path: bin the whole split locally (gather-free, per-lane
+    // partials under native), then emit one aggregated count per non-empty
+    // bin — CountCombiner sums counts, so the output is identical to the
+    // per-byte emission while the emit traffic drops from one record per
+    // byte to at most 768 per split.
+    std::uint64_t bins[kHistogramBins] = {};
+    sk.kernels->histogram_channels(in.bytes.data() + begin, end - begin,
+                                   begin % 3, bins);
+    for (std::size_t b = 0; b < kHistogramBins; ++b) {
+      if (bins[b] != 0) emit(static_cast<std::uint64_t>(b), bins[b]);
     }
   }
 };

@@ -21,6 +21,7 @@
 #include "containers/combiners.hpp"
 #include "containers/fixed_array_container.hpp"
 #include "containers/hash_container.hpp"
+#include "simd/kernels.hpp"
 
 namespace ramr::apps {
 
@@ -63,14 +64,35 @@ struct LinearRegressionApp {
     const std::size_t begin = split * in.split_points;
     const std::size_t end =
         std::min(begin + in.split_points, in.points.size());
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::int64_t x = in.points[i].x;
-      const std::int64_t y = in.points[i].y;
-      emit(kLrSx, x);
-      emit(kLrSy, y);
-      emit(kLrSxx, x * x);
-      emit(kLrSyy, y * y);
-      emit(kLrSxy, x * y);
+    const simd::Active& sk = simd::active();
+    if (sk.mode == simd::Mode::kOff) {
+      // Historical five-emissions-per-point loop (RAMR_SIMD unset/off).
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::int64_t x = in.points[i].x;
+        const std::int64_t y = in.points[i].y;
+        emit(kLrSx, x);
+        emit(kLrSy, y);
+        emit(kLrSxx, x * x);
+        emit(kLrSyy, y * y);
+        emit(kLrSxy, x * y);
+      }
+      return;
+    }
+    // Kernel path: multi-accumulator moment reduction over the split's
+    // interleaved (x, y) pairs, then five emissions total. Integer sums
+    // are exact and SumCombiner adds them, so the output is identical to
+    // the per-point emission.
+    static_assert(sizeof(LrPoint) == 2 * sizeof(std::int16_t));
+    std::int64_t m[5] = {};
+    sk.kernels->lr_moments(
+        reinterpret_cast<const std::int16_t*>(in.points.data() + begin),
+        end - begin, m);
+    if (end > begin) {
+      emit(kLrSx, m[0]);
+      emit(kLrSy, m[1]);
+      emit(kLrSxx, m[2]);
+      emit(kLrSyy, m[3]);
+      emit(kLrSxy, m[4]);
     }
   }
 };

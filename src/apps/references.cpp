@@ -30,9 +30,9 @@ std::map<std::string_view, std::uint64_t> wordcount_reference(
   const std::string_view text(in.text);
   std::size_t pos = 0;
   while (pos < text.size()) {
-    while (pos < text.size() && text[pos] == ' ') ++pos;
+    while (pos < text.size() && is_word_separator(text[pos])) ++pos;
     std::size_t end = pos;
-    while (end < text.size() && text[end] != ' ') ++end;
+    while (end < text.size() && !is_word_separator(text[end])) ++end;
     if (end > pos) out[text.substr(pos, end - pos)]++;
     pos = end;
   }
@@ -147,9 +147,9 @@ std::map<std::uint64_t, std::uint64_t> string_match_reference(
   const std::string_view text(in.text.text);
   std::size_t pos = 0;
   while (pos < text.size()) {
-    while (pos < text.size() && text[pos] == ' ') ++pos;
+    while (pos < text.size() && is_word_separator(text[pos])) ++pos;
     std::size_t end = pos;
-    while (end < text.size() && text[end] != ' ') ++end;
+    while (end < text.size() && !is_word_separator(text[end])) ++end;
     if (end > pos) {
       const std::string_view word = text.substr(pos, end - pos);
       for (std::size_t p = 0; p < in.patterns.size(); ++p) {

@@ -10,6 +10,7 @@
 // so the default container is a fixed array sized to the pattern count.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -63,18 +64,74 @@ struct StringMatchApp {
     std::size_t begin = split * in.text.split_bytes;
     const std::size_t end =
         std::min(begin + in.text.split_bytes, text.size());
-    if (begin != 0 && text[begin - 1] != ' ') {
-      while (begin < end && text[begin] != ' ') ++begin;
+    const simd::Active& sk = simd::active();
+    if (sk.mode == simd::Mode::kOff) {
+      // Historical inline loop (RAMR_SIMD unset/off).
+      if (begin != 0 && !is_word_separator(text[begin - 1])) {
+        while (begin < end && !is_word_separator(text[begin])) ++begin;
+      }
+      std::size_t pos = begin;
+      for (;;) {
+        while (pos < end && is_word_separator(text[pos])) ++pos;
+        if (pos >= end) break;
+        std::size_t word_end = pos;
+        while (word_end < text.size() && !is_word_separator(text[word_end])) {
+          ++word_end;
+        }
+        const std::string_view word = text.substr(pos, word_end - pos);
+        for (std::size_t p = 0; p < in.patterns.size(); ++p) {
+          if (word == in.patterns[p]) {
+            emit(static_cast<std::uint64_t>(p), std::uint64_t{1});
+            break;
+          }
+        }
+        pos = word_end;
+      }
+      return;
     }
+    const simd::Kernels& k = *sk.kernels;
+    const char* data = text.data();
+    if (begin != 0 && !is_word_separator(text[begin - 1])) {
+      begin = k.find_separator(data, begin, end);
+    }
+    // Single-pattern fast path: broadcast-compare for the pattern's first
+    // byte, then verify word start, word end, and the remaining bytes —
+    // the scan never tokenizes words that cannot match. Only taken for a
+    // pattern that is itself a word: one containing a separator byte can
+    // never equal a tokenized word, which the general path gets right.
+    if (in.patterns.size() == 1 && !in.patterns[0].empty() &&
+        std::none_of(in.patterns[0].begin(), in.patterns[0].end(),
+                     [](char c) { return is_word_separator(c); })) {
+      const std::string& pat = in.patterns[0];
+      std::size_t pos = begin;
+      while (pos < end) {
+        const std::size_t c = k.find_byte(data, pos, end, pat[0]);
+        if (c >= end) break;
+        if (c == 0 || is_word_separator(text[c - 1])) {
+          const std::size_t we = c + pat.size();
+          if (we <= text.size() &&
+              (we == text.size() || is_word_separator(text[we])) &&
+              k.range_equal(data + c + 1, pat.data() + 1, pat.size() - 1)) {
+            emit(std::uint64_t{0}, std::uint64_t{1});
+            pos = we;
+            continue;
+          }
+        }
+        pos = c + 1;
+      }
+      return;
+    }
+    // General path: kernel-table tokenization + first-match compare, same
+    // semantics as the inline loop (including duplicate-pattern behaviour).
     std::size_t pos = begin;
     for (;;) {
-      while (pos < end && text[pos] == ' ') ++pos;
+      pos = k.skip_separators(data, pos, end);
       if (pos >= end) break;
-      std::size_t word_end = pos;
-      while (word_end < text.size() && text[word_end] != ' ') ++word_end;
+      const std::size_t word_end = k.find_separator(data, pos, text.size());
       const std::string_view word = text.substr(pos, word_end - pos);
       for (std::size_t p = 0; p < in.patterns.size(); ++p) {
-        if (word == in.patterns[p]) {
+        if (word.size() == in.patterns[p].size() &&
+            k.range_equal(word.data(), in.patterns[p].data(), word.size())) {
           emit(static_cast<std::uint64_t>(p), std::uint64_t{1});
           break;
         }

@@ -1,0 +1,34 @@
+#include "common/cpu.hpp"
+
+namespace ramr::common {
+
+namespace {
+
+IsaLevel probe_isa_uncached() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return IsaLevel::kSse2;
+#endif
+  return IsaLevel::kScalar;
+}
+
+}  // namespace
+
+IsaLevel probe_isa() {
+  static const IsaLevel level = probe_isa_uncached();
+  return level;
+}
+
+std::string to_string(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kSse2:
+      return "sse2";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace ramr::common

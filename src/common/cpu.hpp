@@ -1,0 +1,28 @@
+// Runtime CPU capability probe for the SIMD dispatch layer (src/simd/).
+//
+// One question is asked of the hardware: which vector ISA tier can this
+// process execute? The answer is probed once (cpuid via the compiler's
+// builtin, so no inline asm) and drives simd::active()'s table selection.
+// Non-x86 builds always report kScalar — the portable tables still work,
+// only the wide paths are skipped.
+#pragma once
+
+#include <string>
+
+namespace ramr::common {
+
+// Vector ISA tiers the kernel tables are built for, in ascending width.
+// kSse2 is the x86-64 baseline (every 64-bit part has it); kAvx2 covers
+// Haswell onward — the paper's host platform.
+enum class IsaLevel {
+  kScalar,
+  kSse2,
+  kAvx2,
+};
+
+// Probed once per process; subsequent calls return the cached answer.
+IsaLevel probe_isa();
+
+std::string to_string(IsaLevel level);
+
+}  // namespace ramr::common

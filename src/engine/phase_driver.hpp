@@ -48,6 +48,7 @@
 #include "mem/layer.hpp"
 #include "sched/parallel_sort.hpp"
 #include "sched/task_queue.hpp"
+#include "simd/kernels.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/session.hpp"
 #include "trace/trace.hpp"
@@ -429,6 +430,17 @@ class PhaseDriver {
       result.plan.queue_capacity = cfg.queue_capacity;
       result.plan.pin_policy = to_string(cfg.pin_policy);
       result.plan.source = options_.plan_source;
+    }
+
+    // Dispatch provenance: which kernel table the map loops could call
+    // this run (RAMR_SIMD; shard count is stamped by AtomicGlobal itself).
+    // Off leaves the fields empty so default output stays byte-identical.
+    {
+      const simd::Active& sa = simd::active();
+      if (sa.mode != simd::Mode::kOff) {
+        result.dispatch.simd_path = sa.path;
+        result.dispatch.isa = common::to_string(sa.isa);
+      }
     }
 
     // Memory high-water, stamped unconditionally (one syscall): the

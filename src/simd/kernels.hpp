@@ -1,0 +1,128 @@
+// Portable SIMD map kernels with runtime capability dispatch (RAMR_SIMD).
+//
+// The map-side inner loops of the text/byte suite apps reduce to a handful
+// of primitives: separator scans over the whitespace class, first-byte
+// pattern probes, byte-bucket accumulation, and fixed-moment reductions.
+// This layer implements each primitive three times — portable scalar, SSE2
+// (128-bit, the x86-64 baseline) and AVX2 (256-bit, Haswell onward) — and
+// selects a table at runtime from the probed ISA (common/cpu.hpp) and the
+// RAMR_SIMD knob:
+//
+//   RAMR_SIMD unset / "off"  — apps run their historical inline loops;
+//                              zero code from this layer executes and
+//                              default output stays byte-identical.
+//   RAMR_SIMD=scalar         — apps call through the kernel table, pinned
+//                              to the portable scalar implementations
+//                              (forced-fallback testing; also the parity
+//                              baseline the vector tables must match).
+//   RAMR_SIMD=native         — widest table the CPU supports (avx2 → sse2
+//                              → scalar).
+//
+// Determinism contract: for every kernel and every input, all three tables
+// return bit-identical results. The integer kernels are order-independent
+// sums, and the f64 kernels fix one accumulation schedule — four
+// interleaved partial sums combined as (s0+s2)+(s1+s3) — that scalar, SSE2
+// and AVX2 all execute exactly, so `scalar` and `native` runs agree to the
+// last bit. (The `off` inline loops keep the historical single-accumulator
+// order instead; see the parity tests for the tolerance story.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/cpu.hpp"
+
+namespace ramr::simd {
+
+// The separator class the text kernels scan for: ' ' plus the C whitespace
+// escapes \t \n \v \f \r (bytes 9..13). Matches what load_text_file and
+// stream_classify fold to ' ' at normalization time, so slurped, streamed
+// and raw-constructed inputs all tokenize identically.
+constexpr bool is_word_separator(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return c == ' ' || (u >= 9 && u <= 13);
+}
+
+enum class Mode {
+  kOff,     // historical inline loops; this layer is dormant
+  kScalar,  // kernel table, portable scalar entries
+  kNative,  // kernel table, widest entries the CPU supports
+};
+
+// Parse the RAMR_SIMD value; throws ramr::ConfigError naming the variable
+// on anything but off|scalar|native.
+Mode parse_simd_mode(const std::string& name);
+std::string to_string(Mode mode);
+
+// One resolved implementation set. Every entry is non-null in every table.
+struct Kernels {
+  // Returns the first index in [pos, end) holding a separator byte, or
+  // `end` when there is none.
+  std::size_t (*find_separator)(const char* data, std::size_t pos,
+                                std::size_t end);
+
+  // Returns the first index in [pos, end) holding a NON-separator byte, or
+  // `end` when the whole range is separators.
+  std::size_t (*skip_separators)(const char* data, std::size_t pos,
+                                 std::size_t end);
+
+  // Returns the first index in [pos, end) holding byte `b`, or `end`.
+  std::size_t (*find_byte)(const char* data, std::size_t pos, std::size_t end,
+                           char b);
+
+  // memcmp-shaped equality over n bytes.
+  bool (*range_equal)(const char* a, const char* b, std::size_t n);
+
+  // Histogram binning: for each input byte data[i], increments
+  // bins[((channel0 + i) % 3) * 256 + data[i]]. `bins` has 768 slots.
+  // Gather-free: the wide tables accumulate into per-lane partial tables
+  // (breaking the store-forward dependency chain) and merge at the end.
+  void (*histogram_channels)(const std::uint8_t* data, std::size_t n,
+                             std::size_t channel0, std::uint64_t* bins);
+
+  // Linear-regression moment sums over n interleaved (x, y) int16 pairs:
+  // out[0..4] += {Sx, Sy, Sxx, Syy, Sxy}. Integer sums — exact and
+  // order-independent, so every table agrees bit-for-bit.
+  void (*lr_moments)(const std::int16_t* xy, std::size_t n,
+                     std::int64_t out[5]);
+
+  // Four-partial-sum reduction of a[0..n): lane i%4 accumulates a[i], and
+  // the result is (s0+s2)+(s1+s3). All tables execute this exact schedule.
+  double (*sum_f64)(const double* a, std::size_t n);
+
+  // Same schedule over the centered products (a[i]-ma)*(b[i]-mb) — the PCA
+  // covariance inner loop. No FMA contraction on any path (the vector code
+  // uses explicit mul+add), so scalar and native agree bit-for-bit.
+  double (*dot_centered_f64)(const double* a, const double* b, double ma,
+                             double mb, std::size_t n);
+};
+
+// The resolved dispatch decision for this process.
+struct Active {
+  Mode mode = Mode::kOff;
+  common::IsaLevel isa = common::IsaLevel::kScalar;  // probed, always set
+  const char* path = "off";  // "off" | "scalar" | "sse2" | "avx2"
+  const Kernels* kernels = nullptr;  // non-null whenever mode != kOff
+};
+
+// Resolve a dispatch decision for an explicit mode (bench harness use).
+Active resolve(Mode mode);
+
+// The process-wide decision: parses RAMR_SIMD once (throwing ConfigError on
+// a bad value) and caches the resolved table. Apps call this on every map
+// task — it is one load after the first call.
+const Active& active();
+
+// Re-reads RAMR_SIMD and swaps the cached decision. Test-only (pairs with
+// env::ScopedOverride); not thread-safe against concurrent active() calls,
+// exactly like ScopedOverride itself.
+void refresh_from_env();
+
+// The individual tables, for parity tests and the kernel bench. sse2/avx2
+// return nullptr when the build could not compile that tier.
+const Kernels& scalar_kernels();
+const Kernels* sse2_kernels();
+const Kernels* avx2_kernels();
+
+}  // namespace ramr::simd

@@ -1,0 +1,199 @@
+// 256-bit kernel table. This TU is compiled with -mavx2 when the toolchain
+// supports it (see simd/CMakeLists.txt); when it is not, or on non-x86
+// builds, the table is absent (nullptr) and dispatch stops at SSE2/scalar.
+// Selection is strictly runtime-gated on the cpuid probe, so a binary built
+// here still runs correctly on a pre-Haswell part.
+#include "simd/kernels.hpp"
+#include "simd/kernels_detail.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ramr::simd {
+namespace {
+
+inline unsigned separator_mask(__m256i v) {
+  const __m256i space = _mm256_set1_epi8(' ');
+  const __m256i lo = _mm256_set1_epi8(8);
+  const __m256i hi = _mm256_set1_epi8(14);
+  const __m256i ws =
+      _mm256_and_si256(_mm256_cmpgt_epi8(v, lo), _mm256_cmpgt_epi8(hi, v));
+  return static_cast<unsigned>(_mm256_movemask_epi8(
+      _mm256_or_si256(_mm256_cmpeq_epi8(v, space), ws)));
+}
+
+std::size_t find_separator_avx2(const char* data, std::size_t pos,
+                                std::size_t end) {
+  while (pos + 32 <= end) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + pos));
+    const unsigned m = separator_mask(v);
+    if (m != 0) return pos + static_cast<std::size_t>(__builtin_ctz(m));
+    pos += 32;
+  }
+  return detail::find_separator_scalar(data, pos, end);
+}
+
+std::size_t skip_separators_avx2(const char* data, std::size_t pos,
+                                 std::size_t end) {
+  while (pos + 32 <= end) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + pos));
+    const unsigned m = ~separator_mask(v);
+    if (m != 0) return pos + static_cast<std::size_t>(__builtin_ctz(m));
+    pos += 32;
+  }
+  return detail::skip_separators_scalar(data, pos, end);
+}
+
+std::size_t find_byte_avx2(const char* data, std::size_t pos, std::size_t end,
+                           char b) {
+  const __m256i needle = _mm256_set1_epi8(b);
+  while (pos + 32 <= end) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + pos));
+    const unsigned m = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)));
+    if (m != 0) return pos + static_cast<std::size_t>(__builtin_ctz(m));
+    pos += 32;
+  }
+  return detail::find_byte_scalar(data, pos, end, b);
+}
+
+bool range_equal_avx2(const char* a, const char* b, std::size_t n) {
+  std::size_t i = 0;
+  while (i + 32 <= n) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const unsigned m = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (m != 0xFFFFFFFFu) return false;
+    i += 32;
+  }
+  return detail::range_equal_scalar(a + i, b + i, n - i);
+}
+
+// Widen 8 int32 lanes to int64 and fold them into a 4-lane accumulator.
+inline __m256i accumulate_i64(__m256i acc, __m256i v32) {
+  const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v32));
+  const __m256i hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v32, 1));
+  return _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi));
+}
+
+inline std::int64_t reduce_i64(__m256i acc) {
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+// Eight (x, y) int16 pairs per 256-bit load. x is recovered by a
+// shift-left/arithmetic-shift-right pair, y by an arithmetic shift alone;
+// every product of two int16 values fits int32 (|x| <= 32767, so
+// x*x <= 2^30), so mullo_epi32 is exact and the widening add keeps the
+// int64 running sums exact — bit-identical to the scalar table.
+void lr_moments_avx2(const std::int16_t* xy, std::size_t n,
+                     std::int64_t out[5]) {
+  __m256i sx = _mm256_setzero_si256();
+  __m256i sy = _mm256_setzero_si256();
+  __m256i sxx = _mm256_setzero_si256();
+  __m256i syy = _mm256_setzero_si256();
+  __m256i sxy = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(xy + 2 * i));
+    const __m256i x = _mm256_srai_epi32(_mm256_slli_epi32(v, 16), 16);
+    const __m256i y = _mm256_srai_epi32(v, 16);
+    sx = accumulate_i64(sx, x);
+    sy = accumulate_i64(sy, y);
+    sxx = accumulate_i64(sxx, _mm256_mullo_epi32(x, x));
+    syy = accumulate_i64(syy, _mm256_mullo_epi32(y, y));
+    sxy = accumulate_i64(sxy, _mm256_mullo_epi32(x, y));
+  }
+  std::int64_t tsx = reduce_i64(sx);
+  std::int64_t tsy = reduce_i64(sy);
+  std::int64_t tsxx = reduce_i64(sxx);
+  std::int64_t tsyy = reduce_i64(syy);
+  std::int64_t tsxy = reduce_i64(sxy);
+  for (; i < n; ++i) {
+    const std::int64_t x = xy[2 * i];
+    const std::int64_t y = xy[2 * i + 1];
+    tsx += x;
+    tsy += y;
+    tsxx += x * x;
+    tsyy += y * y;
+    tsxy += x * y;
+  }
+  out[0] += tsx;
+  out[1] += tsy;
+  out[2] += tsxx;
+  out[3] += tsyy;
+  out[4] += tsxy;
+}
+
+// One 4-lane accumulator IS the scalar stride-4 schedule: lane j receives
+// elements j, j+4, j+8, ... in order, and the tail spills the lanes and
+// continues scalar-wise, so the result is bit-identical to the scalar
+// table.
+double sum_f64_avx2(const double* a, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + i));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  for (; i < n; ++i) s[i & 3] += a[i];
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+double dot_centered_f64_avx2(const double* a, const double* b, double ma,
+                             double mb, std::size_t n) {
+  const __m256d vma = _mm256_set1_pd(ma);
+  const __m256d vmb = _mm256_set1_pd(mb);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Explicit mul-then-add, NOT _mm256_fmadd_pd: -mavx2 does not imply
+    // FMA, and the contraction would change rounding vs the scalar table.
+    const __m256d p = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(a + i), vma),
+                                    _mm256_sub_pd(_mm256_loadu_pd(b + i), vmb));
+    acc = _mm256_add_pd(acc, p);
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  for (; i < n; ++i) {
+    const double term = (a[i] - ma) * (b[i] - mb);
+    s[i & 3] += term;
+  }
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+}  // namespace
+
+const Kernels* avx2_kernels() {
+  static constexpr Kernels table = {
+      find_separator_avx2,
+      skip_separators_avx2,
+      find_byte_avx2,
+      range_equal_avx2,
+      detail::histogram_channels_unrolled,
+      lr_moments_avx2,
+      sum_f64_avx2,
+      dot_centered_f64_avx2,
+  };
+  return &table;
+}
+
+}  // namespace ramr::simd
+
+#else  // !__AVX2__
+
+namespace ramr::simd {
+const Kernels* avx2_kernels() { return nullptr; }
+}  // namespace ramr::simd
+
+#endif

@@ -1,0 +1,33 @@
+// Internal cross-table entry points. The vector tables reuse the portable
+// implementations for kernels where wider registers buy nothing (histogram
+// binning is store-bound; the LR moment loop on SSE2 lacks a cheap widening
+// multiply), so those live here once instead of per TU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ramr::simd::detail {
+
+std::size_t find_separator_scalar(const char* data, std::size_t pos,
+                                  std::size_t end);
+std::size_t skip_separators_scalar(const char* data, std::size_t pos,
+                                   std::size_t end);
+std::size_t find_byte_scalar(const char* data, std::size_t pos,
+                             std::size_t end, char b);
+bool range_equal_scalar(const char* a, const char* b, std::size_t n);
+void histogram_channels_scalar(const std::uint8_t* data, std::size_t n,
+                               std::size_t channel0, std::uint64_t* bins);
+void lr_moments_scalar(const std::int16_t* xy, std::size_t n,
+                       std::int64_t out[5]);
+double sum_f64_scalar(const double* a, std::size_t n);
+double dot_centered_f64_scalar(const double* a, const double* b, double ma,
+                               double mb, std::size_t n);
+
+// Gather-free histogram used by the vector tables: four per-lane partial
+// uint32 tables broken off the single store-forward chain, flushed into the
+// caller's uint64 bins before any lane can overflow.
+void histogram_channels_unrolled(const std::uint8_t* data, std::size_t n,
+                                 std::size_t channel0, std::uint64_t* bins);
+
+}  // namespace ramr::simd::detail

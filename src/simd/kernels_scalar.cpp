@@ -1,0 +1,134 @@
+// Portable scalar kernel table — the parity baseline every vector table
+// must match bit-for-bit, and the always-available fallback on CPUs (or
+// builds) without a vector tier.
+#include <cstring>
+
+#include "simd/kernels.hpp"
+#include "simd/kernels_detail.hpp"
+
+namespace ramr::simd {
+
+namespace detail {
+
+std::size_t find_separator_scalar(const char* data, std::size_t pos,
+                                  std::size_t end) {
+  while (pos < end && !is_word_separator(data[pos])) ++pos;
+  return pos;
+}
+
+std::size_t skip_separators_scalar(const char* data, std::size_t pos,
+                                   std::size_t end) {
+  while (pos < end && is_word_separator(data[pos])) ++pos;
+  return pos;
+}
+
+std::size_t find_byte_scalar(const char* data, std::size_t pos,
+                             std::size_t end, char b) {
+  while (pos < end && data[pos] != b) ++pos;
+  return pos;
+}
+
+bool range_equal_scalar(const char* a, const char* b, std::size_t n) {
+  return n == 0 || std::memcmp(a, b, n) == 0;
+}
+
+void histogram_channels_scalar(const std::uint8_t* data, std::size_t n,
+                               std::size_t channel0, std::uint64_t* bins) {
+  std::size_t ch = channel0 % 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    bins[ch * 256 + data[i]] += 1;
+    ch = ch == 2 ? 0 : ch + 1;
+  }
+}
+
+void lr_moments_scalar(const std::int16_t* xy, std::size_t n,
+                       std::int64_t out[5]) {
+  std::int64_t sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t x = xy[2 * i];
+    const std::int64_t y = xy[2 * i + 1];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  out[0] += sx;
+  out[1] += sy;
+  out[2] += sxx;
+  out[3] += syy;
+  out[4] += sxy;
+}
+
+double sum_f64_scalar(const double* a, std::size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) s[i & 3] += a[i];
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+double dot_centered_f64_scalar(const double* a, const double* b, double ma,
+                               double mb, std::size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double term = (a[i] - ma) * (b[i] - mb);
+    s[i & 3] += term;
+  }
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+void histogram_channels_unrolled(const std::uint8_t* data, std::size_t n,
+                                 std::size_t channel0, std::uint64_t* bins) {
+  // Four uint32 partial tables; each lane sees at most kBlock/4 increments
+  // per block, far below the uint32 ceiling.
+  constexpr std::size_t kBlock = std::size_t{1} << 30;
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t len = n - done < kBlock ? n - done : kBlock;
+    const std::uint8_t* p = data + done;
+    std::uint32_t part[4][768] = {};
+    // Channel offset of lane j within a 12-byte group (lcm(3 channels,
+    // 4 lanes)), fixed for the whole block because i advances by 12.
+    std::size_t co[12];
+    for (std::size_t j = 0; j < 12; ++j) {
+      co[j] = ((channel0 + done + j) % 3) * 256;
+    }
+    std::size_t i = 0;
+    for (; i + 12 <= len; i += 12) {
+      part[0][co[0] + p[i + 0]] += 1;
+      part[1][co[1] + p[i + 1]] += 1;
+      part[2][co[2] + p[i + 2]] += 1;
+      part[3][co[3] + p[i + 3]] += 1;
+      part[0][co[4] + p[i + 4]] += 1;
+      part[1][co[5] + p[i + 5]] += 1;
+      part[2][co[6] + p[i + 6]] += 1;
+      part[3][co[7] + p[i + 7]] += 1;
+      part[0][co[8] + p[i + 8]] += 1;
+      part[1][co[9] + p[i + 9]] += 1;
+      part[2][co[10] + p[i + 10]] += 1;
+      part[3][co[11] + p[i + 11]] += 1;
+    }
+    for (; i < len; ++i) {
+      part[i & 3][((channel0 + done + i) % 3) * 256 + p[i]] += 1;
+    }
+    for (std::size_t k = 0; k < 768; ++k) {
+      const std::uint64_t sum = std::uint64_t{part[0][k]} + part[1][k] +
+                                part[2][k] + part[3][k];
+      if (sum != 0) bins[k] += sum;
+    }
+    done += len;
+  }
+}
+
+}  // namespace detail
+
+const Kernels& scalar_kernels() {
+  static constexpr Kernels table = {
+      detail::find_separator_scalar, detail::skip_separators_scalar,
+      detail::find_byte_scalar,      detail::range_equal_scalar,
+      detail::histogram_channels_scalar, detail::lr_moments_scalar,
+      detail::sum_f64_scalar,        detail::dot_centered_f64_scalar,
+  };
+  return table;
+}
+
+}  // namespace ramr::simd

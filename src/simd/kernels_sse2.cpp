@@ -1,0 +1,157 @@
+// 128-bit kernel table. SSE2 is the x86-64 baseline, so this TU compiles
+// with the project's default flags — no target attribute needed — and is
+// simply absent (nullptr table) on other architectures.
+//
+// The separator class test vectorizes as signed-byte compares:
+// sep(c) = (c == ' ') | (c > 8 & c < 14). Bytes >= 0x80 are negative under
+// signed compare, so they fall out of the 9..13 window correctly.
+#include "simd/kernels.hpp"
+#include "simd/kernels_detail.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace ramr::simd {
+namespace {
+
+inline int separator_mask(__m128i v) {
+  const __m128i space = _mm_set1_epi8(' ');
+  const __m128i lo = _mm_set1_epi8(8);
+  const __m128i hi = _mm_set1_epi8(14);
+  const __m128i ws =
+      _mm_and_si128(_mm_cmpgt_epi8(v, lo), _mm_cmpgt_epi8(hi, v));
+  return _mm_movemask_epi8(_mm_or_si128(_mm_cmpeq_epi8(v, space), ws));
+}
+
+std::size_t find_separator_sse2(const char* data, std::size_t pos,
+                                std::size_t end) {
+  while (pos + 16 <= end) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const int m = separator_mask(v);
+    if (m != 0) {
+      return pos + static_cast<std::size_t>(__builtin_ctz(
+                       static_cast<unsigned>(m)));
+    }
+    pos += 16;
+  }
+  return detail::find_separator_scalar(data, pos, end);
+}
+
+std::size_t skip_separators_sse2(const char* data, std::size_t pos,
+                                 std::size_t end) {
+  while (pos + 16 <= end) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const unsigned m = ~static_cast<unsigned>(separator_mask(v)) & 0xFFFFu;
+    if (m != 0) return pos + static_cast<std::size_t>(__builtin_ctz(m));
+    pos += 16;
+  }
+  return detail::skip_separators_scalar(data, pos, end);
+}
+
+std::size_t find_byte_sse2(const char* data, std::size_t pos, std::size_t end,
+                           char b) {
+  const __m128i needle = _mm_set1_epi8(b);
+  while (pos + 16 <= end) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    const int m = _mm_movemask_epi8(_mm_cmpeq_epi8(v, needle));
+    if (m != 0) {
+      return pos + static_cast<std::size_t>(__builtin_ctz(
+                       static_cast<unsigned>(m)));
+    }
+    pos += 16;
+  }
+  return detail::find_byte_scalar(data, pos, end, b);
+}
+
+bool range_equal_sse2(const char* a, const char* b, std::size_t n) {
+  std::size_t i = 0;
+  while (i + 16 <= n) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) != 0xFFFF) return false;
+    i += 16;
+  }
+  return detail::range_equal_scalar(a + i, b + i, n - i);
+}
+
+// Two 2-lane accumulators standing in for scalar lanes {0,1} and {2,3}:
+// lane j of the deterministic stride-4 schedule receives exactly the
+// elements j, j+4, j+8, ... in order, so the result is bit-identical to
+// the scalar table.
+double sum_f64_sse2(const double* a, std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = _mm_add_pd(acc01, _mm_loadu_pd(a + i));
+    acc23 = _mm_add_pd(acc23, _mm_loadu_pd(a + i + 2));
+  }
+  double s[4];
+  _mm_storeu_pd(s + 0, acc01);
+  _mm_storeu_pd(s + 2, acc23);
+  for (; i < n; ++i) s[i & 3] += a[i];
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+double dot_centered_f64_sse2(const double* a, const double* b, double ma,
+                             double mb, std::size_t n) {
+  const __m128d vma = _mm_set1_pd(ma);
+  const __m128d vmb = _mm_set1_pd(mb);
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Explicit mul-then-add (no FMA contraction) keeps every table on the
+    // same rounding sequence.
+    const __m128d p01 = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(a + i), vma),
+                                   _mm_sub_pd(_mm_loadu_pd(b + i), vmb));
+    const __m128d p23 = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(a + i + 2), vma),
+                                   _mm_sub_pd(_mm_loadu_pd(b + i + 2), vmb));
+    acc01 = _mm_add_pd(acc01, p01);
+    acc23 = _mm_add_pd(acc23, p23);
+  }
+  double s[4];
+  _mm_storeu_pd(s + 0, acc01);
+  _mm_storeu_pd(s + 2, acc23);
+  for (; i < n; ++i) {
+    const double term = (a[i] - ma) * (b[i] - mb);
+    s[i & 3] += term;
+  }
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+}  // namespace
+
+const Kernels* sse2_kernels() {
+  static constexpr Kernels table = {
+      find_separator_sse2,
+      skip_separators_sse2,
+      find_byte_sse2,
+      range_equal_sse2,
+      // Binning is store-bound: the win is breaking the store-forward
+      // chain, which the per-lane partial tables do without vector loads.
+      detail::histogram_channels_unrolled,
+      // No cheap 16->64 widening multiply on SSE2; the scalar moment loop
+      // already saturates the two multiply ports.
+      detail::lr_moments_scalar,
+      sum_f64_sse2,
+      dot_centered_f64_sse2,
+  };
+  return &table;
+}
+
+}  // namespace ramr::simd
+
+#else  // !__SSE2__
+
+namespace ramr::simd {
+const Kernels* sse2_kernels() { return nullptr; }
+}  // namespace ramr::simd
+
+#endif

@@ -101,6 +101,11 @@ struct RunInfo {
   // Straggler/skew profile; skew.enabled is false (and the report emits no
   // "skew" object) unless RAMR_OBS was on.
   engine::SkewStats skew;
+
+  // Hot-path dispatch provenance; dispatch.enabled() is false (and the
+  // report emits no "dispatch" object) unless RAMR_SIMD or
+  // RAMR_ATOMIC_SHARDS departed from the defaults.
+  engine::DispatchStats dispatch;
 };
 
 template <typename K, typename V>
@@ -128,6 +133,7 @@ RunInfo make_run_info(const engine::RunResult<K, V>& r) {
   info.peak_rss_bytes = r.peak_rss_bytes;
   info.io = r.io;
   info.skew = r.skew;
+  info.dispatch = r.dispatch;
   return info;
 }
 

@@ -1,0 +1,576 @@
+// Tests for the SIMD kernel layer (src/simd/, RAMR_SIMD), the whitespace-
+// class tokenizer fix, and the radix-sharded atomic-global container
+// (RAMR_ATOMIC_SHARDS).
+//
+// The load-bearing properties:
+//   * every kernel table (scalar / sse2 / avx2, as built) returns
+//     bit-identical results over adversarial inputs — unaligned heads and
+//     tails, runs shorter than one vector, matches straddling split
+//     boundaries;
+//   * the apps produce reference-identical output under every RAMR_SIMD
+//     mode, including words/matches split across task boundaries (the
+//     streaming split-ownership rule);
+//   * the sharded container is output-identical to the single global
+//     container under concurrent skewed emission, and the mrphi runtime
+//     under RAMR_ATOMIC_SHARDS matches its unsharded run pair-for-pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/global_apps.hpp"
+#include "apps/inputs.hpp"
+#include "apps/pca.hpp"
+#include "apps/string_match.hpp"
+#include "apps/wordcount.hpp"
+#include "common/config.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "containers/atomic_array_container.hpp"
+#include "containers/sharded_atomic_container.hpp"
+#include "engine/strategy_atomic.hpp"
+#include "mrphi/runtime.hpp"
+#include "simd/kernels.hpp"
+#include "topology/topology.hpp"
+
+namespace ramr {
+namespace {
+
+using simd::Kernels;
+
+// Every table this build produced, named for failure messages.
+std::vector<std::pair<std::string, const Kernels*>> built_tables() {
+  std::vector<std::pair<std::string, const Kernels*>> tables;
+  tables.emplace_back("scalar", &simd::scalar_kernels());
+  if (const Kernels* k = simd::sse2_kernels()) tables.emplace_back("sse2", k);
+  if (const Kernels* k = simd::avx2_kernels()) tables.emplace_back("avx2", k);
+  return tables;
+}
+
+// Sets RAMR_SIMD and refreshes the cached dispatch decision; restores and
+// refreshes again on destruction.
+class SimdModeGuard {
+ public:
+  explicit SimdModeGuard(const std::string& mode)
+      : override_(std::in_place, kEnvSimd, mode) {
+    simd::refresh_from_env();
+  }
+  ~SimdModeGuard() {
+    override_.reset();
+    simd::refresh_from_env();
+  }
+
+ private:
+  std::optional<env::ScopedOverride> override_;
+};
+
+// Adversarial text: words and separator runs of varied lengths (many
+// shorter than one 16/32-byte vector), the full separator class, and high
+// bytes (>= 0x80, negative under signed compare) inside words.
+std::string adversarial_text(std::uint64_t seed, std::size_t approx) {
+  std::mt19937_64 rng(seed);
+  const char seps[] = {' ', '\t', '\n', '\v', '\f', '\r'};
+  std::string text;
+  while (text.size() < approx) {
+    const std::size_t wlen = 1 + rng() % 40;
+    for (std::size_t i = 0; i < wlen; ++i) {
+      // Word bytes: letters plus occasional high bytes.
+      text.push_back(rng() % 8 == 0 ? static_cast<char>(0x80 + rng() % 0x7F)
+                                    : static_cast<char>('a' + rng() % 26));
+    }
+    const std::size_t slen = 1 + rng() % 5;
+    for (std::size_t i = 0; i < slen; ++i) {
+      text.push_back(seps[rng() % sizeof(seps)]);
+    }
+  }
+  return text;
+}
+
+// ---------- kernel-level parity ---------------------------------------------------
+
+TEST(SimdKernels, SeparatorScansMatchScalar) {
+  const std::string text = adversarial_text(7, 4096);
+  const Kernels& ref = simd::scalar_kernels();
+  for (const auto& [name, k] : built_tables()) {
+    // Unaligned heads: start the scan at every small offset; short tails:
+    // end it a few bytes early.
+    for (std::size_t head = 0; head < 5; ++head) {
+      const std::size_t end = text.size() - head;
+      std::size_t pos = head;
+      while (pos < end) {
+        const std::size_t sep = k->find_separator(text.data(), pos, end);
+        ASSERT_EQ(sep, ref.find_separator(text.data(), pos, end)) << name;
+        const std::size_t word = k->skip_separators(text.data(), sep, end);
+        ASSERT_EQ(word, ref.skip_separators(text.data(), sep, end)) << name;
+        pos = word > sep ? word : sep + 1;
+      }
+    }
+    // Runs shorter than one vector, including empty.
+    for (std::size_t n = 0; n < 40; ++n) {
+      ASSERT_EQ(k->find_separator(text.data(), 0, n),
+                ref.find_separator(text.data(), 0, n))
+          << name << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, FindByteAndRangeEqualMatchScalar) {
+  const std::string text = adversarial_text(11, 2048);
+  const Kernels& ref = simd::scalar_kernels();
+  for (const auto& [name, k] : built_tables()) {
+    for (const char needle : {'a', 'q', ' ', '\t', static_cast<char>(0x91)}) {
+      std::size_t pos = 0;
+      while (pos <= text.size()) {
+        const std::size_t got = k->find_byte(text.data(), pos, text.size(),
+                                             needle);
+        ASSERT_EQ(got, ref.find_byte(text.data(), pos, text.size(), needle))
+            << name;
+        pos = got + 1;
+      }
+    }
+    std::string other = text;
+    for (const std::size_t flip : {std::size_t{0}, std::size_t{15},
+                                   std::size_t{16}, std::size_t{31},
+                                   std::size_t{33}, text.size() - 1}) {
+      other[flip] = static_cast<char>(other[flip] ^ 1);
+      for (std::size_t n : {std::size_t{0}, std::size_t{1}, flip, flip + 1,
+                            text.size()}) {
+        ASSERT_EQ(k->range_equal(text.data(), other.data(), n),
+                  ref.range_equal(text.data(), other.data(), n))
+            << name << " flip=" << flip << " n=" << n;
+      }
+      other[flip] = text[flip];
+    }
+  }
+}
+
+TEST(SimdKernels, HistogramChannelsMatchScalar) {
+  std::mt19937_64 rng(13);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{11},
+        std::size_t{12}, std::size_t{13}, std::size_t{64 * 1024 + 7}}) {
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    for (std::size_t channel0 = 0; channel0 < 3; ++channel0) {
+      std::vector<std::uint64_t> want(768, 0);
+      simd::scalar_kernels().histogram_channels(data.data(), n, channel0,
+                                                want.data());
+      for (const auto& [name, k] : built_tables()) {
+        std::vector<std::uint64_t> got(768, 0);
+        k->histogram_channels(data.data(), n, channel0, got.data());
+        ASSERT_EQ(got, want) << name << " n=" << n << " ch0=" << channel0;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, LrMomentsMatchScalarExactly) {
+  std::mt19937_64 rng(17);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{1000}}) {
+    std::vector<std::int16_t> xy(2 * n);
+    for (auto& v : xy) v = static_cast<std::int16_t>(rng());
+    if (n >= 2) {  // pin the extremes into the data
+      xy[0] = 32767;
+      xy[1] = -32768;
+      xy[2] = -32768;
+      xy[3] = 32767;
+    }
+    std::int64_t want[5] = {1, 2, 3, 4, 5};  // must accumulate, not assign
+    simd::scalar_kernels().lr_moments(xy.data(), n, want);
+    for (const auto& [name, k] : built_tables()) {
+      std::int64_t got[5] = {1, 2, 3, 4, 5};
+      k->lr_moments(xy.data(), n, got);
+      for (int m = 0; m < 5; ++m) {
+        ASSERT_EQ(got[m], want[m]) << name << " n=" << n << " moment=" << m;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, F64ReductionsBitIdenticalAcrossTables) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> dist(-1e3, 1e3);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{1023}}) {
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = dist(rng);
+      b[i] = dist(rng);
+    }
+    const double want_sum = simd::scalar_kernels().sum_f64(a.data(), n);
+    const double want_dot = simd::scalar_kernels().dot_centered_f64(
+        a.data(), b.data(), 0.25, -0.75, n);
+    for (const auto& [name, k] : built_tables()) {
+      // EXPECT_EQ, not NEAR: the contract is bit-identical rounding.
+      EXPECT_EQ(k->sum_f64(a.data(), n), want_sum) << name << " n=" << n;
+      EXPECT_EQ(k->dot_centered_f64(a.data(), b.data(), 0.25, -0.75, n),
+                want_dot)
+          << name << " n=" << n;
+    }
+  }
+}
+
+// ---------- dispatch --------------------------------------------------------------
+
+TEST(SimdDispatch, ParsesModesAndRejectsJunk) {
+  EXPECT_EQ(simd::parse_simd_mode("off"), simd::Mode::kOff);
+  EXPECT_EQ(simd::parse_simd_mode("scalar"), simd::Mode::kScalar);
+  EXPECT_EQ(simd::parse_simd_mode("native"), simd::Mode::kNative);
+  EXPECT_THROW(simd::parse_simd_mode("wide"), ConfigError);
+  EXPECT_THROW(simd::parse_simd_mode(""), ConfigError);
+}
+
+TEST(SimdDispatch, ForcedScalarFallbackPinsTheScalarTable) {
+  SimdModeGuard guard("scalar");
+  const simd::Active& a = simd::active();
+  EXPECT_EQ(a.mode, simd::Mode::kScalar);
+  EXPECT_STREQ(a.path, "scalar");
+  EXPECT_EQ(a.kernels, &simd::scalar_kernels());
+}
+
+TEST(SimdDispatch, NativePicksAWidestBuiltTable) {
+  SimdModeGuard guard("native");
+  const simd::Active& a = simd::active();
+  EXPECT_EQ(a.mode, simd::Mode::kNative);
+  ASSERT_NE(a.kernels, nullptr);
+  const std::string path = a.path;
+  EXPECT_TRUE(path == "scalar" || path == "sse2" || path == "avx2") << path;
+#if defined(__x86_64__)
+  // x86-64 guarantees SSE2, so native never degrades all the way down.
+  EXPECT_NE(path, "scalar");
+#endif
+}
+
+TEST(SimdDispatch, OffModeDisablesTheKernelTable) {
+  // Explicit "off" (not ambient-default: CI also runs this binary under
+  // RAMR_SIMD=scalar) — the dormant state apps read as "run the seed loop".
+  SimdModeGuard guard("off");
+  const simd::Active& a = simd::active();
+  EXPECT_EQ(a.mode, simd::Mode::kOff);
+  EXPECT_STREQ(a.path, "off");
+  EXPECT_EQ(a.kernels, nullptr);
+  // When the environment really is unset, the default must be off.
+  if (!env::get(kEnvSimd).has_value()) {
+    EXPECT_EQ(simd::resolve(simd::parse_simd_mode(
+                                env::get_string(kEnvSimd, "off")))
+                  .mode,
+              simd::Mode::kOff);
+  }
+}
+
+// ---------- app-level parity across modes ----------------------------------------
+
+// Runs app.map over every split and folds the emissions into a key->sum
+// map (string keys for WC, integral keys otherwise).
+template <typename App, typename K>
+std::map<K, std::int64_t> fold_maps(const App& app,
+                                    const typename App::input_type& in) {
+  std::map<K, std::int64_t> out;
+  for (std::size_t s = 0; s < app.num_splits(in); ++s) {
+    app.map(in, s, [&](const auto& k, auto v) {
+      out[K(k)] += static_cast<std::int64_t>(v);
+    });
+  }
+  return out;
+}
+
+TEST(SimdApps, WordCountWhitespaceClassAndSplitBoundaries) {
+  // Raw tabs/newlines now separate words (the historical space-only scan
+  // glued "a\tb" into one word), and words straddle the tiny split size so
+  // the ownership rule is exercised under every mode.
+  apps::TextInput in;
+  in.text = "alpha\tbeta\ngamma\rdelta\valpha\fbeta  alpha\t\n gamma";
+  in.split_bytes = 7;  // words cross split boundaries
+  const apps::WordCountApp<apps::ContainerFlavor::kDefault> app;
+  const auto ref = apps::wordcount_reference(in);
+  EXPECT_EQ(ref.at("alpha"), 3u);
+  EXPECT_EQ(ref.at("beta"), 2u);
+  for (const char* mode : {"off", "scalar", "native"}) {
+    SimdModeGuard guard(mode);
+    const auto got = fold_maps<decltype(app), std::string>(app, in);
+    ASSERT_EQ(got.size(), ref.size()) << mode;
+    for (const auto& [k, v] : ref) {
+      EXPECT_EQ(static_cast<std::uint64_t>(got.at(std::string(k))), v)
+          << mode << " key=" << k;
+    }
+  }
+}
+
+TEST(SimdApps, WordCountParityOnAdversarialText) {
+  apps::TextInput in;
+  in.text = adversarial_text(31, 20000);
+  in.split_bytes = 97;  // prime: heads/tails land at every alignment
+  const apps::WordCountApp<apps::ContainerFlavor::kDefault> app;
+  std::optional<std::map<std::string, std::int64_t>> first;
+  for (const char* mode : {"off", "scalar", "native"}) {
+    SimdModeGuard guard(mode);
+    const auto got = fold_maps<decltype(app), std::string>(app, in);
+    if (!first) {
+      first = got;
+    } else {
+      EXPECT_EQ(got, *first) << mode;
+    }
+  }
+}
+
+TEST(SimdApps, StringMatchParityIncludingFastPath) {
+  apps::SmInput in;
+  in.text.text =
+      "needle hay needle\tneedleneedle hay\nneedle haystack needle";
+  in.text.split_bytes = 6;  // matches straddle split boundaries
+  in.patterns = {"needle"};
+  apps::StringMatchApp<apps::ContainerFlavor::kDefault> app;
+  app.num_patterns = in.patterns.size();
+  const auto ref = apps::string_match_reference(in);
+  ASSERT_EQ(ref.at(0), 4u);  // "needleneedle"/"haystack" must not count
+  for (const char* mode : {"off", "scalar", "native"}) {
+    SimdModeGuard guard(mode);
+    const auto got = fold_maps<decltype(app), std::uint64_t>(app, in);
+    EXPECT_EQ(static_cast<std::uint64_t>(got.at(0)), ref.at(0)) << mode;
+  }
+}
+
+TEST(SimdApps, StringMatchParityMultiPatternAdversarial) {
+  apps::SmInput in;
+  in.text.text = adversarial_text(37, 15000);
+  in.text.split_bytes = 113;
+  // Patterns drawn from the text itself (guaranteed hits), one longer than
+  // a 16-byte vector, plus a duplicate (first-match-wins semantics) and a
+  // miss.
+  in.patterns = {"zz-not-present", "a", "a",
+                 std::string(in.text.text.substr(
+                     in.text.text.find_first_not_of(" \t\n\v\f\r"), 3))};
+  apps::StringMatchApp<apps::ContainerFlavor::kDefault> app;
+  app.num_patterns = in.patterns.size();
+  const auto ref = apps::string_match_reference(in);
+  for (const char* mode : {"off", "scalar", "native"}) {
+    SimdModeGuard guard(mode);
+    const auto got = fold_maps<decltype(app), std::uint64_t>(app, in);
+    ASSERT_EQ(got.size(), ref.size()) << mode;
+    for (const auto& [k, v] : ref) {
+      EXPECT_EQ(static_cast<std::uint64_t>(got.at(k)), v) << mode;
+    }
+  }
+}
+
+TEST(SimdApps, HistogramAndLrParityAcrossModes) {
+  apps::PixelInput pix{apps::make_pixels(50021, 5), 1024};
+  const apps::HistogramApp<apps::ContainerFlavor::kDefault> hg;
+  const auto hg_ref = apps::histogram_reference(pix);
+  apps::LrInput lr{apps::make_lr_points(30011, 6), 1000};
+  const apps::LinearRegressionApp<apps::ContainerFlavor::kDefault> lrapp;
+  const auto lr_ref = apps::lr_reference(lr);
+  for (const char* mode : {"off", "scalar", "native"}) {
+    SimdModeGuard guard(mode);
+    const auto hist = fold_maps<decltype(hg), std::uint64_t>(hg, pix);
+    for (const auto& [k, v] : hg_ref) {
+      EXPECT_EQ(static_cast<std::uint64_t>(hist.at(k)), v) << mode;
+    }
+    const auto moments = fold_maps<decltype(lrapp), std::uint64_t>(lrapp, lr);
+    for (const auto& [k, v] : lr_ref) {
+      EXPECT_EQ(moments.at(k), v) << mode;
+    }
+  }
+}
+
+TEST(SimdApps, PcaScalarAndNativeBitIdentical) {
+  apps::PcaInput in;
+  in.matrix = apps::make_matrix(12, 301, 9);
+  in.row_means = apps::pca_row_means(in.matrix);
+  in.split_cols = 37;
+  apps::PcaCovApp<apps::ContainerFlavor::kDefault> cov;
+  cov.rows = in.matrix.rows;
+  SimdModeGuard scalar_guard("scalar");
+  std::map<std::uint64_t, double> want;
+  for (std::size_t s = 0; s < cov.num_splits(in); ++s) {
+    cov.map(in, s, [&](std::uint64_t k, double v) { want[k] += v; });
+  }
+  {
+    SimdModeGuard native_guard("native");
+    std::map<std::uint64_t, double> got;
+    for (std::size_t s = 0; s < cov.num_splits(in); ++s) {
+      cov.map(in, s, [&](std::uint64_t k, double v) { got[k] += v; });
+    }
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto& [k, v] : want) {
+      // Bit-identical: both modes run the same accumulation schedule.
+      EXPECT_EQ(got.at(k), v) << "pair " << k;
+    }
+  }
+  // And both stay within float tolerance of the off-mode (seed) loop.
+  const auto ref = apps::pca_cov_reference(in);
+  for (const auto& [k, v] : want) {
+    EXPECT_NEAR(v, ref.at(k), 1e-6 * (1.0 + std::abs(ref.at(k))));
+  }
+}
+
+// ---------- sharded atomic container ---------------------------------------------
+
+TEST(ShardedAtomic, RejectsNonPowerOfTwoShards) {
+  using C = containers::ShardedAtomicContainer<std::uint64_t>;
+  EXPECT_THROW(C(8, 0), ConfigError);
+  EXPECT_THROW(C(8, 3), ConfigError);
+  EXPECT_NO_THROW(C(8, 4));
+}
+
+TEST(ShardedAtomic, MatchesSingleContainerUnderSkewedConcurrentEmits) {
+  constexpr std::size_t kKeys = 768;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 40000;
+  containers::AtomicArrayContainer<std::uint64_t> single(kKeys);
+  containers::ShardedAtomicContainer<std::uint64_t> sharded(kKeys, kThreads);
+  auto worker = [&](std::size_t t, auto&& emit) {
+    // Deterministic per-thread sequence, heavily skewed (Zipf-flavoured:
+    // key = 2^k spread) so a few keys take most of the traffic.
+    std::mt19937_64 rng(1000 + t);
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      const std::size_t bucket = static_cast<std::size_t>(rng() % 10);
+      const std::size_t key =
+          bucket < 7 ? bucket : rng() % kKeys;  // 70% on 7 hot keys
+      emit(key, std::uint64_t{1});
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      worker(t, [&](std::size_t k, std::uint64_t v) { single.emit(k, v); });
+    });
+  }
+  for (auto& th : threads) th.join();
+  threads.clear();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      worker(t, [&](std::size_t k, std::uint64_t v) {
+        sharded.emit(t & (sharded.shard_count() - 1), k, v);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<std::pair<std::size_t, std::uint64_t>> want, got;
+  single.for_each([&](std::size_t k, std::uint64_t v) {
+    want.emplace_back(k, v);
+  });
+  sharded.for_each([&](std::size_t k, std::uint64_t v) {
+    got.emplace_back(k, v);
+  });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(sharded.size(), single.size());
+  EXPECT_EQ(sharded.at(0), single.at(0));
+  sharded.clear();
+  EXPECT_EQ(sharded.size(), 0u);
+}
+
+TEST(ShardedAtomic, MinMaxFoldAcrossShards) {
+  containers::ShardedAtomicContainer<std::int64_t, containers::AtomicOp::kMin>
+      lo(2, 4);
+  containers::ShardedAtomicContainer<std::int64_t, containers::AtomicOp::kMax>
+      hi(2, 4);
+  std::size_t shard = 0;
+  for (std::int64_t v : {5, -3, 9, 0}) {
+    lo.emit(shard, 0, v);
+    hi.emit(shard, 0, v);
+    shard = (shard + 1) % 4;  // spread across shards; fold must merge
+  }
+  EXPECT_EQ(lo.at(0), -3);
+  EXPECT_EQ(hi.at(0), 9);
+  EXPECT_EQ(lo.size(), 1u);
+}
+
+TEST(ShardedAtomic, ResolveShardCountValidatesAndRounds) {
+  EXPECT_EQ(engine::resolve_atomic_shards(8), 1u);  // unset = historical
+  {
+    env::ScopedOverride o(kEnvAtomicShards, "4");
+    EXPECT_EQ(engine::resolve_atomic_shards(8), 4u);
+  }
+  {
+    env::ScopedOverride o(kEnvAtomicShards, "3");  // round up to pow2
+    EXPECT_EQ(engine::resolve_atomic_shards(8), 4u);
+  }
+  {
+    env::ScopedOverride o(kEnvAtomicShards, "0");  // auto: per worker
+    EXPECT_EQ(engine::resolve_atomic_shards(6), 8u);
+    EXPECT_EQ(engine::resolve_atomic_shards(200), 64u);  // capped
+  }
+  {
+    env::ScopedOverride o(kEnvAtomicShards, "2000");
+    EXPECT_THROW(engine::resolve_atomic_shards(8), ConfigError);
+  }
+  {
+    env::ScopedOverride o(kEnvAtomicShards, "many");
+    EXPECT_THROW(engine::resolve_atomic_shards(8), ConfigError);
+  }
+}
+
+// ---------- sharded runs through the mrphi runtime --------------------------------
+
+mrphi::Options mrphi_options(std::size_t workers) {
+  mrphi::Options o;
+  o.num_workers = workers;
+  o.pin_policy = PinPolicy::kOsDefault;
+  return o;
+}
+
+TEST(ShardedRuntime, HistogramParityUnderZipfInput) {
+  // Zipf-distributed text bytes: a handful of hot intensity bins, the
+  // worst case for the single global container's coherence traffic.
+  const std::string text = apps::make_text(120000, 512, 42);
+  apps::PixelInput input;
+  input.bytes.assign(text.begin(), text.end());
+  input.split_bytes = 4096;
+  const apps::HistogramGlobalApp app;
+
+  // Pin SIMD off so the dispatch block exercises ONLY the shard knob (this
+  // binary also runs under an ambient RAMR_SIMD=scalar in CI).
+  SimdModeGuard simd_off("off");
+  mrphi::Runtime<apps::HistogramGlobalApp> rt(topo::host(),
+                                              mrphi_options(4));
+  const auto baseline = rt.run(app, input);
+  EXPECT_EQ(baseline.dispatch.atomic_shards, 0u);
+  EXPECT_FALSE(baseline.dispatch.enabled());
+  {
+    env::ScopedOverride o(kEnvAtomicShards, "4");
+    const auto sharded = rt.run(app, input);
+    EXPECT_EQ(sharded.pairs, baseline.pairs);
+    EXPECT_EQ(sharded.dispatch.atomic_shards, 4u);
+    EXPECT_NE(sharded.summary().find("shards=4"), std::string::npos);
+  }
+}
+
+TEST(ShardedRuntime, LinearRegressionParityAndSimdProvenance) {
+  apps::LrInput input{apps::make_lr_points(30000, 4), 1024};
+  const apps::LinearRegressionGlobalApp app;
+  mrphi::Runtime<apps::LinearRegressionGlobalApp> rt(topo::host(),
+                                                     mrphi_options(3));
+  std::optional<SimdModeGuard> simd_off(std::in_place, "off");
+  const auto baseline = rt.run(app, input);
+  simd_off.reset();
+  const auto ref = apps::lr_reference(input);
+  {
+    SimdModeGuard simd_guard("native");
+    env::ScopedOverride o(kEnvAtomicShards, "0");  // auto
+    const auto sharded = rt.run(app, input);
+    EXPECT_EQ(sharded.pairs, baseline.pairs);
+    ASSERT_EQ(sharded.pairs.size(), ref.size());
+    for (const auto& [k, v] : sharded.pairs) EXPECT_EQ(v, ref.at(k));
+    EXPECT_EQ(sharded.dispatch.atomic_shards, 4u);  // next pow2 of 3 workers
+    EXPECT_FALSE(sharded.dispatch.simd_path.empty());
+    EXPECT_NE(sharded.summary().find("dispatch: simd="),
+              std::string::npos);
+  }
+  // Default run: provenance absent, summary byte-stable.
+  EXPECT_EQ(baseline.summary().find("dispatch:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ramr
